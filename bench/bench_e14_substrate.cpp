@@ -1,0 +1,95 @@
+// E14 — substrate microbenchmarks: G_k word arithmetic, colour-system
+// surgeries, view extraction, and simulator throughput.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/dmm.hpp"
+
+namespace {
+
+using namespace dmm;
+
+void print_rows() {
+  std::printf("## E14: substrate characteristics\n");
+  std::printf("%-28s %12s\n", "object", "size");
+  std::printf("%-28s %12d\n", "Gamma_4[6] nodes", colsys::cayley_ball(4, 6).size());
+  std::printf("%-28s %12d\n", "Gamma_5[6] nodes", colsys::cayley_ball(5, 6).size());
+  std::printf("%-28s %12d\n", "3-regular k=4 depth 10", colsys::regular_system(4, 3, 10).size());
+  std::printf("\n");
+}
+
+void BM_WordMultiply(benchmark::State& state) {
+  Rng rng(31);
+  std::vector<gk::Word> words;
+  for (int i = 0; i < 256; ++i) {
+    std::vector<gk::Colour> letters;
+    for (int j = 0; j < 24; ++j) letters.push_back(static_cast<gk::Colour>(rng.uniform(1, 6)));
+    words.push_back(gk::Word::from_letters(letters));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(words[i % 256] * words[(i + 1) % 256]);
+    ++i;
+  }
+}
+BENCHMARK(BM_WordMultiply);
+
+void BM_CayleyBall(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(colsys::cayley_ball(4, depth));
+  }
+}
+BENCHMARK(BM_CayleyBall)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_Reroot(benchmark::State& state) {
+  const colsys::ColourSystem g = colsys::cayley_ball(4, static_cast<int>(state.range(0)));
+  const colsys::NodeId y = g.find(gk::Word::parse("1.2"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.rerooted(y));
+  }
+  state.counters["nodes"] = g.size();
+}
+BENCHMARK(BM_Reroot)->Arg(5)->Arg(7);
+
+void BM_Serialize(benchmark::State& state) {
+  const colsys::ColourSystem g = colsys::cayley_ball(4, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.serialize(g.valid_radius()));
+  }
+  state.counters["nodes"] = g.size();
+}
+BENCHMARK(BM_Serialize)->Arg(5)->Arg(7);
+
+void BM_ViewBall(benchmark::State& state) {
+  Rng rng(37);
+  const graph::EdgeColouredGraph g = graph::random_coloured_graph(512, 6, 0.8, rng);
+  for (auto _ : state) {
+    for (graph::NodeIndex v = 0; v < 32; ++v) {
+      benchmark::DoNotOptimize(local::view_ball(g, v, static_cast<int>(state.range(0))));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_ViewBall)->Arg(2)->Arg(4);
+
+void BM_EngineThroughput(benchmark::State& state) {
+  Rng rng(41);
+  const graph::EdgeColouredGraph g =
+      graph::random_coloured_graph(static_cast<int>(state.range(0)), 8, 0.8, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(local::run_sync(g, algo::greedy_program_factory(), 10));
+  }
+  state.SetItemsProcessed(state.iterations() * g.node_count());
+}
+BENCHMARK(BM_EngineThroughput)->Arg(1024)->Arg(8192);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_rows();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

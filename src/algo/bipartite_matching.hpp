@@ -1,0 +1,43 @@
+// Maximal matching in (vertex-)2-coloured graphs in O(Δ) rounds — the
+// proposal algorithm behind §1.1's citation of Hańćkowiak, Karoński &
+// Panconesi [6].
+//
+// Nodes know which side of the bipartition they are on (white = proposer,
+// black = acceptor); no identifiers are needed.  White nodes propose along
+// their incident edges in increasing colour order, one per round; black
+// nodes accept the smallest-coloured proposal they ever see while
+// unmatched.  Every white node is matched or has proposed everywhere, and
+// a rejected proposal means the black side got matched — so the matching
+// is maximal after at most 2Δ rounds.
+//
+// This complements algo/two_colour.hpp, which implements the *edge*-
+// 2-coloured reading of "2-coloured" (a trivial case of Lemma 1); the two
+// readings coexist in the literature and both are part of the §1.1
+// landscape.
+#pragma once
+
+#include <vector>
+
+#include "graph/edge_coloured_graph.hpp"
+#include "local/algorithm.hpp"
+#include "util/rng.hpp"
+
+namespace dmm::algo {
+
+struct BipartiteMatchingResult {
+  std::vector<gk::Colour> outputs;  // paper encoding (§2.4)
+  int rounds = 0;                   // proposal/accept rounds used
+};
+
+/// Runs the proposal algorithm.  `white[v]` marks the proposing side;
+/// every edge must join a white node to a black one (throws otherwise).
+BipartiteMatchingResult bipartite_proposal_matching(const graph::EdgeColouredGraph& g,
+                                                    const std::vector<bool>& white);
+
+/// Random properly k-edge-coloured bipartite instance: n_left white nodes
+/// (indices 0..n_left-1), n_right black nodes.  Also returns nothing extra:
+/// the caller derives `white` from the index split.
+graph::EdgeColouredGraph random_bipartite(int n_left, int n_right, int k, double density,
+                                          Rng& rng);
+
+}  // namespace dmm::algo

@@ -1,0 +1,77 @@
+#include "algo/cole_vishkin.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dmm::algo {
+
+namespace {
+
+/// One Cole–Vishkin step: new colour = 2*i + bit, where i is the lowest bit
+/// position at which own and predecessor colours differ.
+std::uint64_t cv_step(std::uint64_t own, std::uint64_t pred) {
+  const std::uint64_t diff = own ^ pred;
+  const int i = diff == 0 ? 0 : __builtin_ctzll(diff);
+  const std::uint64_t bit = (own >> i) & 1ull;
+  return 2ull * static_cast<std::uint64_t>(i) + bit;
+}
+
+}  // namespace
+
+CvResult cv_three_colour_cycle(const std::vector<std::uint64_t>& ids) {
+  const std::size_t n = ids.size();
+  if (n < 3) throw std::invalid_argument("cv_three_colour_cycle: need n >= 3");
+  {
+    std::vector<std::uint64_t> sorted = ids;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      throw std::invalid_argument("cv_three_colour_cycle: identifiers must be unique");
+    }
+  }
+  CvResult result;
+  std::vector<std::uint64_t> colour(ids);
+  // Halving rounds: stop once the palette is within {0..5}; each round uses
+  // only the predecessor's previous colour (one message).
+  auto palette_max = [&] { return *std::max_element(colour.begin(), colour.end()); };
+  while (palette_max() > 5) {
+    std::vector<std::uint64_t> next(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      next[i] = cv_step(colour[i], colour[(i + n - 1) % n]);
+    }
+    colour = std::move(next);
+    ++result.cv_rounds;
+  }
+  // Shift-down elimination of colours 5, 4, 3: each round, the top class
+  // re-colours with the smallest value of {0,1,2} unused by its two
+  // neighbours (top-class nodes are pairwise non-adjacent: the colouring is
+  // proper).
+  for (std::uint64_t top = 5; top >= 3; --top) {
+    std::vector<std::uint64_t> next = colour;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (colour[i] != top) continue;
+      const std::uint64_t left = colour[(i + n - 1) % n];
+      const std::uint64_t right = colour[(i + 1) % n];
+      for (std::uint64_t c = 0; c < 3; ++c) {
+        if (c != left && c != right) {
+          next[i] = c;
+          break;
+        }
+      }
+    }
+    colour = std::move(next);
+    ++result.finish_rounds;
+  }
+  result.colours.resize(n);
+  for (std::size_t i = 0; i < n; ++i) result.colours[i] = static_cast<int>(colour[i]);
+  return result;
+}
+
+bool is_proper_cycle_colouring(const std::vector<int>& colours) {
+  const std::size_t n = colours.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (colours[i] == colours[(i + 1) % n]) return false;
+  }
+  return true;
+}
+
+}  // namespace dmm::algo

@@ -1,0 +1,30 @@
+// Cole–Vishkin deterministic coin tossing [4]: 3-colouring a directed cycle
+// with unique identifiers in log*(id space) + O(1) rounds.
+//
+// This is the classic engine behind every "+ log* k" term in the paper's
+// §1.1/§1.3 bounds, provided here both as a substrate demonstration
+// (experiment E13) and as the inner loop of the library's colour-reduction
+// utilities.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dmm::algo {
+
+struct CvResult {
+  std::vector<int> colours;  // per position; values in {0,1,2}
+  int cv_rounds = 0;         // bit-trick halving rounds
+  int finish_rounds = 0;     // 6 -> 3 shift-down rounds
+  int total_rounds() const noexcept { return cv_rounds + finish_rounds; }
+};
+
+/// 3-colours the directed cycle whose i-th node has identifier ids[i] and
+/// whose successor is position (i+1) mod n.  Identifiers must be unique.
+/// Requires n >= 3.
+CvResult cv_three_colour_cycle(const std::vector<std::uint64_t>& ids);
+
+/// True iff adjacent positions (cyclically) received distinct colours.
+bool is_proper_cycle_colouring(const std::vector<int>& colours);
+
+}  // namespace dmm::algo

@@ -1,0 +1,154 @@
+#include "algo/edge_packing.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace dmm::algo {
+
+namespace {
+
+std::int64_t checked_mul(std::int64_t a, std::int64_t b) {
+  const __int128 wide = static_cast<__int128>(a) * b;
+  if (wide > INT64_MAX || wide < INT64_MIN) {
+    throw std::overflow_error("Fraction: arithmetic overflow");
+  }
+  return static_cast<std::int64_t>(wide);
+}
+
+}  // namespace
+
+Fraction::Fraction(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+  if (den_ == 0) throw std::invalid_argument("Fraction: zero denominator");
+  normalise();
+}
+
+void Fraction::normalise() {
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  const std::int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+  if (num_ == 0) den_ = 1;
+}
+
+Fraction Fraction::operator+(const Fraction& rhs) const {
+  return Fraction(checked_mul(num_, rhs.den_) + checked_mul(rhs.num_, den_),
+                  checked_mul(den_, rhs.den_));
+}
+
+Fraction Fraction::operator-(const Fraction& rhs) const {
+  return Fraction(checked_mul(num_, rhs.den_) - checked_mul(rhs.num_, den_),
+                  checked_mul(den_, rhs.den_));
+}
+
+Fraction Fraction::operator/(std::int64_t divisor) const {
+  if (divisor == 0) throw std::invalid_argument("Fraction: division by zero");
+  return Fraction(num_, checked_mul(den_, divisor));
+}
+
+bool Fraction::operator<(const Fraction& rhs) const {
+  return checked_mul(num_, rhs.den_) < checked_mul(rhs.num_, den_);
+}
+
+std::string Fraction::str() const {
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+EdgePackingResult maximal_edge_packing(const graph::EdgeColouredGraph& g) {
+  const auto& edges = g.edges();
+  EdgePackingResult result;
+  result.weights.assign(edges.size(), Fraction::zero());
+  result.saturated.assign(static_cast<std::size_t>(g.node_count()), 0);
+  result.total_weight = Fraction::zero();
+
+  std::vector<Fraction> slack(static_cast<std::size_t>(g.node_count()), Fraction::one());
+  std::vector<char> active(edges.size(), 1);
+  std::vector<int> active_degree(static_cast<std::size_t>(g.node_count()), 0);
+  for (const graph::Edge& e : edges) {
+    ++active_degree[static_cast<std::size_t>(e.u)];
+    ++active_degree[static_cast<std::size_t>(e.v)];
+  }
+
+  int remaining = static_cast<int>(edges.size());
+  while (remaining > 0) {
+    ++result.rounds;
+    // Simultaneous offers (computed from the state at the start of the
+    // round, as the synchronous model requires).
+    std::vector<Fraction> raise(edges.size(), Fraction::zero());
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (!active[i]) continue;
+      const auto u = static_cast<std::size_t>(edges[i].u);
+      const auto v = static_cast<std::size_t>(edges[i].v);
+      const Fraction offer_u = slack[u] / active_degree[u];
+      const Fraction offer_v = slack[v] / active_degree[v];
+      raise[i] = offer_u < offer_v ? offer_u : offer_v;
+    }
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (!active[i]) continue;
+      result.weights[i] = result.weights[i] + raise[i];
+      result.total_weight = result.total_weight + raise[i];
+      slack[static_cast<std::size_t>(edges[i].u)] =
+          slack[static_cast<std::size_t>(edges[i].u)] - raise[i];
+      slack[static_cast<std::size_t>(edges[i].v)] =
+          slack[static_cast<std::size_t>(edges[i].v)] - raise[i];
+    }
+    // Freeze edges with a saturated endpoint.
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (!active[i]) continue;
+      const auto u = static_cast<std::size_t>(edges[i].u);
+      const auto v = static_cast<std::size_t>(edges[i].v);
+      if (slack[u].is_zero() || slack[v].is_zero()) {
+        active[i] = 0;
+        --active_degree[u];
+        --active_degree[v];
+        --remaining;
+      }
+    }
+    if (result.rounds > 4 * g.node_count() + 8) {
+      throw std::runtime_error("maximal_edge_packing: did not converge (bug)");
+    }
+  }
+  for (std::size_t v = 0; v < slack.size(); ++v) {
+    result.saturated[v] = slack[v].is_zero() ? 1 : 0;
+  }
+  return result;
+}
+
+bool is_maximal_edge_packing(const graph::EdgeColouredGraph& g,
+                             const std::vector<Fraction>& weights) {
+  std::vector<Fraction> load(static_cast<std::size_t>(g.node_count()), Fraction::zero());
+  const auto& edges = g.edges();
+  if (weights.size() != edges.size()) return false;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    load[static_cast<std::size_t>(edges[i].u)] =
+        load[static_cast<std::size_t>(edges[i].u)] + weights[i];
+    load[static_cast<std::size_t>(edges[i].v)] =
+        load[static_cast<std::size_t>(edges[i].v)] + weights[i];
+  }
+  for (const Fraction& l : load) {
+    if (Fraction::one() < l) return false;  // infeasible
+  }
+  for (const graph::Edge& e : edges) {
+    // Maximality: every edge must have a saturated endpoint.
+    if (!(load[static_cast<std::size_t>(e.u)] == Fraction::one()) &&
+        !(load[static_cast<std::size_t>(e.v)] == Fraction::one())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<graph::NodeIndex> vertex_cover_from_packing(const graph::EdgeColouredGraph& g,
+                                                        const EdgePackingResult& packing) {
+  std::vector<graph::NodeIndex> cover;
+  for (graph::NodeIndex v = 0; v < g.node_count(); ++v) {
+    if (packing.saturated[static_cast<std::size_t>(v)]) cover.push_back(v);
+  }
+  return cover;
+}
+
+}  // namespace dmm::algo

@@ -1,0 +1,69 @@
+// Maximal (fractional) edge packing and 2-approximate vertex cover in O(Δ)
+// rounds (§1.1, citing Åstrand & Suomela [2]).
+//
+// An edge packing assigns y_e ≥ 0 with Σ_{e ∋ v} y_e ≤ 1 at every node; it
+// is maximal if no single y_e can be increased.  The algorithm below is the
+// natural anonymous "proportional offers" scheme: every round each active
+// edge receives, from each endpoint, an offer of slack/active-degree and
+// raises y_e by the smaller one; a node whose slack reaches zero is
+// *saturated* and freezes its edges.  All arithmetic is exact (rationals),
+// so saturation and maximality are decided precisely.
+//
+// The saturated nodes of a maximal packing form a 2-approximate vertex
+// cover (LP duality), which is the second half of [2]'s result.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/edge_coloured_graph.hpp"
+
+namespace dmm::algo {
+
+/// Exact non-negative rational with overflow-checked arithmetic.
+class Fraction {
+ public:
+  Fraction() = default;
+  Fraction(std::int64_t num, std::int64_t den);
+
+  static Fraction zero() { return Fraction(0, 1); }
+  static Fraction one() { return Fraction(1, 1); }
+
+  Fraction operator+(const Fraction& rhs) const;
+  Fraction operator-(const Fraction& rhs) const;
+  Fraction operator/(std::int64_t divisor) const;
+  bool operator==(const Fraction& rhs) const noexcept = default;
+  bool operator<(const Fraction& rhs) const;
+  bool operator<=(const Fraction& rhs) const { return *this < rhs || *this == rhs; }
+
+  bool is_zero() const noexcept { return num_ == 0; }
+  double to_double() const noexcept { return static_cast<double>(num_) / static_cast<double>(den_); }
+  std::string str() const;
+
+ private:
+  void normalise();
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+struct EdgePackingResult {
+  std::vector<Fraction> weights;   // per edge (index into g.edges())
+  std::vector<char> saturated;     // per node: slack == 0
+  int rounds = 0;
+  Fraction total_weight;           // Σ y_e (lower-bounds any vertex cover)
+};
+
+/// Runs the proportional-offer algorithm until every edge is frozen.
+EdgePackingResult maximal_edge_packing(const graph::EdgeColouredGraph& g);
+
+/// True iff `weights` is a feasible, maximal edge packing of g.
+bool is_maximal_edge_packing(const graph::EdgeColouredGraph& g,
+                             const std::vector<Fraction>& weights);
+
+/// The saturated nodes of a maximal packing: a vertex cover of size at most
+/// 2 * minimum vertex cover.
+std::vector<graph::NodeIndex> vertex_cover_from_packing(const graph::EdgeColouredGraph& g,
+                                                        const EdgePackingResult& packing);
+
+}  // namespace dmm::algo

@@ -1,0 +1,108 @@
+#include "algo/greedy.hpp"
+
+#include <algorithm>
+
+namespace dmm::algo {
+
+std::vector<Colour> greedy_outputs(const graph::EdgeColouredGraph& g) {
+  std::vector<Colour> out(static_cast<std::size_t>(g.node_count()), local::kUnmatched);
+  for (Colour c = 1; c <= g.k(); ++c) {
+    for (const graph::Edge& e : g.edges()) {
+      if (e.colour != c) continue;
+      if (out[static_cast<std::size_t>(e.u)] == local::kUnmatched &&
+          out[static_cast<std::size_t>(e.v)] == local::kUnmatched) {
+        out[static_cast<std::size_t>(e.u)] = c;
+        out[static_cast<std::size_t>(e.v)] = c;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Colour> greedy_outputs(const colsys::ColourSystem& system) {
+  std::vector<Colour> out(static_cast<std::size_t>(system.size()), local::kUnmatched);
+  for (Colour c = 1; c <= system.k(); ++c) {
+    for (colsys::NodeId v = 1; v < system.size(); ++v) {
+      if (system.parent_colour(v) != c) continue;
+      const colsys::NodeId p = system.parent(v);
+      if (out[static_cast<std::size_t>(v)] == local::kUnmatched &&
+          out[static_cast<std::size_t>(p)] == local::kUnmatched) {
+        out[static_cast<std::size_t>(v)] = c;
+        out[static_cast<std::size_t>(p)] = c;
+      }
+    }
+  }
+  return out;
+}
+
+bool GreedyProgram::init(const std::vector<Colour>& incident) {
+  incident_ = incident;
+  neighbour_matched_.assign(incident.size(), 0);
+  // Step 1 needs no communication: an incident colour-1 edge matches both
+  // of its endpoints immediately (a properly coloured graph has at most one
+  // such edge per node, and its other endpoint reasons identically).
+  if (!incident_.empty() && incident_.front() == 1) {
+    matched_ = true;
+    output_ = 1;
+  }
+  return try_finish(/*completed_step=*/1);
+}
+
+bool GreedyProgram::try_finish(int completed_step) {
+  if (matched_) return true;
+  // An unmatched node may stop once every incident colour has been decided.
+  const Colour largest = incident_.empty() ? 0 : incident_.back();
+  if (completed_step >= largest) {
+    output_ = local::kUnmatched;
+    return true;
+  }
+  return false;
+}
+
+std::map<Colour, local::Message> GreedyProgram::send(int round) {
+  (void)round;
+  std::map<Colour, local::Message> out;
+  for (Colour c : incident_) out[c] = matched_ ? "M" : "F";
+  return out;
+}
+
+bool GreedyProgram::receive(int round, const std::map<Colour, local::Message>& inbox) {
+  // After the exchange in round t we know the neighbours' status at the end
+  // of step t, which decides step t+1 (edges of colour t+1).
+  for (std::size_t i = 0; i < incident_.size(); ++i) {
+    const auto it = inbox.find(incident_[i]);
+    if (it == inbox.end()) continue;
+    const local::Message& m = it->second;
+    // A halted neighbour announces its output; a matched announcement or an
+    // explicit "M" both mean "taken".  An announced ⊥ means permanently free,
+    // but a ⊥ neighbour can never be our colour-(t+1) partner anyway (it
+    // halted only after its last chance passed), so treat it as free.
+    const bool neighbour_matched =
+        m == "M" || (!m.empty() && m.front() == local::kHaltedPrefix && m != "!0");
+    neighbour_matched_[i] = neighbour_matched ? 1 : 0;
+  }
+  const Colour next = static_cast<Colour>(round + 1);
+  if (!matched_) {
+    for (std::size_t i = 0; i < incident_.size(); ++i) {
+      if (incident_[i] == next && !neighbour_matched_[i]) {
+        matched_ = true;
+        output_ = next;
+      }
+    }
+  }
+  return try_finish(/*completed_step=*/round + 1);
+}
+
+local::NodeProgramFactory greedy_program_factory() {
+  return [] { return std::make_unique<GreedyProgram>(); };
+}
+
+Colour GreedyLocal::evaluate(const colsys::ColourSystem& view) const {
+  // Simulate greedy on the view; by the radius argument of §1.2 the fate of
+  // the root after all k steps depends only on the radius-k ball, which is
+  // exactly the view we received.
+  const std::vector<Colour> outs = greedy_outputs(view);
+  return outs[static_cast<std::size_t>(colsys::ColourSystem::root())];
+}
+
+}  // namespace dmm::algo

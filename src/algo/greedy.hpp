@@ -1,0 +1,68 @@
+// The greedy maximal matching algorithm (§1.2, Figure 1, Lemma 1).
+//
+// Step i considers all edges of colour i in parallel; an edge {u, v} of
+// colour i joins the matching iff neither endpoint is matched yet.  Step 1
+// needs no communication, so the running time is exactly k-1 rounds.
+//
+// Three equivalent realisations are provided and cross-validated in tests:
+//   * greedy_outputs        — centralised reference implementation,
+//   * GreedyProgram         — message-passing state machine for run_sync,
+//   * GreedyLocal           — the §2.3 functional form (input: radius-k view),
+//     which is what the lower-bound adversary interrogates.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "local/algorithm.hpp"
+#include "local/engine.hpp"
+
+namespace dmm::algo {
+
+using gk::Colour;
+
+/// Reference implementation on a whole instance.
+std::vector<Colour> greedy_outputs(const graph::EdgeColouredGraph& g);
+
+/// Reference implementation on a colour system (tree instance); processes
+/// the parent edges of all nodes, colours in increasing order.  Exact on
+/// every node whose greedy fate is determined inside the truncation; callers
+/// are responsible for only trusting sufficiently interior nodes.
+std::vector<Colour> greedy_outputs(const colsys::ColourSystem& system);
+
+/// Message-passing greedy.  Halts at round c-1 when matched along colour c;
+/// an never-matched node halts once its largest incident colour has been
+/// resolved.
+class GreedyProgram final : public local::NodeProgram {
+ public:
+  bool init(const std::vector<Colour>& incident) override;
+  std::map<Colour, local::Message> send(int round) override;
+  bool receive(int round, const std::map<Colour, local::Message>& inbox) override;
+  Colour output() const override { return output_; }
+
+ private:
+  bool try_finish(int completed_step);
+
+  std::vector<Colour> incident_;
+  std::vector<char> neighbour_matched_;  // indexed by incident position
+  Colour output_ = local::kUnmatched;
+  bool matched_ = false;
+};
+
+local::NodeProgramFactory greedy_program_factory();
+
+/// Functional greedy (running time k-1): simulates the greedy process on
+/// the radius-k view and reports the root's fate, which the locality
+/// argument of §1.2 shows is exact.
+class GreedyLocal final : public local::LocalAlgorithm {
+ public:
+  explicit GreedyLocal(int k) : k_(k) {}
+  int running_time() const override { return k_ - 1; }
+  Colour evaluate(const colsys::ColourSystem& view) const override;
+  std::string name() const override { return "greedy(k=" + std::to_string(k_) + ")"; }
+
+ private:
+  int k_;
+};
+
+}  // namespace dmm::algo

@@ -1,0 +1,122 @@
+#include "algo/linial.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dmm::algo::linial {
+
+bool is_prime(std::int64_t x) {
+  if (x < 2) return false;
+  for (std::int64_t d = 2; d * d <= x; ++d) {
+    if (x % d == 0) return false;
+  }
+  return true;
+}
+
+std::int64_t next_prime(std::int64_t x) {
+  while (!is_prime(x)) ++x;
+  return x;
+}
+
+int digit_count(std::int64_t palette, std::int64_t q) {
+  int t = 1;
+  std::int64_t reach = q;
+  while (reach < palette) {
+    reach *= q;
+    ++t;
+  }
+  return t;
+}
+
+std::int64_t poly_eval(std::int64_t label, std::int64_t q, int t, std::int64_t a) {
+  std::int64_t value = 0;
+  std::int64_t power = 1;
+  for (int i = 0; i < t; ++i) {
+    const std::int64_t coeff = label % q;
+    label /= q;
+    value = (value + coeff * power) % q;
+    power = (power * a) % q;
+  }
+  return value;
+}
+
+namespace {
+
+int max_degree_of(const std::vector<std::vector<int>>& adj) {
+  std::size_t d = 0;
+  for (const auto& list : adj) d = std::max(d, list.size());
+  return static_cast<int>(d);
+}
+
+}  // namespace
+
+Reduction reduce(const std::vector<std::vector<int>>& adj, std::vector<std::int64_t> labels,
+                 std::int64_t palette) {
+  Reduction result{std::move(labels), palette, 0};
+  if (result.labels.empty()) return result;
+  const int degree = max_degree_of(adj);
+
+  while (true) {
+    std::int64_t q = next_prime(std::max<std::int64_t>(2, degree + 1));
+    while (q <= static_cast<std::int64_t>(degree) * (digit_count(result.palette, q) - 1)) {
+      q = next_prime(q + 1);
+    }
+    const std::int64_t new_palette = q * q;
+    if (new_palette >= result.palette) break;
+    const int t = digit_count(result.palette, q);
+
+    std::vector<std::int64_t> next(result.labels.size());
+    for (std::size_t v = 0; v < result.labels.size(); ++v) {
+      std::int64_t chosen = -1;
+      for (std::int64_t a = 0; a < q && chosen < 0; ++a) {
+        const std::int64_t mine = poly_eval(result.labels[v], q, t, a);
+        bool clash = false;
+        for (int u : adj[v]) {
+          if (poly_eval(result.labels[static_cast<std::size_t>(u)], q, t, a) == mine) {
+            clash = true;
+            break;
+          }
+        }
+        if (!clash) chosen = a * q + mine;
+      }
+      if (chosen < 0) throw std::logic_error("linial::reduce: no evaluation point (bug)");
+      next[v] = chosen;
+    }
+    result.labels = std::move(next);
+    result.palette = new_palette;
+    ++result.rounds;
+  }
+  return result;
+}
+
+void eliminate_to(const std::vector<std::vector<int>>& adj, Reduction& reduction,
+                  std::int64_t target) {
+  if (reduction.labels.empty()) {
+    reduction.palette = std::min(reduction.palette, std::max<std::int64_t>(target, 1));
+    return;
+  }
+  if (target < max_degree_of(adj) + 1) {
+    throw std::invalid_argument("linial::eliminate_to: target below degree+1");
+  }
+  while (reduction.palette > target) {
+    const std::int64_t top = reduction.palette - 1;
+    for (std::size_t v = 0; v < reduction.labels.size(); ++v) {
+      if (reduction.labels[v] != top) continue;
+      std::vector<char> used(static_cast<std::size_t>(target), 0);
+      for (int u : adj[v]) {
+        const std::int64_t lu = reduction.labels[static_cast<std::size_t>(u)];
+        if (lu < target) used[static_cast<std::size_t>(lu)] = 1;
+      }
+      std::int64_t pick = -1;
+      for (std::int64_t c = 0; c < target && pick < 0; ++c) {
+        if (!used[static_cast<std::size_t>(c)]) pick = c;
+      }
+      if (pick < 0) throw std::logic_error("linial::eliminate_to: no free colour (bug)");
+      reduction.labels[v] = pick;
+    }
+    --reduction.palette;
+    ++reduction.rounds;
+  }
+}
+
+}  // namespace dmm::algo::linial

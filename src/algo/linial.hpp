@@ -1,0 +1,43 @@
+// Shared core of the Linial-style colour reduction, used by both the
+// edge-colour reduction (colour_reduction.cpp) and the (Δ+1)-vertex
+// colouring (vertex_colouring.cpp).
+//
+// One step: encode each label as a polynomial over GF(q) (coefficients =
+// base-q digits) and re-label with (a, p(a)) for an evaluation point a
+// avoiding all neighbours — possible whenever q > D·(t-1).  The palette
+// drops from m to q²; iterating reaches poly(D) in O(log* m) steps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dmm::algo::linial {
+
+bool is_prime(std::int64_t x);
+std::int64_t next_prime(std::int64_t x);
+
+/// Number of base-q digits needed for labels in [0, palette).
+int digit_count(std::int64_t palette, std::int64_t q);
+
+/// Evaluates the polynomial whose coefficients are the base-q digits of
+/// `label`, at point a, over GF(q).
+std::int64_t poly_eval(std::int64_t label, std::int64_t q, int t, std::int64_t a);
+
+struct Reduction {
+  std::vector<std::int64_t> labels;
+  std::int64_t palette = 0;
+  int rounds = 0;
+};
+
+/// Iterates Linial steps on an arbitrary conflict graph (adjacency lists
+/// over label indices) until the palette stops shrinking.  `labels` must
+/// be a proper colouring of the conflict graph.
+Reduction reduce(const std::vector<std::vector<int>>& adj, std::vector<std::int64_t> labels,
+                 std::int64_t palette);
+
+/// Eliminates classes one per round down to `target` (requires target >=
+/// max degree + 1 of the conflict graph).  Extends `reduction` in place.
+void eliminate_to(const std::vector<std::vector<int>>& adj, Reduction& reduction,
+                  std::int64_t target);
+
+}  // namespace dmm::algo::linial

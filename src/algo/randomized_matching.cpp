@@ -1,0 +1,61 @@
+#include "algo/randomized_matching.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace dmm::algo {
+
+RandomizedMatchingResult randomized_matching(const graph::EdgeColouredGraph& g, Rng& rng) {
+  RandomizedMatchingResult result;
+  result.outputs.assign(static_cast<std::size_t>(g.node_count()), local::kUnmatched);
+  const auto& edges = g.edges();
+  std::vector<char> live(edges.size(), 1);
+  int remaining = static_cast<int>(edges.size());
+
+  auto blocked = [&](std::size_t i) {
+    return result.outputs[static_cast<std::size_t>(edges[i].u)] != local::kUnmatched ||
+           result.outputs[static_cast<std::size_t>(edges[i].v)] != local::kUnmatched;
+  };
+
+  while (remaining > 0) {
+    ++result.rounds;
+    // Phase 1: every live edge draws a fresh priority.
+    std::vector<std::uint64_t> priority(edges.size(), 0);
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (live[i]) {
+        priority[i] = static_cast<std::uint64_t>(rng.uniform(0, INT64_MAX));
+      }
+    }
+    // Phase 2: simultaneous decisions — an edge enters iff it is a strict
+    // local minimum among live edges sharing an endpoint.
+    std::vector<std::size_t> winners;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (!live[i]) continue;
+      bool is_min = true;
+      for (std::size_t j = 0; j < edges.size() && is_min; ++j) {
+        if (j == i || !live[j]) continue;
+        const bool adjacent = edges[i].u == edges[j].u || edges[i].u == edges[j].v ||
+                              edges[i].v == edges[j].u || edges[i].v == edges[j].v;
+        if (adjacent && priority[j] <= priority[i]) is_min = false;
+      }
+      if (is_min) winners.push_back(i);
+    }
+    for (std::size_t i : winners) {
+      result.outputs[static_cast<std::size_t>(edges[i].u)] = edges[i].colour;
+      result.outputs[static_cast<std::size_t>(edges[i].v)] = edges[i].colour;
+    }
+    // Phase 3: retire decided edges.
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (live[i] && blocked(i)) {
+        live[i] = 0;
+        --remaining;
+      }
+    }
+    if (result.rounds > 64 * (g.node_count() + 2)) {
+      throw std::runtime_error("randomized_matching: did not converge (bug)");
+    }
+  }
+  return result;
+}
+
+}  // namespace dmm::algo

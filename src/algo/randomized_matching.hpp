@@ -1,0 +1,28 @@
+// Randomized maximal matching — a contrast baseline.
+//
+// The paper's Theorem 2 is about *deterministic* anonymous algorithms.
+// With randomness the k-1 barrier evaporates: Luby-style symmetry breaking
+// (every undecided edge draws a fresh priority each round; local minima
+// enter the matching) finishes in O(log m) rounds with high probability,
+// independently of k.  Running it beside greedy in the benches makes the
+// scope of the lower bound tangible.
+#pragma once
+
+#include <vector>
+
+#include "graph/edge_coloured_graph.hpp"
+#include "local/algorithm.hpp"
+#include "util/rng.hpp"
+
+namespace dmm::algo {
+
+struct RandomizedMatchingResult {
+  std::vector<gk::Colour> outputs;  // paper encoding (§2.4)
+  int rounds = 0;
+};
+
+/// Luby-style randomized maximal matching; faithful synchronous rounds
+/// (all priorities drawn, then all decisions applied).
+RandomizedMatchingResult randomized_matching(const graph::EdgeColouredGraph& g, Rng& rng);
+
+}  // namespace dmm::algo

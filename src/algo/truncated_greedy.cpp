@@ -1,0 +1,35 @@
+#include "algo/truncated_greedy.hpp"
+
+#include "algo/greedy.hpp"
+#include "util/hash.hpp"
+
+namespace dmm::algo {
+
+Colour TruncatedGreedy::evaluate(const colsys::ColourSystem& view) const {
+  const std::vector<Colour> outs = greedy_outputs(view);
+  return outs[static_cast<std::size_t>(colsys::ColourSystem::root())];
+}
+
+Colour ArbitraryLocal::evaluate(const colsys::ColourSystem& view) const {
+  const std::vector<std::uint8_t> canon = view.serialize(r_ + 1);
+  std::uint64_t h = fnv1a(canon);
+  h ^= seed_ + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  const std::vector<Colour> incident = view.colours_at(colsys::ColourSystem::root());
+  if (incident.empty()) return local::kUnmatched;
+  // Bias a configurable fraction of views towards ⊥, the rest spread over
+  // the incident colours.
+  const std::uint64_t bucket = h % 1000;
+  if (static_cast<double>(bucket) < unmatched_bias_ * 1000.0) return local::kUnmatched;
+  return incident[(h / 1000) % incident.size()];
+}
+
+Colour FirstColourLocal::evaluate(const colsys::ColourSystem& view) const {
+  (void)k_;
+  const auto root = colsys::ColourSystem::root();
+  for (Colour c : view.colours_at(root)) {
+    if (c == 1) return 1;
+  }
+  return local::kUnmatched;
+}
+
+}  // namespace dmm::algo

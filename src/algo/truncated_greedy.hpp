@@ -1,0 +1,73 @@
+// Deliberately too-fast algorithms: adversary fodder for Theorem 2.
+//
+// TruncatedGreedy(k, r) runs the greedy process on whatever fits in the
+// radius-(r+1) view and answers for the root.  For r >= k-1 it equals the
+// real greedy algorithm; for r < k-1 it is a well-defined anonymous
+// algorithm that *claims* to beat the lower bound — the paper proves every
+// such algorithm must fail on some instance, and the executable adversary
+// in src/lower finds one.
+//
+// ArbitraryLocal is a deterministic pseudo-random function from canonical
+// views to M1-valid outputs: it models "an arbitrary algorithm" for
+// property tests of the adversary (Theorem 2 quantifies over *all*
+// algorithms, so the adversary must defeat these too).
+#pragma once
+
+#include <cstdint>
+
+#include "local/algorithm.hpp"
+
+namespace dmm::algo {
+
+using gk::Colour;
+
+class TruncatedGreedy final : public local::LocalAlgorithm {
+ public:
+  TruncatedGreedy(int k, int r) : k_(k), r_(r) {}
+  int running_time() const override { return r_; }
+  Colour evaluate(const colsys::ColourSystem& view) const override;
+  std::string name() const override {
+    return "truncated-greedy(k=" + std::to_string(k_) + ",r=" + std::to_string(r_) + ")";
+  }
+
+ private:
+  int k_;
+  int r_;
+};
+
+/// Deterministic pseudo-random M1-respecting algorithm: the output for a
+/// view is drawn from C(view root) + ⊥ by hashing the canonical view
+/// serialisation with the seed.  Same seed => same algorithm.
+class ArbitraryLocal final : public local::LocalAlgorithm {
+ public:
+  ArbitraryLocal(int k, int r, std::uint64_t seed, double unmatched_bias = 0.25)
+      : k_(k), r_(r), seed_(seed), unmatched_bias_(unmatched_bias) {}
+  int running_time() const override { return r_; }
+  Colour evaluate(const colsys::ColourSystem& view) const override;
+  std::string name() const override {
+    return "arbitrary(k=" + std::to_string(k_) + ",r=" + std::to_string(r_) +
+           ",seed=" + std::to_string(seed_) + ")";
+  }
+
+ private:
+  int k_;
+  int r_;
+  std::uint64_t seed_;
+  double unmatched_bias_;
+};
+
+/// "First colour wins": every node with an incident colour-1 edge matches
+/// along it; everyone else answers ⊥.  A 0-round algorithm that is correct
+/// only on very special instances; another adversary target.
+class FirstColourLocal final : public local::LocalAlgorithm {
+ public:
+  explicit FirstColourLocal(int k) : k_(k) {}
+  int running_time() const override { return 0; }
+  Colour evaluate(const colsys::ColourSystem& view) const override;
+  std::string name() const override { return "first-colour(k=" + std::to_string(k_) + ")"; }
+
+ private:
+  int k_;
+};
+
+}  // namespace dmm::algo

@@ -1,0 +1,32 @@
+#include "algo/two_colour.hpp"
+
+#include <stdexcept>
+
+namespace dmm::algo {
+
+TwoColourResult two_colour_matching(const graph::EdgeColouredGraph& g) {
+  if (g.k() > 2) throw std::invalid_argument("two_colour_matching: needs k <= 2");
+  TwoColourResult result;
+  result.outputs.assign(static_cast<std::size_t>(g.node_count()), local::kUnmatched);
+  for (const graph::Edge& e : g.edges()) {
+    if (e.colour != 1) continue;
+    result.outputs[static_cast<std::size_t>(e.u)] = 1;
+    result.outputs[static_cast<std::size_t>(e.v)] = 1;
+  }
+  for (const graph::Edge& e : g.edges()) {
+    if (e.colour != 2) continue;
+    if (result.outputs[static_cast<std::size_t>(e.u)] == local::kUnmatched &&
+        result.outputs[static_cast<std::size_t>(e.v)] == local::kUnmatched) {
+      result.outputs[static_cast<std::size_t>(e.u)] = 2;
+      result.outputs[static_cast<std::size_t>(e.v)] = 2;
+      result.rounds = 1;  // deciding a colour-2 edge needs one exchange
+    } else {
+      // A blocked colour-2 edge also needs the exchange to learn it is
+      // blocked (the unmatched endpoint must hear the partner's fate).
+      result.rounds = 1;
+    }
+  }
+  return result;
+}
+
+}  // namespace dmm::algo

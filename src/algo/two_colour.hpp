@@ -1,0 +1,23 @@
+// Maximal matching in 2-edge-coloured graphs (§1.1, citing Hańćkowiak,
+// Karoński & Panconesi [6]): with k = 2 the greedy algorithm needs a single
+// round, and no algorithm can be faster in general (Lemma 4).
+#pragma once
+
+#include <vector>
+
+#include "graph/edge_coloured_graph.hpp"
+#include "local/algorithm.hpp"
+
+namespace dmm::algo {
+
+struct TwoColourResult {
+  std::vector<gk::Colour> outputs;
+  int rounds = 0;  // 0 if the instance has no colour-2 conflicts, else 1
+};
+
+/// Maximal matching of a properly ≤2-edge-coloured graph: all colour-1
+/// edges enter the matching at once (round 0); colour-2 edges with both
+/// endpoints still free enter after one exchange.
+TwoColourResult two_colour_matching(const graph::EdgeColouredGraph& g);
+
+}  // namespace dmm::algo

@@ -1,0 +1,61 @@
+#include "algo/vertex_colouring.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "algo/linial.hpp"
+
+namespace dmm::algo {
+
+namespace {
+
+std::vector<std::vector<int>> vertex_adjacency(const graph::EdgeColouredGraph& g) {
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(g.node_count()));
+  for (const graph::Edge& e : g.edges()) {
+    adj[static_cast<std::size_t>(e.u)].push_back(e.v);
+    adj[static_cast<std::size_t>(e.v)].push_back(e.u);
+  }
+  return adj;
+}
+
+}  // namespace
+
+VertexColouringResult delta_plus_one_colouring(const graph::EdgeColouredGraph& g,
+                                               const std::vector<std::uint64_t>& ids) {
+  if (static_cast<int>(ids.size()) != g.node_count()) {
+    throw std::invalid_argument("delta_plus_one_colouring: one id per node required");
+  }
+  {
+    std::vector<std::uint64_t> sorted = ids;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      throw std::invalid_argument("delta_plus_one_colouring: ids must be unique");
+    }
+  }
+  const auto adj = vertex_adjacency(g);
+  std::int64_t palette = 1;
+  std::vector<std::int64_t> labels(ids.size());
+  for (std::size_t v = 0; v < ids.size(); ++v) {
+    labels[v] = static_cast<std::int64_t>(ids[v]);
+    palette = std::max(palette, labels[v] + 1);
+  }
+  linial::Reduction reduced = linial::reduce(adj, std::move(labels), palette);
+  const std::int64_t target = static_cast<std::int64_t>(g.max_degree()) + 1;
+  linial::eliminate_to(adj, reduced, target);
+  return VertexColouringResult{std::move(reduced.labels),
+                               std::min(reduced.palette, std::max<std::int64_t>(target, 1)),
+                               reduced.rounds};
+}
+
+bool is_proper_vertex_colouring(const graph::EdgeColouredGraph& g,
+                                const std::vector<std::int64_t>& colours) {
+  if (static_cast<int>(colours.size()) != g.node_count()) return false;
+  for (const graph::Edge& e : g.edges()) {
+    if (colours[static_cast<std::size_t>(e.u)] == colours[static_cast<std::size_t>(e.v)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dmm::algo

@@ -1,0 +1,35 @@
+// (Δ+1)-vertex colouring in O(Δ² + log* n) rounds (§1.1's second bullet,
+// after Barenboim-Elkin [3] / Kuhn [9], in the standard LOCAL model with
+// O(log n)-bit unique identifiers).
+//
+// Identifiers seed a proper colouring of the conflict graph (the graph
+// itself); iterated Linial reduction brings the palette to poly(Δ) in
+// O(log* n) rounds, and one-class-per-round elimination finishes at Δ+1.
+// As with the matching reduction, we implement the fully-specified
+// variant with an O(Δ²)-ish middle palette; the k-independent shape is
+// what §1.1's comparison uses (see DESIGN.md "Substitutions").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_coloured_graph.hpp"
+
+namespace dmm::algo {
+
+struct VertexColouringResult {
+  std::vector<std::int64_t> colours;  // per node, in [0, palette)
+  std::int64_t palette = 0;
+  int rounds = 0;
+};
+
+/// Properly colours g's nodes with at most Δ+1 colours.  `ids` must be
+/// unique per node.
+VertexColouringResult delta_plus_one_colouring(const graph::EdgeColouredGraph& g,
+                                               const std::vector<std::uint64_t>& ids);
+
+/// True iff adjacent nodes received distinct colours.
+bool is_proper_vertex_colouring(const graph::EdgeColouredGraph& g,
+                                const std::vector<std::int64_t>& colours);
+
+}  // namespace dmm::algo

@@ -1,0 +1,49 @@
+// Exhaustive enumeration of 0-round algorithms.
+//
+// A deterministic 0-round algorithm on anonymous edge-coloured graphs is a
+// function of the radius-1 view, i.e. of the set of incident colours.  Up
+// to (M1) there are exactly  Π_{S ⊆ [k]} (|S| + 1)  such algorithms (each
+// view S independently answers ⊥ or one of its colours) — 12 for k = 2,
+// 864 for k = 3.  Enumerating them makes Theorem 2's "for every algorithm"
+// checkable by brute force at small k: the adversary must refute every
+// single one (test_exhaustive.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "local/algorithm.hpp"
+
+namespace dmm::algo {
+
+using gk::Colour;
+
+/// A 0-round algorithm given by a table: incident-colour-set -> output.
+/// Construction enforces (M1): each entry is ⊥ or a member of its set.
+class ZeroRoundTable final : public local::LocalAlgorithm {
+ public:
+  /// table[mask] is the output for the view whose incident colours are the
+  /// set bits of mask (bit c-1 = colour c); there are 2^k entries.
+  ZeroRoundTable(int k, std::vector<Colour> table);
+
+  int running_time() const override { return 0; }
+  Colour evaluate(const colsys::ColourSystem& view) const override;
+  std::string name() const override;
+
+  const std::vector<Colour>& table() const noexcept { return table_; }
+
+ private:
+  int k_;
+  std::vector<Colour> table_;
+};
+
+/// Number of distinct M1-valid 0-round algorithms on palette [k].
+std::uint64_t zero_round_algorithm_count(int k);
+
+/// The index-th algorithm in the canonical (mixed-radix) enumeration;
+/// index in [0, zero_round_algorithm_count(k)).  For each view-mask the
+/// digit 0 means ⊥ and digit i >= 1 means the i-th smallest colour of the
+/// mask.
+ZeroRoundTable make_zero_round_algorithm(int k, std::uint64_t index);
+
+}  // namespace dmm::algo

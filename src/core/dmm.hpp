@@ -1,0 +1,53 @@
+// dmm — Distributed Maximal Matching: Greedy is Optimal.
+//
+// Umbrella header: a faithful, executable reproduction of Hirvonen &
+// Suomela, "Distributed maximal matching: greedy is optimal", PODC 2012.
+//
+//   dmm::gk      — the free Coxeter group G_k (§2.1)
+//   dmm::colsys  — colour systems as rooted edge-coloured trees (§2.2)
+//   dmm::graph   — finite properly edge-coloured instances + generators
+//   dmm::local   — the LOCAL model: views, message passing, §2.3 semantics
+//   dmm::algo    — greedy (Lemma 1) and the §1.1/§1.3 landscape
+//   dmm::verify  — the (M1)(M2)(M3) output conditions (§2.4)
+//   dmm::lower   — templates, pickers, extensions, realisations, critical
+//                  pairs, and the executable adversary of Theorems 2/5
+//   dmm::cover   — universal covers of looped multigraphs (Remark 1)
+#pragma once
+
+#include "algo/bipartite_matching.hpp"
+#include "algo/cole_vishkin.hpp"
+#include "algo/colour_reduction.hpp"
+#include "algo/edge_packing.hpp"
+#include "algo/greedy.hpp"
+#include "algo/randomized_matching.hpp"
+#include "algo/truncated_greedy.hpp"
+#include "algo/two_colour.hpp"
+#include "algo/vertex_colouring.hpp"
+#include "algo/zero_round_table.hpp"
+#include "colsys/colour_system.hpp"
+#include "cover/multigraph.hpp"
+#include "cover/universal_cover.hpp"
+#include "gk/word.hpp"
+#include "io/dot.hpp"
+#include "io/serialize.hpp"
+#include "graph/edge_coloured_graph.hpp"
+#include "graph/generators.hpp"
+#include "local/algorithm.hpp"
+#include "local/ball.hpp"
+#include "local/engine.hpp"
+#include "local/view_engine.hpp"
+#include "lower/adversary.hpp"
+#include "lower/critical_pair.hpp"
+#include "lower/extension.hpp"
+#include "lower/picker.hpp"
+#include "lower/realisation.hpp"
+#include "lower/template.hpp"
+#include "lower/zero_template.hpp"
+#include "nbhd/csp.hpp"
+#include "nbhd/views.hpp"
+#include "pn/adapter.hpp"
+#include "pn/pn_engine.hpp"
+#include "pn/port_network.hpp"
+#include "util/logstar.hpp"
+#include "util/rng.hpp"
+#include "verify/matching.hpp"

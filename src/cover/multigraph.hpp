@@ -1,0 +1,49 @@
+// Edge-coloured multigraphs with self-loops (Remark 1 of §3.3).
+//
+// The paper observes that an extension ext(T, τ, P) is the universal cover
+// of the multigraph obtained from Γ_k(T) by adding a self-loop of colour c
+// at t for each c ∈ P(t).  This module provides such multigraphs and their
+// covers as an independent implementation path for extensions; the test
+// suite checks the two constructions agree node-for-node (experiment E11).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "gk/word.hpp"
+
+namespace dmm::cover {
+
+using gk::Colour;
+using NodeIndex = std::int32_t;
+
+/// A finite connected multigraph with at most one port per (node, colour);
+/// a port either leads to another node or loops back (self-loop).
+class Multigraph {
+ public:
+  Multigraph(int n, int k);
+
+  int node_count() const noexcept { return static_cast<int>(ports_.size()); }
+  int k() const noexcept { return k_; }
+
+  void add_edge(NodeIndex u, NodeIndex v, Colour c);
+  void add_loop(NodeIndex v, Colour c);
+
+  /// The endpoint of v's colour-c port: another node, v itself (loop), or
+  /// nothing.
+  std::optional<NodeIndex> port(NodeIndex v, Colour c) const;
+
+  bool has_loop(NodeIndex v, Colour c) const;
+
+  /// Sorted port colours at v.
+  std::vector<Colour> colours_at(NodeIndex v) const;
+
+ private:
+  void check(NodeIndex v, Colour c) const;
+
+  int k_;
+  // ports_[v][c-1]: -1 absent, v itself for a loop, else the neighbour.
+  std::vector<std::vector<NodeIndex>> ports_;
+};
+
+}  // namespace dmm::cover

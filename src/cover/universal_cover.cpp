@@ -1,0 +1,47 @@
+#include "cover/universal_cover.hpp"
+
+#include <deque>
+
+namespace dmm::cover {
+
+colsys::ColourSystem universal_cover(const Multigraph& g, NodeIndex base, int depth,
+                                     std::vector<NodeIndex>* labels) {
+  colsys::ColourSystem out(g.k(), depth);
+  if (labels) {
+    labels->clear();
+    labels->push_back(base);
+  }
+  struct Item {
+    NodeIndex label;
+    colsys::NodeId lift;
+    Colour arrived;
+    int d;
+  };
+  std::deque<Item> queue{{base, colsys::ColourSystem::root(), gk::kNoColour, 0}};
+  bool truncated = false;
+  while (!queue.empty()) {
+    const Item it = queue.front();
+    queue.pop_front();
+    if (it.d == depth) {
+      truncated = true;
+      continue;
+    }
+    for (Colour c : g.colours_at(it.label)) {
+      if (c == it.arrived) continue;
+      const NodeIndex next = *g.port(it.label, c);
+      const colsys::NodeId lift = out.add_child(it.lift, c);
+      if (labels) labels->push_back(next);
+      queue.push_back({next, lift, c, it.d + 1});
+    }
+  }
+  if (!truncated) {
+    colsys::ColourSystem exact(g.k(), colsys::kExactRadius);
+    for (colsys::NodeId v = 1; v < out.size(); ++v) {
+      exact.add_child(out.parent(v), out.parent_colour(v));
+    }
+    out = std::move(exact);
+  }
+  return out;
+}
+
+}  // namespace dmm::cover

@@ -1,0 +1,22 @@
+// Universal covers of edge-coloured multigraphs (Remark 1, after Angluin).
+//
+// The cover is unfolded breadth-first: a lift over base node t expands one
+// edge per port colour, except back along the colour it arrived by (the
+// walk stays reduced); a self-loop lifts to an honest edge towards a fresh
+// copy, from which the same colour leads back — the colours behave as the
+// involutive generators of G_k, which is exactly why the cover of the
+// looped Γ_k(T) is the extension ext(T, τ, P).
+#pragma once
+
+#include "colsys/colour_system.hpp"
+#include "cover/multigraph.hpp"
+
+namespace dmm::cover {
+
+/// The universal cover of g, truncated to `depth`, rooted over `base`.
+/// Also reports the base-node label of every cover node via `labels`
+/// (cover NodeId -> base NodeIndex) when non-null.
+colsys::ColourSystem universal_cover(const Multigraph& g, NodeIndex base, int depth,
+                                     std::vector<NodeIndex>* labels = nullptr);
+
+}  // namespace dmm::cover

@@ -1,0 +1,120 @@
+#include "gk/word.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/hash.hpp"
+
+namespace dmm::gk {
+
+Word Word::generator(Colour c) {
+  if (c < 1) throw std::invalid_argument("Word::generator: colour must be >= 1");
+  Word w;
+  w.letters_.push_back(c);
+  return w;
+}
+
+Word Word::from_letters(const std::vector<Colour>& letters) {
+  Word w;
+  for (Colour c : letters) {
+    if (c < 1) throw std::invalid_argument("Word::from_letters: colour must be >= 1");
+    if (!w.letters_.empty() && w.letters_.back() == c) {
+      w.letters_.pop_back();  // cc = e
+    } else {
+      w.letters_.push_back(c);
+    }
+  }
+  return w;
+}
+
+Word Word::parse(const std::string& text) {
+  if (text == "e" || text.empty()) return Word{};
+  std::vector<Colour> letters;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t dot = text.find('.', pos);
+    if (dot == std::string::npos) dot = text.size();
+    const int value = std::stoi(text.substr(pos, dot - pos));
+    if (value < 1 || value > 255) throw std::invalid_argument("Word::parse: colour out of range");
+    letters.push_back(static_cast<Colour>(value));
+    pos = dot + 1;
+  }
+  return from_letters(letters);
+}
+
+Colour Word::tail() const {
+  if (letters_.empty()) throw std::logic_error("Word::tail on identity");
+  return letters_.back();
+}
+
+Colour Word::head() const {
+  if (letters_.empty()) throw std::logic_error("Word::head on identity");
+  return letters_.front();
+}
+
+Word Word::pred() const {
+  if (letters_.empty()) throw std::logic_error("Word::pred on identity");
+  Word w = *this;
+  w.letters_.pop_back();
+  return w;
+}
+
+Word Word::inverse() const {
+  Word w = *this;
+  std::reverse(w.letters_.begin(), w.letters_.end());
+  return w;
+}
+
+Word Word::operator*(const Word& rhs) const {
+  // Cancel the seam: the suffix of *this against the prefix of rhs.
+  std::size_t cut = 0;
+  const std::size_t max_cut = std::min(letters_.size(), rhs.letters_.size());
+  while (cut < max_cut && letters_[letters_.size() - 1 - cut] == rhs.letters_[cut]) {
+    ++cut;
+  }
+  Word w;
+  w.letters_.reserve(letters_.size() + rhs.letters_.size() - 2 * cut);
+  w.letters_.insert(w.letters_.end(), letters_.begin(), letters_.end() - static_cast<std::ptrdiff_t>(cut));
+  w.letters_.insert(w.letters_.end(), rhs.letters_.begin() + static_cast<std::ptrdiff_t>(cut), rhs.letters_.end());
+  // Both inputs are reduced and we cancelled greedily at the seam, so the
+  // result is reduced: after removing the cancelling block, the adjoining
+  // letters differ (otherwise the block would have been longer), except when
+  // one side is exhausted, in which case the survivor is a reduced word.
+  return w;
+}
+
+Word Word::operator*(Colour c) const {
+  if (c < 1) throw std::invalid_argument("Word::operator*: colour must be >= 1");
+  Word w = *this;
+  if (!w.letters_.empty() && w.letters_.back() == c) {
+    w.letters_.pop_back();
+  } else {
+    w.letters_.push_back(c);
+  }
+  return w;
+}
+
+std::string Word::str() const {
+  if (letters_.empty()) return "e";
+  std::string out;
+  for (std::size_t i = 0; i < letters_.size(); ++i) {
+    if (i > 0) out += '.';
+    out += std::to_string(static_cast<int>(letters_[i]));
+  }
+  return out;
+}
+
+int distance(const Word& x, const Word& y) {
+  return (x.inverse() * y).norm();
+}
+
+bool norm_additive(const Word& x, const Word& y) {
+  if (x.is_identity() || y.is_identity()) return true;
+  return x.tail() != y.head();
+}
+
+std::size_t WordHash::operator()(const Word& w) const noexcept {
+  return static_cast<std::size_t>(fnv1a(w.letters().data(), w.letters().size()));
+}
+
+}  // namespace dmm::gk

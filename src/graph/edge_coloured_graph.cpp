@@ -1,0 +1,91 @@
+#include "graph/edge_coloured_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dmm::graph {
+
+EdgeColouredGraph::EdgeColouredGraph(int n, int k) : k_(k) {
+  if (n < 0) throw std::invalid_argument("EdgeColouredGraph: negative node count");
+  if (k < 1) throw std::invalid_argument("EdgeColouredGraph: k must be >= 1");
+  adjacency_.resize(static_cast<std::size_t>(n));
+}
+
+void EdgeColouredGraph::check_node(NodeIndex v) const {
+  if (v < 0 || v >= node_count()) throw std::out_of_range("EdgeColouredGraph: bad node index");
+}
+
+void EdgeColouredGraph::add_edge(NodeIndex u, NodeIndex v, Colour colour) {
+  check_node(u);
+  check_node(v);
+  if (u == v) throw std::invalid_argument("EdgeColouredGraph: self-loops not allowed");
+  if (colour < 1 || colour > k_) throw std::invalid_argument("EdgeColouredGraph: colour out of range");
+  for (const Half& h : adjacency_[u]) {
+    if (h.colour == colour) throw std::logic_error("EdgeColouredGraph: colour already used at u");
+    if (h.to == v) throw std::logic_error("EdgeColouredGraph: parallel edge");
+  }
+  for (const Half& h : adjacency_[v]) {
+    if (h.colour == colour) throw std::logic_error("EdgeColouredGraph: colour already used at v");
+  }
+  adjacency_[u].push_back({v, colour});
+  adjacency_[v].push_back({u, colour});
+  edges_.push_back({u, v, colour});
+}
+
+bool EdgeColouredGraph::has_edge(NodeIndex u, NodeIndex v) const {
+  check_node(u);
+  check_node(v);
+  for (const Half& h : adjacency_[u]) {
+    if (h.to == v) return true;
+  }
+  return false;
+}
+
+std::optional<NodeIndex> EdgeColouredGraph::neighbour(NodeIndex v, Colour c) const {
+  check_node(v);
+  for (const Half& h : adjacency_[v]) {
+    if (h.colour == c) return h.to;
+  }
+  return std::nullopt;
+}
+
+std::vector<Colour> EdgeColouredGraph::incident_colours(NodeIndex v) const {
+  check_node(v);
+  std::vector<Colour> out;
+  out.reserve(adjacency_[v].size());
+  for (const Half& h : adjacency_[v]) out.push_back(h.colour);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int EdgeColouredGraph::degree(NodeIndex v) const {
+  check_node(v);
+  return static_cast<int>(adjacency_[v].size());
+}
+
+int EdgeColouredGraph::max_degree() const {
+  int d = 0;
+  for (NodeIndex v = 0; v < node_count(); ++v) d = std::max(d, degree(v));
+  return d;
+}
+
+bool EdgeColouredGraph::is_properly_coloured() const {
+  for (const auto& halves : adjacency_) {
+    std::vector<Colour> colours;
+    for (const Half& h : halves) colours.push_back(h.colour);
+    std::sort(colours.begin(), colours.end());
+    if (std::adjacent_find(colours.begin(), colours.end()) != colours.end()) return false;
+  }
+  return true;
+}
+
+std::string EdgeColouredGraph::str() const {
+  std::string out = "graph n=" + std::to_string(node_count()) + " k=" + std::to_string(k_) + "\n";
+  for (const Edge& e : edges_) {
+    out += "  " + std::to_string(e.u) + " -" + std::to_string(static_cast<int>(e.colour)) + "- " +
+           std::to_string(e.v) + "\n";
+  }
+  return out;
+}
+
+}  // namespace dmm::graph

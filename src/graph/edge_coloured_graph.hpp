@@ -1,0 +1,74 @@
+// Finite, anonymous, properly edge-coloured graphs (the paper's problem
+// instances and network topologies, §1.2).
+//
+// Node indices exist only as simulation handles: no algorithm in this
+// library may branch on them (anonymity).  The initial knowledge of a node
+// is exactly the multiset of colours on its incident edges, as in §2.3.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gk/word.hpp"
+
+namespace dmm::graph {
+
+using gk::Colour;
+using NodeIndex = std::int32_t;
+
+struct Edge {
+  NodeIndex u = 0;
+  NodeIndex v = 0;
+  Colour colour = gk::kNoColour;
+};
+
+class EdgeColouredGraph {
+ public:
+  /// An empty graph on n nodes with palette [k].
+  EdgeColouredGraph(int n, int k);
+
+  int node_count() const noexcept { return static_cast<int>(adjacency_.size()); }
+  int edge_count() const noexcept { return static_cast<int>(edges_.size()); }
+  int k() const noexcept { return k_; }
+
+  /// Adds the edge {u, v} with the given colour.  Throws if the colouring
+  /// would stop being proper at either endpoint, if u == v, or if the edge
+  /// already exists.
+  void add_edge(NodeIndex u, NodeIndex v, Colour colour);
+
+  /// Neighbour of v along colour c, if any.
+  std::optional<NodeIndex> neighbour(NodeIndex v, Colour c) const;
+
+  /// True iff {u, v} is already an edge (of any colour).
+  bool has_edge(NodeIndex u, NodeIndex v) const;
+
+  /// Sorted colours incident to v (the node's entire initial knowledge).
+  std::vector<Colour> incident_colours(NodeIndex v) const;
+
+  int degree(NodeIndex v) const;
+  int max_degree() const;
+
+  const std::vector<Edge>& edges() const noexcept { return edges_; }
+
+  /// Checks that no node has two incident edges of the same colour.  Always
+  /// true for graphs built through add_edge; exposed for generator tests.
+  bool is_properly_coloured() const;
+
+  std::string str() const;
+
+ private:
+  struct Half {
+    NodeIndex to;
+    Colour colour;
+  };
+
+  void check_node(NodeIndex v) const;
+
+  int k_;
+  std::vector<std::vector<Half>> adjacency_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace dmm::graph

@@ -1,0 +1,143 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace dmm::graph {
+
+EdgeColouredGraph path_graph(int k, const std::vector<Colour>& colours) {
+  EdgeColouredGraph g(static_cast<int>(colours.size()) + 1, k);
+  for (std::size_t i = 0; i < colours.size(); ++i) {
+    g.add_edge(static_cast<NodeIndex>(i), static_cast<NodeIndex>(i + 1), colours[i]);
+  }
+  return g;
+}
+
+WorstCase worst_case_chain(int k) {
+  if (k < 2) throw std::invalid_argument("worst_case_chain: k must be >= 2");
+  std::vector<Colour> long_colours, short_colours;
+  for (int c = 1; c <= k; ++c) long_colours.push_back(static_cast<Colour>(c));
+  for (int c = 2; c <= k; ++c) short_colours.push_back(static_cast<Colour>(c));
+  WorstCase out{path_graph(k, long_colours), path_graph(k, short_colours),
+                static_cast<NodeIndex>(k), static_cast<NodeIndex>(k - 1)};
+  return out;
+}
+
+EdgeColouredGraph figure1_graph() {
+  // A k = 4 instance in the spirit of Figure 1: a 12-cycle alternating
+  // colours {1,2} with chords of colours {3,4}, plus an outer layer of
+  // pendant paths, so that every colour class is non-trivial and the greedy
+  // algorithm takes all three rounds.
+  EdgeColouredGraph g(26, 4);
+  // Inner 12-cycle, alternating 1/2.
+  for (int i = 0; i < 12; ++i) {
+    g.add_edge(i, (i + 1) % 12, static_cast<Colour>(i % 2 == 0 ? 1 : 2));
+  }
+  // Chords of colour 3 across the cycle, and colour 4 "spokes" to an outer
+  // ring of pendant nodes 12..23.
+  for (int i = 0; i < 12; i += 4) {
+    g.add_edge(i, i + 2, 3);
+  }
+  for (int i = 0; i < 12; ++i) {
+    g.add_edge(i, 12 + i, 4);
+  }
+  // Two extra tail nodes giving colour-3 edges in the outer layer.
+  g.add_edge(12, 24, 3);
+  g.add_edge(18, 25, 3);
+  return g;
+}
+
+EdgeColouredGraph random_coloured_graph(int n, int k, double density, Rng& rng) {
+  if (density < 0.0 || density > 1.0) {
+    throw std::invalid_argument("random_coloured_graph: density must be in [0,1]");
+  }
+  EdgeColouredGraph g(n, k);
+  std::vector<NodeIndex> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  for (Colour c = 1; c <= k; ++c) {
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    for (int i = 0; i + 1 < n; i += 2) {
+      // Two colour classes may randomly propose the same pair; simple
+      // graphs take it once.
+      if (rng.chance(density) && !g.has_edge(order[static_cast<std::size_t>(i)],
+                                             order[static_cast<std::size_t>(i + 1)])) {
+        g.add_edge(order[static_cast<std::size_t>(i)], order[static_cast<std::size_t>(i + 1)], c);
+      }
+    }
+  }
+  return g;
+}
+
+EdgeColouredGraph hypercube(int dimensions) {
+  if (dimensions < 1 || dimensions > 20) {
+    throw std::invalid_argument("hypercube: dimensions must be in [1,20]");
+  }
+  const int n = 1 << dimensions;
+  EdgeColouredGraph g(n, dimensions);
+  for (int v = 0; v < n; ++v) {
+    for (int dim = 0; dim < dimensions; ++dim) {
+      const int u = v ^ (1 << dim);
+      if (v < u) g.add_edge(v, u, static_cast<Colour>(dim + 1));
+    }
+  }
+  return g;
+}
+
+EdgeColouredGraph complete_bipartite(int d) {
+  if (d < 1) throw std::invalid_argument("complete_bipartite: d must be >= 1");
+  EdgeColouredGraph g(2 * d, d);
+  for (int i = 0; i < d; ++i) {
+    for (int j = 0; j < d; ++j) {
+      g.add_edge(i, d + j, static_cast<Colour>((i + j) % d + 1));
+    }
+  }
+  return g;
+}
+
+EdgeColouredGraph alternating_cycle(int k, int m, Colour c1, Colour c2) {
+  if (m < 2) throw std::invalid_argument("alternating_cycle: need length >= 4");
+  if (c1 == c2) throw std::invalid_argument("alternating_cycle: colours must differ");
+  EdgeColouredGraph g(2 * m, k);
+  for (int i = 0; i < 2 * m; ++i) {
+    g.add_edge(i, (i + 1) % (2 * m), i % 2 == 0 ? c1 : c2);
+  }
+  return g;
+}
+
+EdgeColouredGraph grid_graph(int width, int height, bool wrap) {
+  if (width < 2 || height < 1) throw std::invalid_argument("grid_graph: too small");
+  if (wrap && (width % 2 != 0 || height % 2 != 0 || height < 2)) {
+    throw std::invalid_argument("grid_graph: torus needs even width and height");
+  }
+  EdgeColouredGraph g(width * height, 4);
+  const auto id = [width](int x, int y) { return static_cast<NodeIndex>(y * width + x); };
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      // Horizontal edge to the right: colour 1 when x is even, else 2.
+      if (x + 1 < width) {
+        g.add_edge(id(x, y), id(x + 1, y), static_cast<Colour>(x % 2 == 0 ? 1 : 2));
+      } else if (wrap) {
+        g.add_edge(id(x, y), id(0, y), static_cast<Colour>(x % 2 == 0 ? 1 : 2));
+      }
+      // Vertical edge downwards: colour 3 when y is even, else 4.
+      if (y + 1 < height) {
+        g.add_edge(id(x, y), id(x, y + 1), static_cast<Colour>(y % 2 == 0 ? 3 : 4));
+      } else if (wrap && height > 1) {
+        g.add_edge(id(x, y), id(x, 0), static_cast<Colour>(y % 2 == 0 ? 3 : 4));
+      }
+    }
+  }
+  return g;
+}
+
+EdgeColouredGraph to_graph(const colsys::ColourSystem& system) {
+  EdgeColouredGraph g(system.size(), system.k());
+  for (colsys::NodeId v = 1; v < system.size(); ++v) {
+    g.add_edge(static_cast<NodeIndex>(system.parent(v)), static_cast<NodeIndex>(v),
+               system.parent_colour(v));
+  }
+  return g;
+}
+
+}  // namespace dmm::graph

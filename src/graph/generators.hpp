@@ -1,0 +1,68 @@
+// Instance generators for experiments and tests.
+//
+// Every generator returns a properly edge-coloured graph (checked by
+// construction through EdgeColouredGraph::add_edge).
+#pragma once
+
+#include <vector>
+
+#include "colsys/colour_system.hpp"
+#include "graph/edge_coloured_graph.hpp"
+#include "util/rng.hpp"
+
+namespace dmm::graph {
+
+/// A simple path whose i-th edge carries colours[i].
+EdgeColouredGraph path_graph(int k, const std::vector<Colour>& colours);
+
+/// §1.2's worst case for the greedy algorithm, generalised to any k >= 2.
+///
+/// `long_path` is the path with edge colours 1, 2, ..., k (k+1 nodes); on it
+/// the greedy algorithm matches the odd colour classes, so the far endpoint
+/// `u = k` is matched iff k is odd.  `short_path` is the path with colours
+/// 2, ..., k (k nodes); there greedy matches the even classes, so the far
+/// endpoint `v = k-1` gets the opposite fate.  The radius-(k-2) views of u
+/// and v are identical, hence any algorithm distinguishing them needs at
+/// least k-1 rounds — this is the figure below Lemma 1.
+struct WorstCase {
+  EdgeColouredGraph long_path;   // colours 1..k
+  EdgeColouredGraph short_path;  // colours 2..k
+  NodeIndex u;                   // far endpoint of long_path
+  NodeIndex v;                   // far endpoint of short_path
+};
+WorstCase worst_case_chain(int k);
+
+/// A 26-node graph in the style of the paper's Figure 1 (k = 4): two
+/// interlocking cycles plus pendant edges exercising all four colour
+/// classes.
+EdgeColouredGraph figure1_graph();
+
+/// Random properly k-edge-coloured graph on n nodes: every colour class is
+/// an independent random partial matching; `density` in [0,1] controls how
+/// complete each class is.
+EdgeColouredGraph random_coloured_graph(int n, int k, double density, Rng& rng);
+
+/// The d-dimensional hypercube, edges coloured by dimension (1-based):
+/// d-regular, properly d-edge-coloured; colour class 1 is a perfect
+/// matching (the trivial d = k case of §1.3).
+EdgeColouredGraph hypercube(int dimensions);
+
+/// Complete bipartite K_{d,d} with the canonical d-colouring
+/// colour(L_i, R_j) = ((i + j) mod d) + 1: d-regular, every class perfect.
+EdgeColouredGraph complete_bipartite(int d);
+
+/// An even cycle of length 2m alternating colours c1, c2.
+EdgeColouredGraph alternating_cycle(int k, int m, Colour c1, Colour c2);
+
+/// A width x height grid, 4-edge-coloured: horizontal edges alternate
+/// colours 1/2 with the x parity, vertical edges alternate 3/4 with the y
+/// parity.  With wrap = true (requires even width and height) this is the
+/// 4-regular torus, whose colour class 1 is a perfect matching — another
+/// d = k instance family (§1.3).
+EdgeColouredGraph grid_graph(int width, int height, bool wrap);
+
+/// Converts a finite colour system (or a truncation) into a concrete graph;
+/// node 0 corresponds to the root e.
+EdgeColouredGraph to_graph(const colsys::ColourSystem& system);
+
+}  // namespace dmm::graph

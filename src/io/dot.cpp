@@ -1,0 +1,64 @@
+#include "io/dot.hpp"
+
+namespace dmm::io {
+
+namespace {
+
+const char* pen_colour(gk::Colour c) {
+  static const char* palette[] = {"red",    "blue",   "forestgreen", "orange",
+                                  "purple", "brown",  "deeppink",    "teal",
+                                  "gray40", "olive",  "navy",        "firebrick"};
+  return palette[(c - 1) % 12];
+}
+
+std::string edge_attrs(gk::Colour c) {
+  return std::string(" [label=\"") + std::to_string(static_cast<int>(c)) + "\", color=" +
+         pen_colour(c) + "]";
+}
+
+}  // namespace
+
+std::string to_dot(const graph::EdgeColouredGraph& g, const std::string& name) {
+  std::string out = "graph " + name + " {\n  node [shape=circle, label=\"\"];\n";
+  for (graph::NodeIndex v = 0; v < g.node_count(); ++v) {
+    out += "  n" + std::to_string(v) + ";\n";
+  }
+  for (const graph::Edge& e : g.edges()) {
+    out += "  n" + std::to_string(e.u) + " -- n" + std::to_string(e.v) + edge_attrs(e.colour) +
+           ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string to_dot(const colsys::ColourSystem& system, int max_depth, const std::string& name) {
+  std::string out = "graph " + name + " {\n  node [shape=ellipse];\n";
+  for (colsys::NodeId v : system.nodes_up_to(max_depth)) {
+    out += "  n" + std::to_string(v) + " [label=\"" + system.word_of(v).str() + "\"];\n";
+  }
+  for (colsys::NodeId v : system.nodes_up_to(max_depth)) {
+    if (v == colsys::ColourSystem::root()) continue;
+    out += "  n" + std::to_string(system.parent(v)) + " -- n" + std::to_string(v) +
+           edge_attrs(system.parent_colour(v)) + ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string to_dot(const lower::Template& tmpl, int max_depth, const std::string& name) {
+  const colsys::ColourSystem& tree = tmpl.tree();
+  std::string out = "graph " + name + " {\n  node [shape=record];\n";
+  for (colsys::NodeId v : tree.nodes_up_to(max_depth)) {
+    out += "  n" + std::to_string(v) + " [label=\"" + tree.word_of(v).str() + " | tau=" +
+           std::to_string(static_cast<int>(tmpl.tau(v))) + "\"];\n";
+  }
+  for (colsys::NodeId v : tree.nodes_up_to(max_depth)) {
+    if (v == colsys::ColourSystem::root()) continue;
+    out += "  n" + std::to_string(tree.parent(v)) + " -- n" + std::to_string(v) +
+           edge_attrs(tree.parent_colour(v)) + ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace dmm::io

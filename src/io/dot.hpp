@@ -1,0 +1,28 @@
+// GraphViz DOT export for the structures in this library — handy for
+// inspecting worst-case instances, templates and adversary certificates.
+//
+// Edge colours map to a fixed visual palette (cycled past 12); forbidden
+// colours (τ) are rendered into node labels for templates.
+#pragma once
+
+#include <string>
+
+#include "colsys/colour_system.hpp"
+#include "graph/edge_coloured_graph.hpp"
+#include "lower/template.hpp"
+
+namespace dmm::io {
+
+/// DOT for a finite instance.  Nodes are unlabelled circles (anonymity);
+/// edges carry their colour as both label and pen colour.
+std::string to_dot(const graph::EdgeColouredGraph& g, const std::string& name = "instance");
+
+/// DOT for a colour system truncation (nodes labelled by their words).
+std::string to_dot(const colsys::ColourSystem& system, int max_depth,
+                   const std::string& name = "colour_system");
+
+/// DOT for a template: like the colour system, with "word | tau" labels.
+std::string to_dot(const lower::Template& tmpl, int max_depth,
+                   const std::string& name = "template");
+
+}  // namespace dmm::io

@@ -1,0 +1,205 @@
+#include "io/serialize.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace dmm::io {
+
+namespace {
+
+std::runtime_error parse_error(const std::string& what) {
+  return std::runtime_error("dmm::io parse error: " + what);
+}
+
+/// Reads one whitespace token; throws on EOF.
+std::string token(std::istringstream& in, const char* context) {
+  std::string t;
+  if (!(in >> t)) throw parse_error(std::string("unexpected end of input in ") + context);
+  return t;
+}
+
+int int_token(std::istringstream& in, const char* context) {
+  return std::stoi(token(in, context));
+}
+
+void expect(std::istringstream& in, const char* literal) {
+  const std::string t = token(in, literal);
+  if (t != literal) throw parse_error("expected '" + std::string(literal) + "', got '" + t + "'");
+}
+
+}  // namespace
+
+std::string write_graph(const graph::EdgeColouredGraph& g) {
+  std::ostringstream out;
+  out << "dmm-graph 1\n";
+  out << "n " << g.node_count() << " k " << g.k() << "\n";
+  for (const graph::Edge& e : g.edges()) {
+    out << "e " << e.u << " " << e.v << " " << static_cast<int>(e.colour) << "\n";
+  }
+  return out.str();
+}
+
+graph::EdgeColouredGraph read_graph(const std::string& text) {
+  std::istringstream in(text);
+  expect(in, "dmm-graph");
+  if (int_token(in, "graph version") != 1) throw parse_error("unsupported graph version");
+  expect(in, "n");
+  const int n = int_token(in, "node count");
+  expect(in, "k");
+  const int k = int_token(in, "palette");
+  graph::EdgeColouredGraph g(n, k);
+  std::string tag;
+  while (in >> tag) {
+    if (tag != "e") throw parse_error("expected edge line, got '" + tag + "'");
+    const int u = int_token(in, "edge u");
+    const int v = int_token(in, "edge v");
+    const int c = int_token(in, "edge colour");
+    g.add_edge(u, v, static_cast<gk::Colour>(c));
+  }
+  return g;
+}
+
+std::string write_system(const colsys::ColourSystem& system) {
+  std::ostringstream out;
+  out << "dmm-system 1\n";
+  out << "k " << system.k() << " valid ";
+  if (system.is_exact()) {
+    out << "exact";
+  } else {
+    out << system.valid_radius();
+  }
+  out << "\n";
+  for (colsys::NodeId v = 1; v < system.size(); ++v) {
+    out << "p " << system.parent(v) << " " << static_cast<int>(system.parent_colour(v)) << "\n";
+  }
+  return out.str();
+}
+
+colsys::ColourSystem read_system(const std::string& text) {
+  std::istringstream in(text);
+  expect(in, "dmm-system");
+  if (int_token(in, "system version") != 1) throw parse_error("unsupported system version");
+  expect(in, "k");
+  const int k = int_token(in, "palette");
+  expect(in, "valid");
+  const std::string valid = token(in, "valid radius");
+  colsys::ColourSystem system(k, valid == "exact" ? colsys::kExactRadius : std::stoi(valid));
+  std::string tag;
+  while (in >> tag) {
+    if (tag != "p") throw parse_error("expected node line, got '" + tag + "'");
+    const int parent = int_token(in, "parent");
+    const int colour = int_token(in, "colour");
+    // Nodes are written in id order, so parents always precede children and
+    // add_child reproduces the exact same NodeIds.
+    system.add_child(parent, static_cast<gk::Colour>(colour));
+  }
+  return system;
+}
+
+std::string write_template(const lower::Template& tmpl) {
+  std::ostringstream out;
+  out << "dmm-template 1\n";
+  out << "h " << tmpl.h() << "\n";
+  out << write_system(tmpl.tree());
+  out << "tau";
+  for (colsys::NodeId v = 0; v < tmpl.tree().size(); ++v) {
+    out << " " << static_cast<int>(tmpl.tau(v));
+  }
+  out << "\n";
+  return out.str();
+}
+
+lower::Template read_template(const std::string& text) {
+  const std::size_t tau_pos = text.rfind("tau");
+  if (tau_pos == std::string::npos) throw parse_error("template missing tau line");
+  std::istringstream head(text.substr(0, tau_pos));
+  expect(head, "dmm-template");
+  if (int_token(head, "template version") != 1) throw parse_error("unsupported template version");
+  expect(head, "h");
+  const int h = int_token(head, "regularity");
+  // The rest of the head is the embedded system block.
+  std::string system_block;
+  std::getline(head, system_block, '\0');
+  colsys::ColourSystem tree = read_system(system_block);
+
+  std::istringstream tail(text.substr(tau_pos));
+  expect(tail, "tau");
+  std::vector<gk::Colour> tau;
+  int value = 0;
+  while (tail >> value) tau.push_back(static_cast<gk::Colour>(value));
+  if (static_cast<int>(tau.size()) != tree.size()) throw parse_error("tau length mismatch");
+  return lower::make_template_unchecked(std::move(tree), std::move(tau), h);
+}
+
+namespace {
+
+const char* kind_name(lower::Certificate::Kind kind) {
+  switch (kind) {
+    case lower::Certificate::Kind::M1: return "M1";
+    case lower::Certificate::Kind::M2: return "M2";
+    case lower::Certificate::Kind::M3: return "M3";
+    case lower::Certificate::Kind::L9: return "L9";
+  }
+  return "?";
+}
+
+lower::Certificate::Kind kind_from(const std::string& name) {
+  if (name == "M1") return lower::Certificate::Kind::M1;
+  if (name == "M2") return lower::Certificate::Kind::M2;
+  if (name == "M3") return lower::Certificate::Kind::M3;
+  if (name == "L9") return lower::Certificate::Kind::L9;
+  throw parse_error("unknown certificate kind '" + name + "'");
+}
+
+}  // namespace
+
+std::string write_certificate(const lower::Certificate& cert) {
+  std::ostringstream out;
+  out << "dmm-certificate 1\n";
+  out << "kind " << kind_name(cert.kind) << "\n";
+  out << "node " << cert.node << " other " << cert.other << " colour "
+      << static_cast<int>(cert.colour) << " output " << static_cast<int>(cert.output)
+      << " other_output " << static_cast<int>(cert.other_output) << "\n";
+  out << "detail " << (cert.detail.empty() ? "-" : cert.detail) << "\n";
+  out << write_template(cert.instance);
+  return out.str();
+}
+
+lower::Certificate read_certificate(const std::string& text) {
+  const std::size_t tmpl_pos = text.find("dmm-template");
+  if (tmpl_pos == std::string::npos) throw parse_error("certificate missing template block");
+  std::istringstream head(text.substr(0, tmpl_pos));
+  expect(head, "dmm-certificate");
+  if (int_token(head, "certificate version") != 1) {
+    throw parse_error("unsupported certificate version");
+  }
+  expect(head, "kind");
+  const lower::Certificate::Kind kind = kind_from(token(head, "kind"));
+  expect(head, "node");
+  const int node = int_token(head, "node");
+  expect(head, "other");
+  const int other = int_token(head, "other");
+  expect(head, "colour");
+  const int colour = int_token(head, "colour");
+  expect(head, "output");
+  const int output = int_token(head, "output");
+  expect(head, "other_output");
+  const int other_output = int_token(head, "other output");
+  expect(head, "detail");
+  std::string detail;
+  std::getline(head, detail);
+  if (!detail.empty() && detail.front() == ' ') detail.erase(0, 1);
+  if (detail == "-") detail.clear();
+
+  lower::Template instance = read_template(text.substr(tmpl_pos));
+  return lower::Certificate{kind,
+                            std::move(instance),
+                            node,
+                            other,
+                            static_cast<gk::Colour>(colour),
+                            static_cast<gk::Colour>(output),
+                            static_cast<gk::Colour>(other_output),
+                            std::move(detail)};
+}
+
+}  // namespace dmm::io

@@ -1,0 +1,37 @@
+// Plain-text serialisation for instances, colour systems, templates and
+// adversary certificates — so that counterexamples can be archived,
+// diffed, and re-checked by an independent process.
+//
+// Formats are line-based and versioned:
+//
+//   dmm-graph 1          dmm-system 1            dmm-template 1
+//   n <n> k <k>          k <k> valid <r|exact>   h <h>
+//   e <u> <v> <c>        p <parent> <colour>     <dmm-system block>
+//   ...                  ...  (one per non-root  tau <t0> <t1> ...
+//                        node, in NodeId order)
+//
+// Certificates embed their template plus the violation metadata; reading
+// one back and calling lower::certificate_holds on it re-verifies the
+// refutation from nothing but the file contents.
+#pragma once
+
+#include <string>
+
+#include "graph/edge_coloured_graph.hpp"
+#include "lower/realisation.hpp"
+
+namespace dmm::io {
+
+std::string write_graph(const graph::EdgeColouredGraph& g);
+graph::EdgeColouredGraph read_graph(const std::string& text);
+
+std::string write_system(const colsys::ColourSystem& system);
+colsys::ColourSystem read_system(const std::string& text);
+
+std::string write_template(const lower::Template& tmpl);
+lower::Template read_template(const std::string& text);
+
+std::string write_certificate(const lower::Certificate& cert);
+lower::Certificate read_certificate(const std::string& text);
+
+}  // namespace dmm::io

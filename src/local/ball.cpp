@@ -1,0 +1,37 @@
+#include "local/ball.hpp"
+
+#include <deque>
+
+namespace dmm::local {
+
+colsys::ColourSystem view_ball(const graph::EdgeColouredGraph& g, graph::NodeIndex v, int radius) {
+  // Views are truncations: faithful exactly to `radius` (§2.3).
+  colsys::ColourSystem out(g.k(), radius);
+  struct Item {
+    graph::NodeIndex base;       // node of g this cover node lies over
+    colsys::NodeId lift;         // node in the output tree
+    gk::Colour arrived_by;       // colour of the edge towards the parent
+    int depth;
+  };
+  std::deque<Item> queue{{v, colsys::ColourSystem::root(), gk::kNoColour, 0}};
+  while (!queue.empty()) {
+    const Item it = queue.front();
+    queue.pop_front();
+    if (it.depth == radius) continue;
+    for (gk::Colour c : g.incident_colours(it.base)) {
+      if (c == it.arrived_by) continue;  // reduced walks do not backtrack
+      const auto next = g.neighbour(it.base, c);
+      queue.push_back({*next, out.add_child(it.lift, c), c, it.depth + 1});
+    }
+  }
+  return out;
+}
+
+bool indistinguishable(const graph::EdgeColouredGraph& g, graph::NodeIndex u,
+                       graph::NodeIndex v, int rounds) {
+  const int radius = rounds + 1;
+  return colsys::ColourSystem::equal_to_radius(view_ball(g, u, radius), view_ball(g, v, radius),
+                                               radius);
+}
+
+}  // namespace dmm::local

@@ -1,0 +1,27 @@
+// Views of anonymous nodes (§2.3).
+//
+// After r communication rounds, a node v of an instance V knows precisely
+// (v̄V)[r+1].  For tree instances (colour systems) that is a ball in the
+// tree; for general properly edge-coloured graphs it is a ball in the
+// universal cover: the tree of reduced (non-backtracking) walks leaving v.
+// Both are returned as rooted colour systems, which makes "two nodes are
+// indistinguishable after r rounds" a structural equality check.
+#pragma once
+
+#include "colsys/colour_system.hpp"
+#include "graph/edge_coloured_graph.hpp"
+
+namespace dmm::local {
+
+/// The radius-`radius` view of node v: the ball around v in the universal
+/// cover of g, rooted at (the lift of) v.  For forests this coincides with
+/// the subtree ball around v.
+colsys::ColourSystem view_ball(const graph::EdgeColouredGraph& g, graph::NodeIndex v, int radius);
+
+/// True iff u and v cannot be distinguished by any deterministic anonymous
+/// algorithm within `rounds` rounds, i.e. their radius-(rounds+1) views
+/// coincide.
+bool indistinguishable(const graph::EdgeColouredGraph& g, graph::NodeIndex u,
+                       graph::NodeIndex v, int rounds);
+
+}  // namespace dmm::local

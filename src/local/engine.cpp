@@ -1,0 +1,77 @@
+#include "local/engine.hpp"
+
+#include <stdexcept>
+
+namespace dmm::local {
+
+RunResult run_sync(const graph::EdgeColouredGraph& g, const NodeProgramFactory& factory,
+                   int max_rounds) {
+  const int n = g.node_count();
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.reserve(static_cast<std::size_t>(n));
+  RunResult result;
+  result.outputs.assign(static_cast<std::size_t>(n), kUnmatched);
+  result.halt_round.assign(static_cast<std::size_t>(n), -1);
+
+  std::vector<char> halted(static_cast<std::size_t>(n), 0);
+  int running = n;
+  for (graph::NodeIndex v = 0; v < n; ++v) {
+    programs.push_back(factory());
+    if (programs.back()->init(g.incident_colours(v))) {
+      halted[static_cast<std::size_t>(v)] = 1;
+      result.halt_round[static_cast<std::size_t>(v)] = 0;
+      result.outputs[static_cast<std::size_t>(v)] = programs.back()->output();
+      --running;
+    }
+  }
+
+  for (int round = 1; running > 0; ++round) {
+    if (round > max_rounds) {
+      throw std::runtime_error("run_sync: algorithm did not halt within max_rounds");
+    }
+    // Phase 1: collect outgoing messages.  Halted nodes re-announce their
+    // final output (visible per the paper's output announcement).
+    std::vector<std::map<Colour, Message>> outgoing(static_cast<std::size_t>(n));
+    for (graph::NodeIndex v = 0; v < n; ++v) {
+      if (halted[static_cast<std::size_t>(v)]) continue;
+      outgoing[static_cast<std::size_t>(v)] = programs[static_cast<std::size_t>(v)]->send(round);
+      for (const auto& [colour, message] : outgoing[static_cast<std::size_t>(v)]) {
+        result.max_message_bytes = std::max(result.max_message_bytes, message.size());
+        result.total_message_bytes += message.size();
+        ++result.messages_sent;
+      }
+    }
+    // Phase 2: build every inbox from the state at the *start* of the
+    // round, then deliver.  A node halting in this round must not leak its
+    // decision to same-round receivers — all nodes act simultaneously.
+    std::vector<std::map<Colour, Message>> inboxes(static_cast<std::size_t>(n));
+    for (graph::NodeIndex v = 0; v < n; ++v) {
+      if (halted[static_cast<std::size_t>(v)]) continue;
+      for (Colour c : g.incident_colours(v)) {
+        const graph::NodeIndex u = *g.neighbour(v, c);
+        if (halted[static_cast<std::size_t>(u)]) {
+          inboxes[static_cast<std::size_t>(v)][c] =
+              std::string(1, kHaltedPrefix) +
+              std::to_string(static_cast<int>(result.outputs[static_cast<std::size_t>(u)]));
+        } else {
+          auto it = outgoing[static_cast<std::size_t>(u)].find(c);
+          inboxes[static_cast<std::size_t>(v)][c] =
+              it == outgoing[static_cast<std::size_t>(u)].end() ? Message{} : it->second;
+        }
+      }
+    }
+    for (graph::NodeIndex v = 0; v < n; ++v) {
+      if (halted[static_cast<std::size_t>(v)]) continue;
+      if (programs[static_cast<std::size_t>(v)]->receive(round, inboxes[static_cast<std::size_t>(v)])) {
+        halted[static_cast<std::size_t>(v)] = 1;
+        result.halt_round[static_cast<std::size_t>(v)] = round;
+        result.outputs[static_cast<std::size_t>(v)] = programs[static_cast<std::size_t>(v)]->output();
+        --running;
+      }
+    }
+  }
+  for (int r : result.halt_round) result.rounds = std::max(result.rounds, r);
+  return result;
+}
+
+}  // namespace dmm::local

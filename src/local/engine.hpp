@@ -1,0 +1,76 @@
+// Synchronous message-passing engine for anonymous networks (§1.2).
+//
+// In every round each node, in parallel, (1) sends a message to each
+// neighbour, (2) receives the neighbours' messages, and (3) updates its
+// state.  After any round — including "round 0", before any communication —
+// a node may halt and announce its local output.  Per the paper, an
+// announced output is visible to neighbours; the engine models this by
+// continuing to deliver a halted node's final announcement.
+//
+// The engine measures the running time as the maximum halting round over
+// all nodes, which matches the paper's definition (greedy halts everyone by
+// round k-1).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/edge_coloured_graph.hpp"
+#include "local/algorithm.hpp"
+
+namespace dmm::local {
+
+/// Messages are opaque byte strings; the model allows unbounded messages.
+using Message = std::string;
+
+/// Per-node state machine.  Implementations must be anonymous: the only
+/// instance information ever provided is the list of incident edge colours
+/// and the received messages (keyed by incident colour, which is how an
+/// anonymous node tells its ports apart in an edge-coloured graph).
+class NodeProgram {
+ public:
+  virtual ~NodeProgram() = default;
+
+  /// Called once before round 1 with the node's initial knowledge.  May
+  /// halt immediately (return true) — that is a running time of 0.
+  virtual bool init(const std::vector<Colour>& incident) = 0;
+
+  /// Produces this round's outgoing message per incident colour.  Only
+  /// called while the node is running.
+  virtual std::map<Colour, Message> send(int round) = 0;
+
+  /// Delivers this round's incoming messages (one per incident colour; for
+  /// a halted neighbour this is its final announcement, prefixed by the
+  /// engine with kHaltedPrefix).  Returns true to halt after this round.
+  virtual bool receive(int round, const std::map<Colour, Message>& inbox) = 0;
+
+  /// The local output; valid once halted.
+  virtual Colour output() const = 0;
+};
+
+inline constexpr char kHaltedPrefix = '!';
+
+using NodeProgramFactory = std::function<std::unique_ptr<NodeProgram>()>;
+
+struct RunResult {
+  std::vector<Colour> outputs;    // per node; kUnmatched = ⊥
+  std::vector<int> halt_round;    // per node
+  int rounds = 0;                 // max halting round = running time
+  // Message accounting — the paper notes (after Theorem 2) that the lower
+  // bound allows unbounded messages while greedy needs only constant-size
+  // ones; the engine measures that claim.
+  std::size_t max_message_bytes = 0;
+  std::size_t total_message_bytes = 0;
+  std::size_t messages_sent = 0;
+};
+
+/// Runs one copy of the program on every node until all have halted or
+/// max_rounds is exceeded (which throws — a distributed algorithm that does
+/// not halt is a bug).
+RunResult run_sync(const graph::EdgeColouredGraph& g, const NodeProgramFactory& factory,
+                   int max_rounds);
+
+}  // namespace dmm::local

@@ -1,0 +1,16 @@
+#include "local/view_engine.hpp"
+
+#include "local/ball.hpp"
+
+namespace dmm::local {
+
+std::vector<Colour> run_views(const graph::EdgeColouredGraph& g, const LocalAlgorithm& algo) {
+  const int radius = algo.running_time() + 1;
+  std::vector<Colour> out(static_cast<std::size_t>(g.node_count()), kUnmatched);
+  for (graph::NodeIndex v = 0; v < g.node_count(); ++v) {
+    out[static_cast<std::size_t>(v)] = algo.evaluate(view_ball(g, v, radius));
+  }
+  return out;
+}
+
+}  // namespace dmm::local

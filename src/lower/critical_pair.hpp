@@ -1,0 +1,122 @@
+// Critical pairs (§3.7) and the induction of §3.8–§3.9.
+//
+// An h-critical pair is a pair of h-compatible h-templates (S, σ), (T, τ)
+// with
+//   (C3)  A(T, τ, e) ∉ C(T, e)      — the T-side root is "unmatched" in the
+//                                      tree matching M(T, τ), and
+//   (C4)  A(S, σ, s) ∈ C(S, s) ∀s   — M(S, σ) is a perfect matching.
+//
+// base_case builds a 1-critical pair from the Lemma 10 colours; each
+// inductive_step turns an h-critical pair into an (h+1)-critical pair,
+// following the paper exactly:
+//
+//   1. pick the colour pickers Q (algorithm-guided) and P (copying Q on the
+//      shared prefix),
+//   2. extend to (K, κ) = ext(S, σ, P) and (L, λ) = ext(T, τ, Q),
+//   3. splice X = K₁ ∪ L₁ by pruning K's χ-subtree and grafting L's,
+//   4. find y with A(X, ξ, y) ∉ C(X, y) among the near nodes (Lemma 12's
+//      parity argument guarantees one exists for a correct algorithm), and
+//   5. re-root: (S_{h+1}, T_{h+1}) = (ȳK, ȳX) or (ȳL, ȳX).
+//
+// For an *incorrect* algorithm, some evaluation along the way breaches
+// (M1)/(M2)/(M3)/Lemma 9 on a concrete realisation; the step then returns
+// that Certificate instead — the executable content of Theorem 2's
+// universal quantifier.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "lower/extension.hpp"
+#include "lower/realisation.hpp"
+#include "lower/zero_template.hpp"
+
+namespace dmm::lower {
+
+struct CriticalPair {
+  Template s;  // (S_h, σ_h): the perfectly-matched side
+  Template t;  // (T_h, τ_h): the side whose root is unmatched
+  int level;   // h
+};
+
+/// The construction could not decide within its depth budget.  Cannot
+/// happen for a correct algorithm (the parity argument bounds where y
+/// lives); reported instead of guessing when the algorithm under test is
+/// broken only far from every probed root.
+struct Inconclusive {
+  std::string reason;
+};
+
+using PairOutcome = std::variant<CriticalPair, Certificate, Inconclusive>;
+using StepOutcome = std::variant<CriticalPair, Certificate, Inconclusive>;
+
+/// Optional per-step introspection for examples and tests.
+struct StepTrace {
+  int h = 0;
+  Colour chi = gk::kNoColour;            // χ = A(T_h, τ_h, e)
+  bool y_found = false;                  // false when the step refuted A instead
+  gk::Word y;                            // the Lemma 12 witness
+  Colour y_output = gk::kNoColour;       // A(X, ξ, y)
+  bool y_on_k_side = false;              // y ∈ K₁ (else L₁)
+  int k_size = 0, l_size = 0, x_size = 0;
+  int scanned = 0;                       // nodes probed by the Lemma 12 scan
+};
+
+/// §3.8: builds a 1-critical pair.  May instead surface an (M1) breach on
+/// the tiny base instances.
+std::variant<CriticalPair, Certificate> base_case(int k, const Lemma10Colours& colours,
+                                                  Evaluator& eval);
+
+/// The intermediate objects of one §3.9 step, exposed for tests, examples
+/// and the Lemma 12 analyses: χ, the pickers Q (algorithm-guided, on T_h)
+/// and P (prefix copy, on S_h), the extensions (K, κ) and (L, λ) with
+/// their p-maps, and the spliced (X, ξ).
+struct StepParts {
+  Colour chi = gk::kNoColour;
+  Picker q;  // for (T_h, τ_h)
+  Picker p;  // for (S_h, σ_h)
+  Extension k;
+  Extension l;
+  Template x;
+};
+
+/// Builds the step intermediates at internal depth d_x (without running
+/// the Lemma 12 scan).  Returns a Certificate instead if an evaluation
+/// already refutes the algorithm.
+std::variant<StepParts, Certificate> build_step_parts(const CriticalPair& pair, Evaluator& eval,
+                                                      int d_x);
+
+/// The finite halves of the Lemma 12 partition: the matched near pairs of
+/// M(K, K₁, κ) (that is K₂) and of M(L, L₁, λ) plus χ (that is L₂).  The
+/// proof's parity argument: |K₂| is even, |L₂| is odd, and the witness y
+/// lives in K₂ ∪ L₂.
+struct Lemma12Partition {
+  std::vector<NodeId> k2;  // X-tree node ids
+  std::vector<NodeId> l2;
+};
+Lemma12Partition lemma12_partition(const StepParts& parts, Evaluator& eval, int r);
+
+/// §3.9: one inductive step.  `result_radius` is the valid radius the
+/// produced (h+1)-pair must have.
+///
+/// `scan_norm_cap` bounds the norm of the Lemma 12 scan (and hence the
+/// internal depth D_X = max(result_radius + cap, cap + r + 2)).  The
+/// default -1 means the proof-guaranteed cap r+2; smaller caps are
+/// *optimistic* budgets (the witness empirically sits at norm 1, see
+/// ablation E15b) — if no witness appears within the cap the step returns
+/// Inconclusive and the caller may retry with a larger cap.
+StepOutcome inductive_step(const CriticalPair& pair, Evaluator& eval, int result_radius,
+                           StepTrace* trace = nullptr, int scan_norm_cap = -1);
+
+/// Valid radius the level-h pair needs so that d-h further steps plus the
+/// final checks (radius max(d, r+1)) fit.  r is the algorithm's running
+/// time; scan_norm_cap as in inductive_step.
+int required_radius(int k, int level, int r, int scan_norm_cap = -1);
+
+/// Test helper: checks (C1)-(C3) exactly and (C4) for all nodes of S within
+/// `scan_radius`.  Returns a description of the first failure, if any.
+std::optional<std::string> verify_critical_pair(const CriticalPair& pair, Evaluator& eval,
+                                                int scan_radius);
+
+}  // namespace dmm::lower

@@ -1,0 +1,71 @@
+#include "lower/extension.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+namespace dmm::lower {
+
+Extension extend(const Template& tmpl, const Picker& picker, int depth) {
+  const ColourSystem& T = tmpl.tree();
+  if (!T.is_exact() && T.valid_radius() < depth) {
+    throw std::logic_error("extend: template truncation too shallow for requested depth");
+  }
+  if (picker.choices.size() != static_cast<std::size_t>(T.size())) {
+    throw std::invalid_argument("extend: picker size mismatch");
+  }
+
+  ColourSystem X(T.k(), depth);
+  std::vector<NodeId> p{T.root()};
+  std::vector<Colour> xi{tmpl.tau(T.root())};
+
+  struct Item {
+    NodeId x;        // node in X
+    NodeId label;    // p(x) in T
+    Colour arrived;  // tail(x); kNoColour at the root
+    int d;
+  };
+  std::deque<Item> queue{{ColourSystem::root(), T.root(), gk::kNoColour, 0}};
+  bool truncated = false;
+  while (!queue.empty()) {
+    const Item it = queue.front();
+    queue.pop_front();
+    if (it.d == depth) {
+      truncated = true;
+      continue;
+    }
+    // Children of x: all of C(T, label) ∪ P(label) except the arrival
+    // colour (that edge is the parent).  C-colours move in T, P-colours
+    // stay (self-loop unfold).
+    for (Colour c : T.colours_at(it.label)) {
+      if (c == it.arrived) continue;
+      const NodeId nx = X.add_child(it.x, c);
+      p.push_back(T.neighbour(it.label, c));
+      xi.push_back(tmpl.tau(p.back()));
+      queue.push_back({nx, p.back(), c, it.d + 1});
+    }
+    for (Colour c : picker.at(it.label)) {
+      if (c == it.arrived) continue;
+      const NodeId nx = X.add_child(it.x, c);
+      p.push_back(it.label);
+      xi.push_back(tmpl.tau(it.label));
+      queue.push_back({nx, it.label, c, it.d + 1});
+    }
+  }
+  // If the BFS drained without hitting the depth limit, X is finite and
+  // complete.
+  if (!truncated) {
+    // Rebuild with the exact marker (cheap: reuse the same structure).
+    ColourSystem exact(T.k(), colsys::kExactRadius);
+    for (NodeId v = 1; v < X.size(); ++v) exact.add_child(X.parent(v), X.parent_colour(v));
+    X = std::move(exact);
+  }
+
+  // The regularity of the result: every expanded node has degree
+  // |C(T,t)| + |P(t)|; for an h-template with a b-picker that is h + b.
+  const int b = static_cast<int>(picker.at(T.root()).size());
+  Extension out{make_template_unchecked(std::move(X), std::move(xi), tmpl.h() + b),
+                std::move(p)};
+  return out;
+}
+
+}  // namespace dmm::lower

@@ -1,0 +1,32 @@
+// Extensions (§3.3): given an h-template (T, τ) and a b-colour picker P,
+// the extension ext(T, τ, P) = (X, ξ, p) is the (h+b)-template obtained by
+// the recursive relation ↝ of the paper:
+//
+//   * e ↝ e; c ↝ c for c ∈ C(T, e); c ↝ e for c ∈ P(e);
+//   * if x ↝ t, x ≠ e:  xc ↝ tc for c ∈ C(T, t) − tail(x),
+//                        xc ↝ t  for c ∈ P(t) − tail(x).
+//
+// Operationally (Remark 1): X is the universal cover of Γ_k(T) with a
+// self-loop of colour c at t for every c ∈ P(t).  The construction below
+// unfolds that cover breadth-first: an X-node is expanded knowing only its
+// p-label and the colour of the edge towards its parent, which is exactly
+// why extensions have the symmetry of Lemma 7.
+#pragma once
+
+#include "lower/picker.hpp"
+#include "lower/template.hpp"
+
+namespace dmm::lower {
+
+struct Extension {
+  Template result;            // (X, ξ) with ξ = τ ∘ p
+  std::vector<NodeId> p;      // p : X → T (by NodeId)
+};
+
+/// Builds ext(T, τ, P) truncated to `depth`.  The picker must populate
+/// every T-node up to depth-1 (they are the labels that get expanded).  If
+/// the extension is finite and fully materialised before reaching `depth`,
+/// the result is marked exact.
+Extension extend(const Template& tmpl, const Picker& picker, int depth);
+
+}  // namespace dmm::lower

@@ -1,0 +1,77 @@
+#include "lower/picker.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dmm::lower {
+
+bool is_valid_picker(const Template& tmpl, const Picker& picker, int b, int depth) {
+  if (picker.choices.size() != static_cast<std::size_t>(tmpl.tree().size())) return false;
+  for (NodeId t : tmpl.tree().nodes_up_to(depth)) {
+    const auto& chosen = picker.at(t);
+    if (static_cast<int>(chosen.size()) != b) return false;
+    const std::vector<Colour> free = tmpl.free_colours(t);
+    for (Colour c : chosen) {
+      if (std::find(free.begin(), free.end(), c) == free.end()) return false;
+    }
+    std::vector<Colour> sorted = chosen;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) return false;
+  }
+  return true;
+}
+
+Picker canonical_free_picker(const Template& tmpl, int b) {
+  Picker out;
+  out.choices.resize(static_cast<std::size_t>(tmpl.tree().size()));
+  for (NodeId t = 0; t < tmpl.tree().size(); ++t) {
+    std::vector<Colour> free = tmpl.free_colours(t);
+    if (static_cast<int>(free.size()) < b) {
+      throw std::logic_error("canonical_free_picker: not enough free colours");
+    }
+    free.resize(static_cast<std::size_t>(b));
+    out.choices[static_cast<std::size_t>(t)] = std::move(free);
+  }
+  return out;
+}
+
+Picker full_free_picker(const Template& tmpl) {
+  Picker out;
+  out.choices.resize(static_cast<std::size_t>(tmpl.tree().size()));
+  for (NodeId t = 0; t < tmpl.tree().size(); ++t) {
+    out.choices[static_cast<std::size_t>(t)] = tmpl.free_colours(t);
+  }
+  return out;
+}
+
+Picker union_picker(const Picker& p, const Picker& q) {
+  if (p.choices.size() != q.choices.size()) {
+    throw std::invalid_argument("union_picker: size mismatch");
+  }
+  Picker out;
+  out.choices.resize(p.choices.size());
+  for (std::size_t i = 0; i < p.choices.size(); ++i) {
+    std::vector<Colour> merged = p.choices[i];
+    merged.insert(merged.end(), q.choices[i].begin(), q.choices[i].end());
+    std::sort(merged.begin(), merged.end());
+    if (std::adjacent_find(merged.begin(), merged.end()) != merged.end()) {
+      throw std::invalid_argument("union_picker: pickers not disjoint");
+    }
+    out.choices[i] = std::move(merged);
+  }
+  return out;
+}
+
+bool disjoint_pickers(const Picker& p, const Picker& q) {
+  if (p.choices.size() != q.choices.size()) return false;
+  for (std::size_t i = 0; i < p.choices.size(); ++i) {
+    for (Colour c : p.choices[i]) {
+      if (std::find(q.choices[i].begin(), q.choices[i].end(), c) != q.choices[i].end()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace dmm::lower

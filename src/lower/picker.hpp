@@ -1,0 +1,39 @@
+// Colour pickers (§3.2): a b-colour picker for an h-template (T, τ) chooses
+// b free colours P(t) ⊆ F(T, τ, t) for every node t.
+//
+// Pickers are stored densely, parallel to the template's node array; only
+// entries for nodes that an extension actually expands need to be
+// populated.
+#pragma once
+
+#include <vector>
+
+#include "lower/template.hpp"
+
+namespace dmm::lower {
+
+struct Picker {
+  /// P(t) per node (indexed by NodeId of the template's tree).
+  std::vector<std::vector<Colour>> choices;
+
+  const std::vector<Colour>& at(NodeId t) const { return choices[static_cast<std::size_t>(t)]; }
+};
+
+/// Validates that `picker` is a b-colour picker for `tmpl` on all nodes up
+/// to the given depth: every P(t) has exactly b distinct free colours.
+bool is_valid_picker(const Template& tmpl, const Picker& picker, int b, int depth);
+
+/// The canonical b-colour picker: the smallest b free colours at each node.
+/// Requires b ≤ k - h - 1 (so enough free colours exist).
+Picker canonical_free_picker(const Template& tmpl, int b);
+
+/// The full free picker P(t) = F(T, τ, t) used by realisations (§3.5).
+Picker full_free_picker(const Template& tmpl);
+
+/// Disjoint union R(t) = P(t) ∪ Q(t) of disjoint pickers (Lemma 8 setup).
+Picker union_picker(const Picker& p, const Picker& q);
+
+/// True iff P(t) ∩ Q(t) = ∅ for every node.
+bool disjoint_pickers(const Picker& p, const Picker& q);
+
+}  // namespace dmm::lower

@@ -1,0 +1,121 @@
+#include "lower/realisation.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace dmm::lower {
+
+ColourSystem realisation_ball(const Template& tmpl, NodeId t, int radius) {
+  const ColourSystem& T = tmpl.tree();
+  if (!T.is_exact() && T.depth(t) + radius > T.valid_radius()) {
+    throw std::logic_error("realisation_ball: template truncation too shallow");
+  }
+  // The view is a truncation of the infinite d-regular realisation:
+  // faithful exactly to `radius`.
+  ColourSystem out(T.k(), radius);
+  struct Item {
+    NodeId label;    // p-label in T
+    NodeId lift;     // node in the output ball
+    Colour arrived;  // colour towards the ball parent
+    int d;
+  };
+  std::deque<Item> queue{{t, ColourSystem::root(), gk::kNoColour, 0}};
+  while (!queue.empty()) {
+    const Item it = queue.front();
+    queue.pop_front();
+    if (it.d == radius) continue;
+    const Colour forbidden = tmpl.tau(it.label);
+    for (Colour c = 1; c <= T.k(); ++c) {
+      if (c == forbidden || c == it.arrived) continue;
+      const NodeId tree_next = T.neighbour(it.label, c);
+      const NodeId label_next = tree_next != colsys::kNullNode ? tree_next : it.label;
+      queue.push_back({label_next, out.add_child(it.lift, c), c, it.d + 1});
+    }
+  }
+  return out;
+}
+
+Colour Evaluator::operator()(const Template& tmpl, NodeId t) {
+  const ColourSystem view = realisation_ball(tmpl, t, radius());
+  if (!memoise_) {
+    ++evaluations_;
+    return algorithm_.evaluate(view);
+  }
+  const std::vector<std::uint8_t> canon = view.serialize(radius());
+  std::string key(canon.begin(), canon.end());
+  const auto it = memo_.find(key);
+  if (it != memo_.end()) {
+    ++memo_hits_;
+    return it->second;
+  }
+  ++evaluations_;
+  const Colour out = algorithm_.evaluate(view);
+  memo_.emplace(std::move(key), out);
+  return out;
+}
+
+std::string Certificate::describe() const {
+  const char* names[] = {"M1", "M2", "M3", "Lemma 9 (M3 against a free-copy)"};
+  std::string out = std::string(names[static_cast<int>(kind)]) + " violation";
+  out += " at node " + instance.tree().word_of(node).str();
+  if (other != colsys::kNullNode) {
+    out += " vs " + instance.tree().word_of(other).str();
+  }
+  if (colour != gk::kNoColour) out += ", colour " + std::to_string(static_cast<int>(colour));
+  out += "; output=" + std::to_string(static_cast<int>(output));
+  if (other != colsys::kNullNode || kind == Kind::M2) {
+    out += ", partner output=" + std::to_string(static_cast<int>(other_output));
+  }
+  if (!detail.empty()) out += " — " + detail;
+  return out;
+}
+
+CheckedOutput evaluate_checked(Evaluator& eval, const Template& tmpl, NodeId t) {
+  CheckedOutput result;
+  result.output = eval(tmpl, t);
+  if (result.output == local::kUnmatched) return result;
+  // (M1): in the realisation, t's copy is incident to exactly the colours
+  // [k] − τ(t).
+  if (result.output < 1 || result.output > static_cast<Colour>(tmpl.k()) ||
+      result.output == tmpl.tau(t)) {
+    Certificate cert{Certificate::Kind::M1, tmpl,          t,
+                     colsys::kNullNode,     result.output, result.output,
+                     gk::kNoColour,         ""};
+    cert.detail = "output is not an incident colour of the realisation copy";
+    result.violation = std::move(cert);
+  }
+  return result;
+}
+
+bool certificate_holds(const Certificate& cert, Evaluator& eval) {
+  const Template& tmpl = cert.instance;
+  const Colour out = eval(tmpl, cert.node);
+  if (out != cert.output) return false;  // stored evidence stale
+  switch (cert.kind) {
+    case Certificate::Kind::M1:
+      return out != local::kUnmatched &&
+             (out < 1 || out > static_cast<Colour>(tmpl.k()) || out == tmpl.tau(cert.node));
+    case Certificate::Kind::M2: {
+      if (out != cert.colour) return false;
+      const NodeId partner = tmpl.tree().neighbour(cert.node, cert.colour);
+      if (partner == colsys::kNullNode || partner != cert.other) return false;
+      return eval(tmpl, partner) != out;
+    }
+    case Certificate::Kind::M3: {
+      const NodeId partner = tmpl.tree().neighbour(cert.node, cert.colour);
+      if (partner == colsys::kNullNode || partner != cert.other) return false;
+      return out == local::kUnmatched && eval(tmpl, partner) == local::kUnmatched;
+    }
+    case Certificate::Kind::L9: {
+      // ⊥ at a node with a free colour c: the free-copy neighbour has, by
+      // construction of realisation balls, the *same* view and hence the
+      // same output ⊥ — two adjacent unmatched nodes.
+      if (out != local::kUnmatched) return false;
+      const std::vector<Colour> free = tmpl.free_colours(cert.node);
+      return std::find(free.begin(), free.end(), cert.colour) != free.end();
+    }
+  }
+  return false;
+}
+
+}  // namespace dmm::lower

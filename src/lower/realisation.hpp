@@ -1,0 +1,99 @@
+// Realisations (§3.5) and the algorithm oracle.
+//
+// The realisation real(T, τ) of an h-template is its extension by the full
+// free picker P(t) = F(T, τ, t): a d-regular colour system (d = k-1) in
+// which every node v sits in the equivalence class p⁻¹(p(v)) of nodes with
+// identical views (Corollary 2).  This lets us define A(T, τ, t) := A(V, v)
+// for any representative v.
+//
+// We never materialise the d-regular realisation: the radius-(r+1) view of
+// a representative of t is unfolded lazily.  A ball node is expanded
+// knowing only its p-label t' and its arrival colour — its neighbour
+// colours are exactly [k] − τ(t'), each leading to the label's tree
+// neighbour (C-colour) or to the label itself (free colour).  Corollary 2
+// is thereby built into the data structure: the view genuinely depends only
+// on p-labels.
+//
+// Evaluator memoises A's answers by the canonical view serialisation, and
+// checks (M1) on every answer; any breach is packaged as a Certificate — a
+// finite, re-checkable witness that A is not a correct maximal-matching
+// algorithm (§2.4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "local/algorithm.hpp"
+#include "lower/template.hpp"
+
+namespace dmm::lower {
+
+/// The radius-`radius` view of (a realisation copy of) node t in
+/// real(T, τ), as a rooted colour system.  Requires
+/// depth(t) + radius ≤ valid_radius of the template's tree.
+ColourSystem realisation_ball(const Template& tmpl, NodeId t, int radius);
+
+/// A finite witness that the algorithm under test violates one of the
+/// §2.4 properties on a concrete d-regular instance (the realisation of
+/// `instance` — for a d-template, the instance itself).
+struct Certificate {
+  enum class Kind {
+    M1,       // output not an incident colour of the realisation copy, nor ⊥
+    M2,       // node claims colour c but its c-neighbour disagrees
+    M3,       // two adjacent nodes both unmatched
+    L9,       // Lemma 9: ⊥ at a node with a free colour (an M3 violation
+              //   against its identically-viewed free-copy neighbour)
+  };
+  Kind kind;
+  Template instance;
+  NodeId node;                     // offending node (template coordinates)
+  NodeId other = colsys::kNullNode;  // tree partner for M2/M3
+  Colour colour = gk::kNoColour;   // colour involved
+  Colour output = gk::kNoColour;   // A's output at `node`
+  Colour other_output = gk::kNoColour;
+  std::string detail;
+
+  std::string describe() const;
+};
+
+class Evaluator {
+ public:
+  /// `memoise = false` disables the canonical-view cache (ablation E15);
+  /// results are identical, only the evaluation count and time change.
+  explicit Evaluator(const local::LocalAlgorithm& algorithm, bool memoise = true)
+      : algorithm_(algorithm), memoise_(memoise) {}
+
+  /// A(T, τ, t): evaluates the algorithm on the realisation view of t.
+  Colour operator()(const Template& tmpl, NodeId t);
+
+  const local::LocalAlgorithm& algorithm() const noexcept { return algorithm_; }
+  int radius() const { return algorithm_.running_time() + 1; }
+
+  std::uint64_t evaluations() const noexcept { return evaluations_; }
+  std::uint64_t memo_hits() const noexcept { return memo_hits_; }
+
+ private:
+  const local::LocalAlgorithm& algorithm_;
+  bool memoise_ = true;
+  std::unordered_map<std::string, Colour> memo_;
+  std::uint64_t evaluations_ = 0;
+  std::uint64_t memo_hits_ = 0;
+};
+
+/// Evaluates A(T, τ, t) and checks (M1): the output must be ⊥ or a colour
+/// in [k] − τ(t) (the incident colours of the realisation copy).  Returns
+/// the output, or a Certificate if (M1) fails.
+struct CheckedOutput {
+  Colour output = gk::kNoColour;
+  std::optional<Certificate> violation;
+};
+CheckedOutput evaluate_checked(Evaluator& eval, const Template& tmpl, NodeId t);
+
+/// Recomputes the outputs stored in a certificate from scratch and confirms
+/// the violation still holds — certificates are self-contained evidence.
+bool certificate_holds(const Certificate& cert, Evaluator& eval);
+
+}  // namespace dmm::lower

@@ -1,0 +1,66 @@
+// Templates (§3.2): an h-template is a pair (T, τ) where T is an h-regular
+// colour system and τ assigns each node a forbidden colour τ(t) ∉ C(T, t).
+//
+// Templates are compact schematic representations of problem instances: the
+// realisation (§3.5) blows each node up into an equivalence class of nodes
+// of a d-regular colour system.  This class couples the tree with τ and
+// transports τ through all the tree surgeries of the construction
+// (restriction, re-rooting, pruning, grafting).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "colsys/colour_system.hpp"
+
+namespace dmm::lower {
+
+using colsys::ColourSystem;
+using colsys::NodeId;
+using gk::Colour;
+
+class Template {
+ public:
+  /// Wraps a tree and a parallel forbidden-colour assignment.  Validates
+  /// τ(t) ∉ C(T, t) and h-regularity on the faithful region.
+  Template(ColourSystem tree, std::vector<Colour> tau, int h);
+
+  const ColourSystem& tree() const noexcept { return tree_; }
+  int h() const noexcept { return h_; }
+  int k() const noexcept { return tree_.k(); }
+  int valid_radius() const noexcept { return tree_.valid_radius(); }
+
+  Colour tau(NodeId t) const { return tau_[static_cast<std::size_t>(t)]; }
+
+  /// F(T, τ, t) = [k] \ (C(T, t) + τ(t)) — the free colours (§3.2).
+  std::vector<Colour> free_colours(NodeId t) const;
+
+  /// [k] \ τ(t): the colours adjacent to (any realisation copy of) t.
+  std::vector<Colour> open_colours(NodeId t) const;
+
+  /// Template for T[h'] (restriction of both tree and τ).
+  Template restricted(int new_h, int radius) const;
+
+  /// (ȳT, ȳτ): re-roots at y, transporting τ (Lemma 3 / §3.9 step).
+  Template rerooted(NodeId y) const;
+
+  std::string str(int max_depth = 4) const;
+
+ private:
+  friend Template make_template_unchecked(ColourSystem, std::vector<Colour>, int);
+  struct Unchecked {};
+  Template(ColourSystem tree, std::vector<Colour> tau, int h, Unchecked);
+
+  ColourSystem tree_;
+  std::vector<Colour> tau_;
+  int h_;
+};
+
+/// Constructs without the O(n·k) validity sweep; for module-internal use on
+/// results that are correct by construction (extensions, re-rootings).
+Template make_template_unchecked(ColourSystem tree, std::vector<Colour> tau, int h);
+
+/// (C1) + (C2) of §3.7: S[h] = T[h] and σ[h-1] = τ[h-1].
+bool compatible(const Template& s, const Template& t, int h);
+
+}  // namespace dmm::lower

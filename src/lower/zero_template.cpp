@@ -1,0 +1,80 @@
+#include "lower/zero_template.hpp"
+
+#include <stdexcept>
+
+namespace dmm::lower {
+
+Template zero_template(int k, Colour c) {
+  if (c < 1 || static_cast<int>(c) > k) {
+    throw std::invalid_argument("zero_template: colour out of range");
+  }
+  ColourSystem z(k, colsys::kExactRadius);
+  return Template(std::move(z), {c}, /*h=*/0);
+}
+
+namespace {
+
+/// h(c) = A(Z, ĉ, e) with (M1) and Lemma 9 enforcement.
+std::variant<Colour, Certificate> lemma9_output(int k, Evaluator& eval, Colour c) {
+  const Template z = zero_template(k, c);
+  CheckedOutput out = evaluate_checked(eval, z, ColourSystem::root());
+  if (out.violation) return std::move(*out.violation);
+  if (out.output == local::kUnmatched) {
+    // Lemma 9: a 0-template with k ≥ 2 has free colours, so ⊥ here means
+    // two identically-viewed adjacent nodes both answer ⊥.
+    Certificate cert{Certificate::Kind::L9, z, ColourSystem::root(), colsys::kNullNode,
+                     z.free_colours(ColourSystem::root()).front(), local::kUnmatched,
+                     local::kUnmatched, "Lemma 9 fails on a zero-template realisation"};
+    return cert;
+  }
+  return out.output;
+}
+
+}  // namespace
+
+std::variant<Lemma10Colours, Certificate> choose_lemma10_colours(int k, Evaluator& eval) {
+  if (k < 3) throw std::invalid_argument("choose_lemma10_colours: needs k >= 3");
+  auto h = [&](Colour c) { return lemma9_output(k, eval, c); };
+
+  const auto h1 = h(1);
+  if (std::holds_alternative<Certificate>(h1)) return std::get<Certificate>(h1);
+  const Colour h_1 = std::get<Colour>(h1);
+
+  const auto hh1 = h(h_1);
+  if (std::holds_alternative<Certificate>(hh1)) return std::get<Certificate>(hh1);
+  const Colour h_h_1 = std::get<Colour>(hh1);
+
+  Lemma10Colours out{};
+  if (h_h_1 != 1) {
+    out.c1 = h_1;
+    out.c2 = h_h_1;
+    out.c3 = 1;
+  } else {
+    // h(h(1)) = 1: pick any c ∉ {1, h(1)} (exists since k ≥ 3).
+    Colour c = 1;
+    while (c == 1 || c == h_1) ++c;
+    const auto hc = h(c);
+    if (std::holds_alternative<Certificate>(hc)) return std::get<Certificate>(hc);
+    const Colour h_c = std::get<Colour>(hc);
+    if (h_c == h_1) {
+      out.c1 = h_1;
+      out.c2 = 1;
+      out.c3 = c;
+    } else {
+      out.c1 = 1;
+      out.c2 = h_1;
+      out.c3 = c;
+    }
+  }
+  const auto hc3 = h(out.c3);
+  if (std::holds_alternative<Certificate>(hc3)) return std::get<Certificate>(hc3);
+  out.c4 = std::get<Colour>(hc3);
+
+  // Sanity: the Lemma 10 guarantees.
+  if (out.c1 == out.c2 || out.c2 == out.c3 || out.c1 == out.c3 || out.c4 == out.c2) {
+    throw std::logic_error("choose_lemma10_colours: case analysis broken (bug)");
+  }
+  return out;
+}
+
+}  // namespace dmm::lower

@@ -1,0 +1,29 @@
+// Zero-templates and Lemma 10 (§3.6).
+//
+// (Z, ĉ) is the 0-template on the single node e with forbidden colour c.
+// Writing h(c) = A(Z, ĉ, e), Lemma 9 and (M1) force h : [k] → [k] to be
+// fixed-point free, and Lemma 10 extracts distinct colours c1, c2, c3 with
+// A(Z, ĉ1, e) = c2 and A(Z, ĉ3, e) ≠ c2 — the seed asymmetry the whole
+// lower-bound construction grows from.
+#pragma once
+
+#include <optional>
+#include <variant>
+
+#include "lower/realisation.hpp"
+
+namespace dmm::lower {
+
+/// The 0-template (Z, ĉ).
+Template zero_template(int k, Colour c);
+
+struct Lemma10Colours {
+  Colour c1, c2, c3, c4;  // c4 = A(Z, ĉ3, e) ≠ c2
+};
+
+/// Runs the Lemma 10 case analysis against the algorithm behind `eval`.
+/// Requires k ≥ 3.  Returns the colours, or a Certificate if the algorithm
+/// already errs on a zero-template realisation.
+std::variant<Lemma10Colours, Certificate> choose_lemma10_colours(int k, Evaluator& eval);
+
+}  // namespace dmm::lower

@@ -1,0 +1,184 @@
+#include "nbhd/csp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dmm::nbhd {
+
+namespace {
+
+struct Problem {
+  const ViewCatalogue& catalogue;
+  std::vector<std::vector<Colour>> domains;           // per view
+  std::vector<std::vector<CompatiblePair>> incident;  // pairs touching each view
+};
+
+bool consistent(const CompatiblePair& pair, Colour out_a, Colour out_b) {
+  // (M2): matched along the shared edge iff both say so.
+  if ((out_a == pair.colour) != (out_b == pair.colour)) return false;
+  // (M3): not both unmatched.
+  if (out_a == gk::kNoColour && out_b == gk::kNoColour) return false;
+  return true;
+}
+
+/// One backtracking level: the chosen variable, which of its domain values
+/// have been tried, and the domain prunes to undo on the way back.
+struct Frame {
+  int variable = -1;
+  std::size_t next_value = 0;
+  std::vector<std::pair<int, std::vector<Colour>>> saved;
+};
+
+/// Iterative backtracking with MRV + forward checking (the catalogue can
+/// have tens of thousands of variables, far past safe recursion depth).
+bool search(Problem& problem, std::vector<Colour>& assignment, std::vector<char>& assigned,
+            std::uint64_t& explored) {
+  const int n = problem.catalogue.size();
+  auto pick_variable = [&]() {
+    int best = -1;
+    std::size_t best_size = SIZE_MAX;
+    for (int v = 0; v < n; ++v) {
+      if (!assigned[static_cast<std::size_t>(v)] &&
+          problem.domains[static_cast<std::size_t>(v)].size() < best_size) {
+        best = v;
+        best_size = problem.domains[static_cast<std::size_t>(v)].size();
+      }
+    }
+    return best;
+  };
+  auto undo = [&](Frame& frame) {
+    for (auto& [other, dom] : frame.saved) {
+      problem.domains[static_cast<std::size_t>(other)] = std::move(dom);
+    }
+    frame.saved.clear();
+    assigned[static_cast<std::size_t>(frame.variable)] = 0;
+  };
+
+  std::vector<Frame> stack;
+  stack.push_back({pick_variable(), 0, {}});
+  if (stack.back().variable < 0) return true;  // no variables at all
+
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const int var = frame.variable;
+    const std::vector<Colour>& domain = problem.domains[static_cast<std::size_t>(var)];
+    if (frame.next_value >= domain.size()) {
+      stack.pop_back();
+      if (!stack.empty()) undo(stack.back());
+      continue;
+    }
+    const Colour value = domain[frame.next_value++];
+    ++explored;
+    assignment[static_cast<std::size_t>(var)] = value;
+    assigned[static_cast<std::size_t>(var)] = 1;
+
+    bool dead = false;
+    for (const CompatiblePair& pair : problem.incident[static_cast<std::size_t>(var)]) {
+      const int other = pair.a == var ? pair.b : pair.a;
+      if (other == var) {
+        if (!consistent(pair, value, value)) dead = true;
+        continue;
+      }
+      if (assigned[static_cast<std::size_t>(other)]) {
+        const Colour other_value = assignment[static_cast<std::size_t>(other)];
+        const bool ok = pair.a == var ? consistent(pair, value, other_value)
+                                      : consistent(pair, other_value, value);
+        if (!ok) dead = true;
+        continue;
+      }
+      std::vector<Colour>& dom = problem.domains[static_cast<std::size_t>(other)];
+      std::vector<Colour> kept;
+      bool shrank = false;
+      for (Colour candidate : dom) {
+        const bool ok = pair.a == var ? consistent(pair, value, candidate)
+                                      : consistent(pair, candidate, value);
+        if (ok) {
+          kept.push_back(candidate);
+        } else {
+          shrank = true;
+        }
+      }
+      if (shrank) {
+        frame.saved.emplace_back(other, std::move(dom));
+        dom = std::move(kept);
+        if (dom.empty()) dead = true;
+      }
+      if (dead) break;
+    }
+    if (dead) {
+      // Roll back this value's prunes; the frame then tries its next value.
+      undo(frame);
+      continue;
+    }
+    const int next = pick_variable();
+    if (next < 0) return true;  // complete assignment
+    stack.push_back({next, 0, {}});
+  }
+  return false;
+}
+
+}  // namespace
+
+CspResult solve(const ViewCatalogue& catalogue) {
+  Problem problem{catalogue, {}, {}};
+  problem.domains.resize(static_cast<std::size_t>(catalogue.size()));
+  for (int v = 0; v < catalogue.size(); ++v) {
+    // (M1) domain: ⊥ plus the root's incident colours.
+    problem.domains[static_cast<std::size_t>(v)].push_back(gk::kNoColour);
+    for (Colour c : catalogue.views[static_cast<std::size_t>(v)].colours_at(
+             colsys::ColourSystem::root())) {
+      problem.domains[static_cast<std::size_t>(v)].push_back(c);
+    }
+  }
+  problem.incident.resize(static_cast<std::size_t>(catalogue.size()));
+  for (const CompatiblePair& pair : compatible_pairs(catalogue)) {
+    problem.incident[static_cast<std::size_t>(pair.a)].push_back(pair);
+    if (pair.b != pair.a) problem.incident[static_cast<std::size_t>(pair.b)].push_back(pair);
+  }
+
+  CspResult result;
+  std::vector<Colour> assignment(static_cast<std::size_t>(catalogue.size()), gk::kNoColour);
+  std::vector<char> assigned(static_cast<std::size_t>(catalogue.size()), 0);
+  result.satisfiable = search(problem, assignment, assigned, result.nodes_explored);
+  if (result.satisfiable) result.labelling = std::move(assignment);
+  return result;
+}
+
+std::vector<Colour> induced_labelling(const ViewCatalogue& catalogue,
+                                      const local::LocalAlgorithm& algorithm) {
+  if (algorithm.running_time() + 1 != catalogue.rho) {
+    throw std::invalid_argument("induced_labelling: algorithm radius does not match catalogue");
+  }
+  std::vector<Colour> out;
+  out.reserve(static_cast<std::size_t>(catalogue.size()));
+  for (const colsys::ColourSystem& view : catalogue.views) {
+    out.push_back(algorithm.evaluate(view));
+  }
+  return out;
+}
+
+std::optional<CompatiblePair> check_labelling(const ViewCatalogue& catalogue,
+                                              const std::vector<Colour>& labelling) {
+  if (labelling.size() != static_cast<std::size_t>(catalogue.size())) {
+    throw std::invalid_argument("check_labelling: size mismatch");
+  }
+  // (M1).
+  for (int v = 0; v < catalogue.size(); ++v) {
+    const Colour out = labelling[static_cast<std::size_t>(v)];
+    if (out == gk::kNoColour) continue;
+    const auto incident =
+        catalogue.views[static_cast<std::size_t>(v)].colours_at(colsys::ColourSystem::root());
+    if (std::find(incident.begin(), incident.end(), out) == incident.end()) {
+      return CompatiblePair{v, v, out};
+    }
+  }
+  for (const CompatiblePair& pair : compatible_pairs(catalogue)) {
+    if (!consistent(pair, labelling[static_cast<std::size_t>(pair.a)],
+                    labelling[static_cast<std::size_t>(pair.b)])) {
+      return pair;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace dmm::nbhd

@@ -1,0 +1,48 @@
+// Existence of r-round algorithms as a constraint-satisfaction problem
+// (Linial's technique, Remark 2) — the second, independent proof engine of
+// this library.
+//
+// A deterministic r-round algorithm on d-regular k-colour systems is an
+// assignment out : views(ρ = r+1) → {⊥} ∪ C(view) such that for every
+// compatible pair (A, B, c):
+//
+//   (M2)  out(A) = c  ⇔  out(B) = c,
+//   (M3)  not (out(A) = ⊥ and out(B) = ⊥).
+//
+// If no assignment exists, *no* r-round algorithm exists — a universal
+// statement obtained by exhaustive search rather than the §3 adversary.
+// The two engines cross-validate: the CSP is UNSAT exactly for r < k-1
+// (checked for the parameters small enough to enumerate), and the greedy
+// algorithm's own labelling is a solution at r = k-1.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "local/algorithm.hpp"
+#include "nbhd/views.hpp"
+
+namespace dmm::nbhd {
+
+struct CspResult {
+  bool satisfiable = false;
+  /// One solution when satisfiable: out[view id] (⊥ = kNoColour).
+  std::vector<Colour> labelling;
+  std::uint64_t nodes_explored = 0;
+};
+
+/// Decides whether a valid labelling of the catalogue exists (backtracking
+/// with forward checking; domains have at most d+1 values).
+CspResult solve(const ViewCatalogue& catalogue);
+
+/// The labelling induced by a concrete algorithm (evaluating it on every
+/// view).  The algorithm's running time must be rho-1.
+std::vector<Colour> induced_labelling(const ViewCatalogue& catalogue,
+                                      const local::LocalAlgorithm& algorithm);
+
+/// Checks a labelling against (M1)+(M2)+(M3); returns the first violated
+/// pair, if any.
+std::optional<CompatiblePair> check_labelling(const ViewCatalogue& catalogue,
+                                              const std::vector<Colour>& labelling);
+
+}  // namespace dmm::nbhd

@@ -1,0 +1,178 @@
+#include "nbhd/views.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace dmm::nbhd {
+
+namespace {
+
+/// All size-`count` subsets of [k] that contain `forced` (or any subsets
+/// if forced == kNoColour).
+void subsets(int k, int count, Colour forced, std::vector<std::vector<Colour>>& out) {
+  std::vector<Colour> pool;
+  for (Colour c = 1; c <= k; ++c) {
+    if (c != forced) pool.push_back(c);
+  }
+  const int pick = forced == gk::kNoColour ? count : count - 1;
+  if (pick < 0 || pick > static_cast<int>(pool.size())) return;
+  std::vector<int> idx(static_cast<std::size_t>(pick));
+  // Standard combination enumeration.
+  for (int i = 0; i < pick; ++i) idx[static_cast<std::size_t>(i)] = i;
+  while (true) {
+    std::vector<Colour> chosen;
+    if (forced != gk::kNoColour) chosen.push_back(forced);
+    for (int i : idx) chosen.push_back(pool[static_cast<std::size_t>(i)]);
+    std::sort(chosen.begin(), chosen.end());
+    out.push_back(std::move(chosen));
+    // Advance.
+    int i = pick - 1;
+    while (i >= 0 && idx[static_cast<std::size_t>(i)] ==
+                         static_cast<int>(pool.size()) - pick + i) {
+      --i;
+    }
+    if (i < 0) break;
+    ++idx[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < pick; ++j) {
+      idx[static_cast<std::size_t>(j)] = idx[static_cast<std::size_t>(j - 1)] + 1;
+    }
+  }
+}
+
+/// Recursively grows every completion of the partial view below `node`.
+void expand(std::vector<ColourSystem>& frontier, int k, int d, int rho, int max_views) {
+  // Work queue of (tree, node to expand) is implicit: we expand trees
+  // breadth-first by depth level.
+  for (int depth = 0; depth < rho; ++depth) {
+    std::vector<ColourSystem> next;
+    for (const ColourSystem& tree : frontier) {
+      // Nodes at this depth, each picks its child colour set; the cross
+      // product of choices per node.
+      std::vector<colsys::NodeId> level;
+      for (colsys::NodeId v : tree.nodes_up_to(depth)) {
+        if (tree.depth(v) == depth) level.push_back(v);
+      }
+      // Choices per node: subsets of child colours.
+      std::vector<std::vector<std::vector<Colour>>> options(level.size());
+      for (std::size_t i = 0; i < level.size(); ++i) {
+        const Colour parent_colour = tree.parent_colour(level[i]);
+        std::vector<std::vector<Colour>> sets;
+        if (depth == 0) {
+          subsets(k, d, gk::kNoColour, sets);
+        } else {
+          // d-1 children: any (d-1)-subset of [k] - parent colour.
+          std::vector<std::vector<Colour>> with;
+          subsets(k, d, parent_colour, with);
+          for (auto& s : with) {
+            s.erase(std::remove(s.begin(), s.end(), parent_colour), s.end());
+            sets.push_back(std::move(s));
+          }
+        }
+        options[i] = std::move(sets);
+      }
+      // Cross product.
+      std::vector<std::size_t> pick(level.size(), 0);
+      while (true) {
+        ColourSystem grown = tree;
+        for (std::size_t i = 0; i < level.size(); ++i) {
+          for (Colour c : options[i][pick[i]]) grown.add_child(level[i], c);
+        }
+        next.push_back(std::move(grown));
+        if (static_cast<int>(next.size()) > max_views) {
+          throw std::runtime_error("enumerate_views: catalogue exceeds max_views");
+        }
+        // Advance the mixed-radix counter.
+        std::size_t i = 0;
+        while (i < level.size() && ++pick[i] == options[i].size()) {
+          pick[i] = 0;
+          ++i;
+        }
+        if (i == level.size()) break;
+      }
+    }
+    frontier = std::move(next);
+  }
+}
+
+}  // namespace
+
+ViewCatalogue enumerate_views(int k, int d, int rho, int max_views) {
+  if (d < 1 || d > k) throw std::invalid_argument("enumerate_views: need 1 <= d <= k");
+  if (rho < 1) throw std::invalid_argument("enumerate_views: need rho >= 1");
+  ViewCatalogue catalogue;
+  catalogue.k = k;
+  catalogue.d = d;
+  catalogue.rho = rho;
+
+  std::vector<ColourSystem> frontier{ColourSystem(k, colsys::kExactRadius)};
+  expand(frontier, k, d, rho, max_views);
+
+  // Canonical dedup (choice order is canonical already, but be safe).
+  std::set<std::vector<std::uint8_t>> seen;
+  for (ColourSystem& view : frontier) {
+    if (seen.insert(view.serialize(rho)).second) {
+      catalogue.views.push_back(std::move(view));
+    }
+  }
+  return catalogue;
+}
+
+bool c_compatible(const ColourSystem& a, const ColourSystem& b, Colour c, int rho) {
+  const colsys::NodeId ac = a.child(ColourSystem::root(), c);
+  const colsys::NodeId bc = b.child(ColourSystem::root(), c);
+  if (ac == colsys::kNullNode || bc == colsys::kNullNode) return false;
+  // A's half across c, to depth rho-1: re-root at the c-child and drop the
+  // branch leading back (colour c from the new root).
+  const ColourSystem a_across = a.rerooted(ac).pruned(c).restricted(rho - 1);
+  const ColourSystem b_remainder = b.pruned(c).restricted(rho - 1);
+  if (!ColourSystem::equal_to_radius(a_across, b_remainder, rho - 1)) return false;
+  const ColourSystem b_across = b.rerooted(bc).pruned(c).restricted(rho - 1);
+  const ColourSystem a_remainder = a.pruned(c).restricted(rho - 1);
+  return ColourSystem::equal_to_radius(b_across, a_remainder, rho - 1);
+}
+
+std::vector<CompatiblePair> compatible_pairs(const ViewCatalogue& catalogue) {
+  // Hash the two "halves" of every (view, colour): (A, B, c) is compatible
+  // iff across(A, c) == remainder(B, c) and across(B, c) == remainder(A, c),
+  // so bucketing by remainder keys turns the quadratic scan into lookups.
+  const int rho = catalogue.rho;
+  struct Halves {
+    std::vector<std::uint8_t> across;     // behind the c-edge, depth rho-1
+    std::vector<std::uint8_t> remainder;  // view minus its c-branch, depth rho-1
+    bool has_colour = false;
+  };
+  std::vector<std::vector<Halves>> halves(static_cast<std::size_t>(catalogue.size()));
+  std::map<std::pair<Colour, std::vector<std::uint8_t>>, std::vector<int>> by_remainder;
+  for (int a = 0; a < catalogue.size(); ++a) {
+    auto& mine = halves[static_cast<std::size_t>(a)];
+    mine.resize(static_cast<std::size_t>(catalogue.k) + 1);
+    const ColourSystem& view = catalogue.views[static_cast<std::size_t>(a)];
+    for (Colour c = 1; c <= catalogue.k; ++c) {
+      const colsys::NodeId child = view.child(ColourSystem::root(), c);
+      if (child == colsys::kNullNode) continue;
+      Halves& h = mine[c];
+      h.has_colour = true;
+      h.across = view.rerooted(child).pruned(c).restricted(rho - 1).serialize(rho - 1);
+      h.remainder = view.pruned(c).restricted(rho - 1).serialize(rho - 1);
+      by_remainder[{c, h.remainder}].push_back(a);
+    }
+  }
+  std::vector<CompatiblePair> out;
+  for (int a = 0; a < catalogue.size(); ++a) {
+    for (Colour c = 1; c <= catalogue.k; ++c) {
+      const Halves& ha = halves[static_cast<std::size_t>(a)][c];
+      if (!ha.has_colour) continue;
+      const auto it = by_remainder.find({c, ha.across});
+      if (it == by_remainder.end()) continue;
+      for (int b : it->second) {
+        if (b < a) continue;  // emit each unordered pair once
+        const Halves& hb = halves[static_cast<std::size_t>(b)][c];
+        if (hb.across == ha.remainder) out.push_back({a, b, c});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dmm::nbhd

@@ -1,0 +1,56 @@
+// Neighbourhood graphs (Remark 2, after Linial [14]).
+//
+// For radius ρ and d-regular k-colour systems, the ρ-views form a finite
+// set: complete depth-ρ d-regular coloured trees.  Two views A, B are
+// c-compatible if some instance contains a c-edge {u, v} with
+// ball_ρ(u) = A and ball_ρ(v) = B; for trees this is a local condition —
+// A's subtree across its c-edge, cut to depth ρ-1, must equal B without
+// its own c-branch, cut to depth ρ-1, and vice versa.
+//
+// An r-round algorithm is exactly an (M1)-respecting labelling of the
+// (r+1)-view catalogue; (M2)/(M3) become constraints along compatible
+// pairs.  csp.hpp turns non-existence of such labellings into a search —
+// Linial's proof technique, executable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "colsys/colour_system.hpp"
+
+namespace dmm::nbhd {
+
+using colsys::ColourSystem;
+using gk::Colour;
+
+struct ViewCatalogue {
+  int k = 0;
+  int d = 0;
+  int rho = 0;
+  /// All complete depth-ρ views, canonically deduplicated; index = view id.
+  std::vector<ColourSystem> views;
+
+  int size() const noexcept { return static_cast<int>(views.size()); }
+};
+
+/// Enumerates every radius-ρ view arising in d-regular k-colour systems.
+/// Throws if the catalogue would exceed `max_views` (guards the
+/// exponential blow-up).
+ViewCatalogue enumerate_views(int k, int d, int rho, int max_views = 2'000'000);
+
+/// True iff views A and B can sit at the two ends of a colour-c edge of
+/// some d-regular instance.
+bool c_compatible(const ColourSystem& a, const ColourSystem& b, Colour c, int rho);
+
+struct CompatiblePair {
+  int a = 0;  // view ids
+  int b = 0;
+  Colour colour = gk::kNoColour;
+};
+
+/// All compatible (a, b, c) triples with a <= b.
+std::vector<CompatiblePair> compatible_pairs(const ViewCatalogue& catalogue);
+
+}  // namespace dmm::nbhd

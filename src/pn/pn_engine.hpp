@@ -1,0 +1,65 @@
+// Synchronous engine for the port-numbering model, plus the broadcast
+// variant of [2] (§1.4: the paper's lower bound covers both).
+//
+// A PN program initially knows only its degree; it exchanges messages per
+// port.  In the broadcast variant, a node must send the *same* message on
+// all ports (enforced by the engine); the edge-coloured greedy algorithm
+// is naturally a broadcast algorithm — its messages carry only the node's
+// matched/free status.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pn/port_network.hpp"
+
+namespace dmm::pn {
+
+using Message = std::string;
+
+/// Local output in the PN model: the matched port, or 0 for unmatched.
+using PnOutput = Port;
+inline constexpr PnOutput kPnUnmatched = 0;
+
+class PnProgram {
+ public:
+  virtual ~PnProgram() = default;
+  /// Initial knowledge is the degree only.  Return true to halt.
+  virtual bool init(int degree) = 0;
+  /// One message per port (1..degree).
+  virtual std::map<Port, Message> send(int round) = 0;
+  virtual bool receive(int round, const std::map<Port, Message>& inbox) = 0;
+  virtual PnOutput output() const = 0;
+};
+
+using PnProgramFactory = std::function<std::unique_ptr<PnProgram>()>;
+
+struct PnRunResult {
+  std::vector<PnOutput> outputs;
+  std::vector<int> halt_round;
+  int rounds = 0;
+  /// True iff in every round every node had the same state footprint
+  /// (same messages sent, same halting status) — the symmetry invariant
+  /// of transitive PN networks such as symmetric_cycle.
+  bool uniform_throughout = true;
+};
+
+/// Runs the PN engine.  If `broadcast` is true, throws if any node tries
+/// to send different messages on different ports.
+PnRunResult run_pn(const PortNetwork& net, const PnProgramFactory& factory, int max_rounds,
+                   bool broadcast = false);
+
+/// Checks the §2.4 conditions translated to ports: matched ports pair up
+/// consistently and no edge has two unmatched endpoints.
+bool pn_matching_valid(const PortNetwork& net, const std::vector<PnOutput>& outputs);
+
+/// The §1.4 demonstration: on the symmetric cycle, any deterministic PN
+/// algorithm produces uniform outputs, and uniform outputs are never a
+/// valid maximal matching (all-⊥ is not maximal; "everyone matches port p"
+/// is inconsistent).  Returns true iff the algorithm indeed failed there.
+bool pn_symmetry_defeats(const PnProgramFactory& factory, int cycle_size, int max_rounds);
+
+}  // namespace dmm::pn

@@ -1,0 +1,81 @@
+#include "pn/port_network.hpp"
+
+#include <stdexcept>
+
+namespace dmm::pn {
+
+PortNetwork::PortNetwork(int n) {
+  if (n < 0) throw std::invalid_argument("PortNetwork: negative size");
+  links_.resize(static_cast<std::size_t>(n));
+}
+
+int PortNetwork::degree(NodeIndex v) const {
+  if (v < 0 || v >= node_count()) throw std::out_of_range("PortNetwork: bad node");
+  return static_cast<int>(links_[static_cast<std::size_t>(v)].size());
+}
+
+void PortNetwork::connect(NodeIndex u, Port p, NodeIndex v, Port q) {
+  if (u < 0 || u >= node_count() || v < 0 || v >= node_count()) {
+    throw std::out_of_range("PortNetwork: bad node");
+  }
+  if (p < 1 || q < 1) throw std::invalid_argument("PortNetwork: ports are 1-based");
+  auto& lu = links_[static_cast<std::size_t>(u)];
+  auto& lv = links_[static_cast<std::size_t>(v)];
+  if (static_cast<std::size_t>(p) <= lu.size() && lu[static_cast<std::size_t>(p - 1)].port != 0) {
+    throw std::logic_error("PortNetwork: port already used at u");
+  }
+  if (static_cast<std::size_t>(q) <= lv.size() && lv[static_cast<std::size_t>(q - 1)].port != 0) {
+    throw std::logic_error("PortNetwork: port already used at v");
+  }
+  if (lu.size() < static_cast<std::size_t>(p)) lu.resize(static_cast<std::size_t>(p), End{-1, 0});
+  if (lv.size() < static_cast<std::size_t>(q)) lv.resize(static_cast<std::size_t>(q), End{-1, 0});
+  lu[static_cast<std::size_t>(p - 1)] = End{v, q};
+  lv[static_cast<std::size_t>(q - 1)] = End{u, p};
+}
+
+PortNetwork::End PortNetwork::endpoint(NodeIndex v, Port p) const {
+  if (v < 0 || v >= node_count()) throw std::out_of_range("PortNetwork: bad node");
+  const auto& lv = links_[static_cast<std::size_t>(v)];
+  if (p < 1 || static_cast<std::size_t>(p) > lv.size() || lv[static_cast<std::size_t>(p - 1)].port == 0) {
+    throw std::invalid_argument("PortNetwork: no such port");
+  }
+  return lv[static_cast<std::size_t>(p - 1)];
+}
+
+bool PortNetwork::is_valid() const {
+  for (const auto& ports : links_) {
+    for (const End& e : ports) {
+      if (e.port == 0) return false;  // gap in the numbering
+    }
+  }
+  return true;
+}
+
+PortNetwork PortNetwork::from_coloured(const graph::EdgeColouredGraph& g) {
+  PortNetwork out(g.node_count());
+  // Port of an edge at a node = rank of its colour among the node's
+  // incident colours (incident_colours is sorted).
+  auto port_of = [&](NodeIndex v, gk::Colour c) -> Port {
+    const auto colours = g.incident_colours(v);
+    for (std::size_t i = 0; i < colours.size(); ++i) {
+      if (colours[i] == c) return static_cast<Port>(i + 1);
+    }
+    throw std::logic_error("PortNetwork::from_coloured: colour not incident");
+  };
+  for (const graph::Edge& e : g.edges()) {
+    out.connect(e.u, port_of(e.u, e.colour), e.v, port_of(e.v, e.colour));
+  }
+  return out;
+}
+
+PortNetwork PortNetwork::symmetric_cycle(int n) {
+  if (n < 3) throw std::invalid_argument("PortNetwork::symmetric_cycle: need n >= 3");
+  PortNetwork out(n);
+  for (NodeIndex v = 0; v < n; ++v) {
+    // Port 1 at v = clockwise edge to v+1; the same edge is port 2 at v+1.
+    out.connect(v, 1, (v + 1) % n, 2);
+  }
+  return out;
+}
+
+}  // namespace dmm::pn

@@ -1,0 +1,60 @@
+// The port-numbering (PN) model (§1.4, after Angluin [1] and
+// Yamashita-Kameda [17, 18]).
+//
+// A PN network gives each node a private numbering 1..deg(v) of its
+// incident edges; there are no identifiers and no edge colours.  The
+// paper's lower bound covers this model (an edge-coloured algorithm is at
+// least as strong, since a proper edge colouring induces a valid port
+// numbering at both endpoints); this module makes the model concrete and
+// demonstrates the classical symmetry facts the paper leans on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_coloured_graph.hpp"
+
+namespace dmm::pn {
+
+using Port = int;  // 1-based; 0 = "no port" sentinel
+using NodeIndex = graph::NodeIndex;
+
+class PortNetwork {
+ public:
+  explicit PortNetwork(int n);
+
+  int node_count() const noexcept { return static_cast<int>(links_.size()); }
+  int degree(NodeIndex v) const;
+
+  /// Connects port p of u with port q of v.  Ports must be fresh; the
+  /// numbering at each node must end up contiguous 1..deg (validated by
+  /// finalise()).
+  void connect(NodeIndex u, Port p, NodeIndex v, Port q);
+
+  /// Endpoint of (v, port): the neighbour and the port under which the
+  /// neighbour sees this edge.
+  struct End {
+    NodeIndex node;
+    Port port;
+  };
+  End endpoint(NodeIndex v, Port p) const;
+
+  /// Checks contiguity of all port numberings.
+  bool is_valid() const;
+
+  /// The PN network induced by a properly edge-coloured graph: at every
+  /// node, ports are assigned in increasing colour order (the standard
+  /// reduction showing the edge-coloured model is at least as strong).
+  static PortNetwork from_coloured(const graph::EdgeColouredGraph& g);
+
+  /// The directed n-cycle with consistent ports: port 1 = clockwise
+  /// successor, port 2 = predecessor.  The canonical fully symmetric
+  /// instance: all nodes have identical views at every radius.
+  static PortNetwork symmetric_cycle(int n);
+
+ private:
+  // links_[v][p-1] = (neighbour, their port).
+  std::vector<std::vector<End>> links_;
+};
+
+}  // namespace dmm::pn

@@ -1,0 +1,29 @@
+#include "util/logstar.hpp"
+
+#include <bit>
+
+namespace dmm {
+
+int floor_log2(std::uint64_t x) noexcept {
+  if (x == 0) return 0;
+  return 63 - std::countl_zero(x);
+}
+
+int ceil_log2(std::uint64_t x) noexcept {
+  if (x <= 1) return 0;
+  return floor_log2(x - 1) + 1;
+}
+
+int log_star(std::uint64_t x) noexcept {
+  int iterations = 0;
+  while (x > 1) {
+    // ceil(log2) dominates real log2, giving the standard values
+    // log*(2)=1, log*(4)=2, log*(16)=3, log*(65536)=4; the paper's
+    // asymptotic statements are insensitive to the rounding convention.
+    x = static_cast<std::uint64_t>(ceil_log2(x));
+    ++iterations;
+  }
+  return iterations;
+}
+
+}  // namespace dmm

@@ -1,0 +1,22 @@
+// Iterated logarithm and related small numeric helpers.
+//
+// The paper's Section 1.3 bounds are stated in terms of log* k — the number
+// of times log2 must be applied to k before the value drops to at most 1.
+#pragma once
+
+#include <cstdint>
+
+namespace dmm {
+
+/// log*(x): number of applications of log2 needed to bring x to <= 1.
+/// log_star(1) == 0, log_star(2) == 1, log_star(4) == 2, log_star(16) == 3,
+/// log_star(65536) == 4.  Defined as 0 for x <= 1.
+int log_star(std::uint64_t x) noexcept;
+
+/// floor(log2(x)) for x >= 1.
+int floor_log2(std::uint64_t x) noexcept;
+
+/// ceil(log2(x)) for x >= 1.
+int ceil_log2(std::uint64_t x) noexcept;
+
+}  // namespace dmm

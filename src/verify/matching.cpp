@@ -1,0 +1,90 @@
+#include "verify/matching.hpp"
+
+#include <algorithm>
+
+namespace dmm::verify {
+
+std::string Violation::describe() const {
+  const char* names[] = {"M1", "M2", "M3"};
+  std::string out = names[static_cast<int>(kind)];
+  out += " violation at node " + std::to_string(node);
+  if (other >= 0) out += " (other node " + std::to_string(other) + ")";
+  if (colour != gk::kNoColour) out += " colour " + std::to_string(static_cast<int>(colour));
+  return out;
+}
+
+bool MatchingReport::has(Violation::Kind kind) const noexcept {
+  return std::any_of(violations.begin(), violations.end(),
+                     [kind](const Violation& v) { return v.kind == kind; });
+}
+
+std::string MatchingReport::describe() const {
+  if (ok()) return "valid maximal matching";
+  std::string out;
+  for (const Violation& v : violations) out += v.describe() + "\n";
+  return out;
+}
+
+MatchingReport check_outputs(const graph::EdgeColouredGraph& g,
+                             const std::vector<Colour>& outputs) {
+  MatchingReport report;
+  if (static_cast<int>(outputs.size()) != g.node_count()) {
+    report.violations.push_back({Violation::Kind::M1, -1, -1, gk::kNoColour});
+    return report;
+  }
+  for (graph::NodeIndex v = 0; v < g.node_count(); ++v) {
+    const Colour out = outputs[static_cast<std::size_t>(v)];
+    if (out == local::kUnmatched) continue;
+    const auto partner = g.neighbour(v, out);
+    if (!partner) {
+      report.violations.push_back({Violation::Kind::M1, v, -1, out});
+      continue;
+    }
+    if (outputs[static_cast<std::size_t>(*partner)] != out) {
+      report.violations.push_back({Violation::Kind::M2, v, *partner, out});
+    }
+  }
+  for (const graph::Edge& e : g.edges()) {
+    if (outputs[static_cast<std::size_t>(e.u)] == local::kUnmatched &&
+        outputs[static_cast<std::size_t>(e.v)] == local::kUnmatched) {
+      report.violations.push_back({Violation::Kind::M3, e.u, e.v, e.colour});
+    }
+  }
+  return report;
+}
+
+std::vector<graph::Edge> matched_edges(const graph::EdgeColouredGraph& g,
+                                       const std::vector<Colour>& outputs) {
+  std::vector<graph::Edge> out;
+  for (const graph::Edge& e : g.edges()) {
+    if (outputs[static_cast<std::size_t>(e.u)] == e.colour &&
+        outputs[static_cast<std::size_t>(e.v)] == e.colour) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+bool is_matching(const graph::EdgeColouredGraph& g, const std::vector<graph::Edge>& edges) {
+  std::vector<char> used(static_cast<std::size_t>(g.node_count()), 0);
+  for (const graph::Edge& e : edges) {
+    if (used[static_cast<std::size_t>(e.u)] || used[static_cast<std::size_t>(e.v)]) return false;
+    used[static_cast<std::size_t>(e.u)] = used[static_cast<std::size_t>(e.v)] = 1;
+  }
+  return true;
+}
+
+bool is_maximal_matching(const graph::EdgeColouredGraph& g,
+                         const std::vector<graph::Edge>& edges) {
+  if (!is_matching(g, edges)) return false;
+  std::vector<char> used(static_cast<std::size_t>(g.node_count()), 0);
+  for (const graph::Edge& e : edges) {
+    used[static_cast<std::size_t>(e.u)] = used[static_cast<std::size_t>(e.v)] = 1;
+  }
+  for (const graph::Edge& e : g.edges()) {
+    if (!used[static_cast<std::size_t>(e.u)] && !used[static_cast<std::size_t>(e.v)]) return false;
+  }
+  return true;
+}
+
+}  // namespace dmm::verify

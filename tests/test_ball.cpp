@@ -1,0 +1,84 @@
+// Views (§2.3): universal-cover balls and indistinguishability.
+#include "local/ball.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace dmm::local {
+namespace {
+
+using colsys::ColourSystem;
+
+TEST(ViewBall, TreeInstanceBallsMatchSubtreeBalls) {
+  const ColourSystem s = colsys::cayley_ball(3, 4);
+  const graph::EdgeColouredGraph g = graph::to_graph(s);
+  // Node ids of to_graph coincide with colour-system node ids.
+  for (colsys::NodeId v : s.nodes_up_to(2)) {
+    const ColourSystem from_graph = view_ball(g, static_cast<graph::NodeIndex>(v), 2);
+    const ColourSystem from_tree = s.ball(v, 2);
+    EXPECT_TRUE(ColourSystem::equal_to_radius(from_graph, from_tree, 2));
+  }
+}
+
+TEST(ViewBall, CycleUnrollsIntoPath) {
+  // The universal cover of an alternating cycle is an alternating path: the
+  // radius-r view of any node is a path of length 2r.
+  const graph::EdgeColouredGraph g = graph::alternating_cycle(2, 4, 1, 2);
+  const ColourSystem ball = view_ball(g, 0, 3);
+  EXPECT_EQ(ball.size(), 7);  // root + 3 on each side
+  // Every view node has degree <= 2.
+  for (colsys::NodeId v = 0; v < ball.size(); ++v) {
+    EXPECT_LE(ball.degree(v), 2);
+  }
+}
+
+TEST(ViewBall, CoverBallCanExceedGraphSize) {
+  // On a short even cycle, deep views keep unrolling past the graph size —
+  // the defining feature of anonymous views.
+  const graph::EdgeColouredGraph g = graph::alternating_cycle(2, 2, 1, 2);  // 4 nodes
+  const ColourSystem ball = view_ball(g, 0, 6);
+  EXPECT_EQ(ball.size(), 13);  // a path of 13 >= 4 nodes
+}
+
+TEST(Indistinguishable, CycleNodesWithSameColourPattern) {
+  const graph::EdgeColouredGraph g = graph::alternating_cycle(2, 4, 1, 2);
+  // All even positions look alike at any radius; odd positions too.
+  EXPECT_TRUE(indistinguishable(g, 0, 2, 5));
+  EXPECT_TRUE(indistinguishable(g, 1, 3, 5));
+}
+
+TEST(Indistinguishable, WorstCaseChainEndpoints) {
+  // §1.2: the far endpoints u, v of the two chains are indistinguishable
+  // for k-2 rounds but distinguishable with one more.
+  for (int k = 2; k <= 7; ++k) {
+    const graph::WorstCase wc = graph::worst_case_chain(k);
+    // Merge the two instances into one graph to compare views directly.
+    graph::EdgeColouredGraph merged(wc.long_path.node_count() + wc.short_path.node_count(), k);
+    for (const auto& e : wc.long_path.edges()) merged.add_edge(e.u, e.v, e.colour);
+    const graph::NodeIndex offset = wc.long_path.node_count();
+    for (const auto& e : wc.short_path.edges()) {
+      merged.add_edge(e.u + offset, e.v + offset, e.colour);
+    }
+    const graph::NodeIndex u = wc.u;
+    const graph::NodeIndex v = wc.v + offset;
+    EXPECT_TRUE(indistinguishable(merged, u, v, k - 2)) << "k=" << k;
+    EXPECT_FALSE(indistinguishable(merged, u, v, k - 1)) << "k=" << k;
+  }
+}
+
+TEST(ViewBall, RadiusZeroIsSingleton) {
+  const graph::EdgeColouredGraph g = graph::figure1_graph();
+  EXPECT_EQ(view_ball(g, 0, 0).size(), 1);
+}
+
+TEST(ViewBall, RadiusOneEncodesIncidentColours) {
+  const graph::EdgeColouredGraph g = graph::figure1_graph();
+  for (graph::NodeIndex v = 0; v < g.node_count(); ++v) {
+    const ColourSystem ball = view_ball(g, v, 1);
+    EXPECT_EQ(ball.colours_at(ColourSystem::root()), g.incident_colours(v));
+  }
+}
+
+}  // namespace
+}  // namespace dmm::local

@@ -1,0 +1,105 @@
+// The bipartite proposal algorithm (§1.1, [6]): maximality, the O(Δ)
+// round bound, and input validation.
+#include "algo/bipartite_matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "verify/matching.hpp"
+
+namespace dmm::algo {
+namespace {
+
+std::vector<bool> side_split(int n_left, int total) {
+  std::vector<bool> white(static_cast<std::size_t>(total), false);
+  for (int i = 0; i < n_left; ++i) white[static_cast<std::size_t>(i)] = true;
+  return white;
+}
+
+TEST(BipartiteProposal, SingleEdge) {
+  graph::EdgeColouredGraph g(2, 1);
+  g.add_edge(0, 1, 1);
+  const BipartiteMatchingResult r = bipartite_proposal_matching(g, {true, false});
+  EXPECT_EQ(r.outputs[0], 1);
+  EXPECT_EQ(r.outputs[1], 1);
+  EXPECT_EQ(r.rounds, 2);
+}
+
+TEST(BipartiteProposal, CompleteBipartiteIsPerfectlyMatched) {
+  for (int d = 1; d <= 6; ++d) {
+    const graph::EdgeColouredGraph g = graph::complete_bipartite(d);
+    const BipartiteMatchingResult r =
+        bipartite_proposal_matching(g, side_split(d, g.node_count()));
+    EXPECT_TRUE(verify::check_outputs(g, r.outputs).ok());
+    // K_{d,d} has a perfect matching and the proposal algorithm finds one
+    // (every white eventually lands).
+    for (gk::Colour c : r.outputs) EXPECT_NE(c, local::kUnmatched);
+  }
+}
+
+TEST(BipartiteProposal, MaximalOnRandomInstances) {
+  Rng rng(1301);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int nl = static_cast<int>(rng.uniform(1, 20));
+    const int nr = static_cast<int>(rng.uniform(1, 20));
+    const int k = static_cast<int>(rng.uniform(1, 7));
+    const graph::EdgeColouredGraph g = random_bipartite(nl, nr, k, 0.7, rng);
+    const BipartiteMatchingResult r =
+        bipartite_proposal_matching(g, side_split(nl, g.node_count()));
+    const verify::MatchingReport report = verify::check_outputs(g, r.outputs);
+    EXPECT_TRUE(report.ok()) << report.describe();
+  }
+}
+
+TEST(BipartiteProposal, RoundBoundTwoDelta) {
+  Rng rng(1303);
+  for (int trial = 0; trial < 15; ++trial) {
+    const graph::EdgeColouredGraph g = random_bipartite(15, 15, 6, 0.9, rng);
+    const BipartiteMatchingResult r =
+        bipartite_proposal_matching(g, side_split(15, g.node_count()));
+    EXPECT_LE(r.rounds, 2 * g.max_degree());
+  }
+}
+
+TEST(BipartiteProposal, RoundsIndependentOfK) {
+  // Degree 1 per white node regardless of k: two rounds, done — the O(Δ)
+  // bound really is about Δ, not k.
+  Rng rng(1307);
+  for (int k : {2, 8, 32}) {
+    graph::EdgeColouredGraph g(2 * k, k);
+    for (int i = 0; i < k; ++i) {
+      g.add_edge(i, k + i, static_cast<gk::Colour>(i + 1));
+    }
+    const BipartiteMatchingResult r = bipartite_proposal_matching(g, side_split(k, 2 * k));
+    EXPECT_EQ(r.rounds, 2) << "k=" << k;
+    EXPECT_TRUE(verify::check_outputs(g, r.outputs).ok());
+  }
+}
+
+TEST(BipartiteProposal, RejectsNonBipartiteInput) {
+  graph::EdgeColouredGraph g = graph::path_graph(3, {1, 2, 3});
+  EXPECT_THROW(bipartite_proposal_matching(g, {true, true, false, false}),
+               std::invalid_argument);
+  EXPECT_THROW(bipartite_proposal_matching(g, {true, false}), std::invalid_argument);
+}
+
+TEST(BipartiteProposal, EdgelessGraph) {
+  const graph::EdgeColouredGraph g(4, 2);
+  const BipartiteMatchingResult r = bipartite_proposal_matching(g, side_split(2, 4));
+  EXPECT_EQ(r.rounds, 0);
+  EXPECT_TRUE(verify::check_outputs(g, r.outputs).ok());
+}
+
+TEST(RandomBipartite, GeneratorRespectsStructure) {
+  Rng rng(1309);
+  const graph::EdgeColouredGraph g = random_bipartite(10, 14, 5, 0.8, rng);
+  EXPECT_TRUE(g.is_properly_coloured());
+  for (const graph::Edge& e : g.edges()) {
+    const bool u_left = e.u < 10;
+    const bool v_left = e.v < 10;
+    EXPECT_NE(u_left, v_left);
+  }
+}
+
+}  // namespace
+}  // namespace dmm::algo

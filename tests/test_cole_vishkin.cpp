@@ -1,0 +1,73 @@
+// Cole–Vishkin 3-colouring (E13): properness, palette {0,1,2}, log* rounds.
+#include "algo/cole_vishkin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/logstar.hpp"
+#include "util/rng.hpp"
+
+namespace dmm::algo {
+namespace {
+
+std::vector<std::uint64_t> shuffled_ids(Rng& rng, std::size_t n, std::uint64_t stride) {
+  std::vector<std::uint64_t> ids(n);
+  for (std::size_t i = 0; i < n; ++i) ids[i] = (i + 1) * stride;
+  std::shuffle(ids.begin(), ids.end(), rng.engine());
+  return ids;
+}
+
+TEST(ColeVishkin, ProducesProperThreeColouring) {
+  Rng rng(401);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform(3, 200));
+    const CvResult r = cv_three_colour_cycle(shuffled_ids(rng, n, 7919));
+    EXPECT_TRUE(is_proper_cycle_colouring(r.colours));
+    for (int c : r.colours) {
+      EXPECT_GE(c, 0);
+      EXPECT_LE(c, 2);
+    }
+  }
+}
+
+TEST(ColeVishkin, OddCyclesHandled) {
+  Rng rng(409);
+  for (std::size_t n : {3u, 5u, 7u, 101u}) {
+    const CvResult r = cv_three_colour_cycle(shuffled_ids(rng, n, 13));
+    EXPECT_TRUE(is_proper_cycle_colouring(r.colours));
+  }
+}
+
+TEST(ColeVishkin, RoundsLogStarInIdSpace) {
+  // Identifiers up to ~2^48: the halving phase needs only a handful of
+  // rounds — the log* k phenomenon of §1.3.
+  Rng rng(419);
+  const CvResult r = cv_three_colour_cycle(shuffled_ids(rng, 64, 1ull << 40));
+  EXPECT_LE(r.cv_rounds, log_star(1ull << 48) + 4);
+  EXPECT_EQ(r.finish_rounds, 3);
+  EXPECT_LE(r.total_rounds(), 10);
+}
+
+TEST(ColeVishkin, RoundsGrowVerySlowlyWithIdWidth) {
+  Rng rng(421);
+  const CvResult small = cv_three_colour_cycle(shuffled_ids(rng, 32, 3));
+  const CvResult huge = cv_three_colour_cycle(shuffled_ids(rng, 32, 1ull << 50));
+  EXPECT_LE(huge.cv_rounds, small.cv_rounds + 3);
+}
+
+TEST(ColeVishkin, RejectsBadInput) {
+  EXPECT_THROW(cv_three_colour_cycle({1, 2}), std::invalid_argument);
+  EXPECT_THROW(cv_three_colour_cycle({1, 2, 1}), std::invalid_argument);
+}
+
+TEST(ColeVishkin, DeterministicForFixedIds) {
+  const std::vector<std::uint64_t> ids{5, 1, 9, 2, 8, 3};
+  const CvResult a = cv_three_colour_cycle(ids);
+  const CvResult b = cv_three_colour_cycle(ids);
+  EXPECT_EQ(a.colours, b.colours);
+  EXPECT_EQ(a.total_rounds(), b.total_rounds());
+}
+
+}  // namespace
+}  // namespace dmm::algo

@@ -1,0 +1,127 @@
+// Linial-style colour reduction (the §1.3 upper-bound machinery, E7):
+// properness is preserved, the palette collapses to poly(Δ) independent of
+// k, rounds stay O(log* k), and the derived maximal matching is valid.
+#include "algo/colour_reduction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/logstar.hpp"
+#include "verify/matching.hpp"
+
+namespace dmm::algo {
+namespace {
+
+using graph::EdgeColouredGraph;
+
+bool labels_proper(const EdgeColouredGraph& g, const std::vector<std::int64_t>& labels) {
+  const auto& edges = g.edges();
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    for (std::size_t j = i + 1; j < edges.size(); ++j) {
+      const bool adjacent = edges[i].u == edges[j].u || edges[i].u == edges[j].v ||
+                            edges[i].v == edges[j].u || edges[i].v == edges[j].v;
+      if (adjacent && labels[i] == labels[j]) return false;
+    }
+  }
+  return true;
+}
+
+TEST(ColourReduction, PreservesProperness) {
+  Rng rng(301);
+  for (int trial = 0; trial < 15; ++trial) {
+    const EdgeColouredGraph g =
+        graph::random_coloured_graph(static_cast<int>(rng.uniform(4, 40)),
+                                     static_cast<int>(rng.uniform(2, 12)), 0.7, rng);
+    const ReductionResult r = linial_colour_reduction(g);
+    EXPECT_TRUE(labels_proper(g, r.labels));
+    for (std::int64_t l : r.labels) {
+      EXPECT_GE(l, 0);
+      EXPECT_LT(l, r.palette);
+    }
+  }
+}
+
+TEST(ColourReduction, PaletteIndependentOfKForBoundedDegree) {
+  // Δ fixed (paths have line-graph degree 2): the final palette is bounded
+  // by a constant independent of k.  For D = 2 the evaluation-point prime
+  // is at most 5, so the fixed point is at most 25 colours no matter how
+  // large the input palette was.
+  for (int k : {8, 64, 200}) {
+    std::vector<gk::Colour> colours;
+    for (int c = 1; c <= k; ++c) colours.push_back(static_cast<gk::Colour>(c));
+    const std::int64_t palette = linial_colour_reduction(graph::path_graph(k, colours)).palette;
+    EXPECT_LE(palette, 25) << "k=" << k;
+  }
+}
+
+TEST(ColourReduction, RoundsGrowLikeLogStar) {
+  // On paths, rounds should stay tiny even for large k.
+  for (int k : {4, 16, 64, 200}) {
+    std::vector<gk::Colour> colours;
+    for (int c = 1; c <= k; ++c) colours.push_back(static_cast<gk::Colour>(c));
+    const ReductionResult r = linial_colour_reduction(graph::path_graph(k, colours));
+    EXPECT_LE(r.rounds, log_star(static_cast<std::uint64_t>(k)) + 3) << "k=" << k;
+  }
+}
+
+TEST(ColourReduction, SmallPaletteShortCircuits) {
+  // Already few colours: nothing to do.
+  const EdgeColouredGraph g = graph::path_graph(2, {1, 2});
+  const ReductionResult r = linial_colour_reduction(g);
+  EXPECT_EQ(r.rounds, 0);
+  EXPECT_EQ(r.palette, 2);
+}
+
+TEST(ColourReduction, EmptyGraph) {
+  const EdgeColouredGraph g(4, 7);
+  const ReductionResult r = linial_colour_reduction(g);
+  EXPECT_EQ(r.rounds, 0);
+  EXPECT_TRUE(r.labels.empty());
+}
+
+TEST(EdgeColouringTwoDelta, ReachesLineDegreePlusOne) {
+  Rng rng(307);
+  for (int trial = 0; trial < 10; ++trial) {
+    const EdgeColouredGraph g = graph::random_coloured_graph(30, 10, 0.6, rng);
+    if (g.edge_count() == 0) continue;
+    const EdgeColouringResult r = edge_colouring_two_delta(g);
+    EXPECT_TRUE(labels_proper(g, r.labels));
+    // Palette ≤ 2Δ-1 (the §1.1 bound).
+    EXPECT_LE(r.palette, 2 * g.max_degree() - 1);
+  }
+}
+
+TEST(EdgeColouringTwoDelta, PathsGetThreeColours) {
+  std::vector<gk::Colour> colours;
+  for (int c = 1; c <= 20; ++c) colours.push_back(static_cast<gk::Colour>(c));
+  const EdgeColouringResult r = edge_colouring_two_delta(graph::path_graph(20, colours));
+  EXPECT_LE(r.palette, 3);  // Δ_L + 1 = 3 on a path
+  EXPECT_TRUE(labels_proper(graph::path_graph(20, colours), r.labels));
+}
+
+TEST(ReducedMatching, ValidMaximalMatching) {
+  Rng rng(311);
+  for (int trial = 0; trial < 15; ++trial) {
+    const EdgeColouredGraph g =
+        graph::random_coloured_graph(static_cast<int>(rng.uniform(4, 50)),
+                                     static_cast<int>(rng.uniform(2, 14)), 0.7, rng);
+    const ReducedMatchingResult r = reduced_matching(g);
+    const verify::MatchingReport report = verify::check_outputs(g, r.outputs);
+    EXPECT_TRUE(report.ok()) << report.describe();
+    EXPECT_EQ(r.total_rounds, r.reduction_rounds + r.greedy_rounds);
+  }
+}
+
+TEST(ReducedMatching, BeatsGreedyWhenKIsLarge) {
+  // The §1.3 crossover: for a path with k = 200 colours, greedy needs 199
+  // rounds while reduction + greedy needs O(Δ² + log* k) ≈ a few dozen.
+  std::vector<gk::Colour> colours;
+  for (int c = 1; c <= 200; ++c) colours.push_back(static_cast<gk::Colour>(c));
+  const EdgeColouredGraph g = graph::path_graph(200, colours);
+  const ReducedMatchingResult r = reduced_matching(g);
+  EXPECT_LT(r.total_rounds, 199);
+  EXPECT_TRUE(verify::check_outputs(g, r.outputs).ok());
+}
+
+}  // namespace
+}  // namespace dmm::algo

@@ -1,0 +1,148 @@
+// Remark 1 (experiment E11): extensions are universal covers of looped
+// multigraphs, checked structurally against the direct construction.
+#include "cover/universal_cover.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lower/extension.hpp"
+
+namespace dmm::cover {
+namespace {
+
+using colsys::ColourSystem;
+using lower::Picker;
+using lower::Template;
+
+TEST(Multigraph, PortsAndLoops) {
+  Multigraph g(2, 3);
+  g.add_edge(0, 1, 2);
+  g.add_loop(0, 3);
+  EXPECT_EQ(*g.port(0, 2), 1);
+  EXPECT_EQ(*g.port(0, 3), 0);
+  EXPECT_TRUE(g.has_loop(0, 3));
+  EXPECT_FALSE(g.has_loop(0, 2));
+  EXPECT_FALSE(g.port(0, 1).has_value());
+  EXPECT_EQ(g.colours_at(0), (std::vector<gk::Colour>{2, 3}));
+  EXPECT_THROW(g.add_loop(0, 3), std::logic_error);
+  EXPECT_THROW(g.add_edge(0, 0, 1), std::invalid_argument);
+}
+
+TEST(UniversalCover, SingleLoopUnfoldsToSingleEdge) {
+  // A lone node with a c-loop: the involution pairs e with c; the cover is
+  // the single edge {e, c} (exactly the base-case extension §3.8).
+  Multigraph g(1, 4);
+  g.add_loop(0, 2);
+  const ColourSystem cover = universal_cover(g, 0, 8);
+  EXPECT_TRUE(cover.is_exact());
+  EXPECT_EQ(cover.size(), 2);
+  EXPECT_NE(cover.find(gk::Word::generator(2)), colsys::kNullNode);
+}
+
+TEST(UniversalCover, TwoLoopsUnfoldToInfinitePath) {
+  // Loops of colours 1 and 2 at one node: the cover is the infinite
+  // alternating path (the 2-regular tree).
+  Multigraph g(1, 3);
+  g.add_loop(0, 1);
+  g.add_loop(0, 2);
+  const ColourSystem cover = universal_cover(g, 0, 5);
+  EXPECT_TRUE(cover.is_regular(2));
+  EXPECT_EQ(cover.size(), 11);  // path of length 2*5
+}
+
+TEST(UniversalCover, EdgePlusLoopsMatchesByHand) {
+  // Two nodes joined by colour 2; loops 1 at node 0 and 3 at node 1.
+  Multigraph g(2, 3);
+  g.add_edge(0, 1, 2);
+  g.add_loop(0, 1);
+  g.add_loop(1, 3);
+  std::vector<NodeIndex> labels;
+  const ColourSystem cover = universal_cover(g, 0, 3, &labels);
+  // Every cover node's colour set matches its base node's port colours.
+  for (colsys::NodeId v : cover.nodes_up_to(2)) {
+    EXPECT_EQ(cover.colours_at(v), g.colours_at(labels[static_cast<std::size_t>(v)]));
+  }
+}
+
+TEST(UniversalCover, Remark1ExtensionEqualsCover) {
+  // Build a 1-template (single edge, colour 2) with picker colours {3} at
+  // both nodes; per Remark 1 its extension is the cover of the edge with a
+  // 3-loop at each endpoint.
+  ColourSystem edge(4);
+  edge.add_child(ColourSystem::root(), 2);
+  const Template tmpl(edge, {1, 1}, 1);
+  Picker p;
+  p.choices = {{3}, {3}};
+  const int depth = 6;
+  const lower::Extension ext_result = lower::extend(tmpl, p, depth);
+
+  Multigraph g(2, 4);
+  g.add_edge(0, 1, 2);
+  g.add_loop(0, 3);
+  g.add_loop(1, 3);
+  const ColourSystem cover = universal_cover(g, 0, depth);
+
+  EXPECT_TRUE(ColourSystem::equal_to_radius(ext_result.result.tree(), cover, depth));
+}
+
+TEST(UniversalCover, Remark1WithAsymmetricPickers) {
+  // Different picker colours per node still match the cover construction.
+  ColourSystem edge(5);
+  edge.add_child(ColourSystem::root(), 2);
+  const Template tmpl(edge, {1, 1}, 1);
+  Picker p;
+  p.choices = {{3, 4}, {5}};
+  const int depth = 5;
+  const lower::Extension ext_result = lower::extend(tmpl, p, depth);
+
+  Multigraph g(2, 5);
+  g.add_edge(0, 1, 2);
+  g.add_loop(0, 3);
+  g.add_loop(0, 4);
+  g.add_loop(1, 5);
+  const ColourSystem cover = universal_cover(g, 0, depth);
+
+  EXPECT_TRUE(ColourSystem::equal_to_radius(ext_result.result.tree(), cover, depth));
+}
+
+TEST(UniversalCover, LabelsMatchExtensionPMap) {
+  // The cover's base labels are the extension's p-map (both implement ↝).
+  ColourSystem edge(4);
+  edge.add_child(ColourSystem::root(), 2);
+  const Template tmpl(edge, {1, 1}, 1);
+  Picker p;
+  p.choices = {{3}, {4}};
+  const int depth = 5;
+  const lower::Extension ext_result = lower::extend(tmpl, p, depth);
+
+  Multigraph g(2, 4);
+  g.add_edge(0, 1, 2);
+  g.add_loop(0, 3);
+  g.add_loop(1, 4);
+  std::vector<NodeIndex> labels;
+  const ColourSystem cover = universal_cover(g, 0, depth, &labels);
+
+  ASSERT_TRUE(ColourSystem::equal_to_radius(ext_result.result.tree(), cover, depth));
+  // Node-by-node: find each extension node in the cover by word and compare
+  // labels (template NodeIds coincide with multigraph indices 0/1 here).
+  for (colsys::NodeId v : ext_result.result.tree().nodes_up_to(depth - 1)) {
+    const colsys::NodeId in_cover = cover.find(ext_result.result.tree().word_of(v));
+    ASSERT_NE(in_cover, colsys::kNullNode);
+    EXPECT_EQ(static_cast<colsys::NodeId>(labels[static_cast<std::size_t>(in_cover)]),
+              ext_result.p[static_cast<std::size_t>(v)]);
+  }
+}
+
+TEST(UniversalCover, PathQuotientUnrollsCycle) {
+  // A 4-cycle alternating colours 1/2 as a multigraph: cover = infinite
+  // alternating path.
+  Multigraph g(4, 2);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 2);
+  g.add_edge(2, 3, 1);
+  g.add_edge(3, 0, 2);
+  const ColourSystem cover = universal_cover(g, 0, 6);
+  EXPECT_TRUE(cover.is_regular(2));
+}
+
+}  // namespace
+}  // namespace dmm::cover

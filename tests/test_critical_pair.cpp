@@ -1,0 +1,166 @@
+// Base case (§3.8, Lemma 11) and inductive step (§3.9, Lemmas 12-13),
+// exercised against the real greedy algorithm and against broken ones.
+#include "lower/critical_pair.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algo/greedy.hpp"
+#include "algo/truncated_greedy.hpp"
+
+namespace dmm::lower {
+namespace {
+
+CriticalPair make_base(int k, Evaluator& eval) {
+  const auto colours = choose_lemma10_colours(k, eval);
+  EXPECT_TRUE(std::holds_alternative<Lemma10Colours>(colours));
+  auto pair = base_case(k, std::get<Lemma10Colours>(colours), eval);
+  EXPECT_TRUE(std::holds_alternative<CriticalPair>(pair));
+  return std::get<CriticalPair>(std::move(pair));
+}
+
+TEST(BaseCase, GreedyYieldsOneCriticalPair) {
+  for (int k = 3; k <= 6; ++k) {
+    const algo::GreedyLocal greedy(k);
+    Evaluator eval(greedy);
+    const CriticalPair pair = make_base(k, eval);
+    EXPECT_EQ(pair.level, 1);
+    // Lemma 11: a genuine 1-critical pair.
+    const auto failure = verify_critical_pair(pair, eval, 1);
+    EXPECT_FALSE(failure.has_value()) << "k=" << k << ": " << *failure;
+  }
+}
+
+TEST(BaseCase, PairSharesTheSingleEdge) {
+  const algo::GreedyLocal greedy(4);
+  Evaluator eval(greedy);
+  const CriticalPair pair = make_base(4, eval);
+  // (C1): S[1] = T[1] = {e, c2}: a single edge.
+  EXPECT_EQ(pair.s.tree().size(), 2);
+  EXPECT_EQ(pair.t.tree().size(), 2);
+  EXPECT_TRUE(ColourSystem::equal_to_radius(pair.s.tree(), pair.t.tree(), 1));
+  // (C2): equal τ at the root.
+  EXPECT_EQ(pair.s.tau(ColourSystem::root()), pair.t.tau(ColourSystem::root()));
+}
+
+TEST(BaseCase, GreedyK4MatchesPaperFigure6) {
+  // Lemma 10 for greedy/k=4 gives c1=1, c2=2, c3=3, c4=1.  On (X, ξ) with
+  // ξ(e)=1, ξ(c2)=3: greedy matches e along colour 2 iff its partner is
+  // still free after step 1 — the partner's copy has colour-1 edges
+  // (τ=3 ≠ 1), so it is taken in step 1 and A(X, ξ, e) ≠ 2: case (i).
+  const algo::GreedyLocal greedy(4);
+  Evaluator eval(greedy);
+  const CriticalPair pair = make_base(4, eval);
+  // Case (i): S1 = K with κ ≡ c1 = 1.
+  EXPECT_EQ(pair.s.tau(ColourSystem::root()), 1);
+  EXPECT_EQ(pair.s.tau(1), 1);
+  // T1 = X with ξ(e)=1, ξ(c2)=3.
+  EXPECT_EQ(pair.t.tau(ColourSystem::root()), 1);
+  EXPECT_EQ(pair.t.tau(1), 3);
+}
+
+TEST(InductiveStep, GreedyK3ReachesLevelTwo) {
+  const int k = 3, d = 2;
+  const algo::GreedyLocal greedy(k);
+  Evaluator eval(greedy);
+  CriticalPair pair = make_base(k, eval);
+  StepTrace trace;
+  const StepOutcome out = inductive_step(pair, eval, required_radius(k, 2, greedy.running_time()),
+                                         &trace);
+  ASSERT_TRUE(std::holds_alternative<CriticalPair>(out));
+  const CriticalPair& next = std::get<CriticalPair>(out);
+  EXPECT_EQ(next.level, d);
+  EXPECT_EQ(next.s.h(), d);
+  EXPECT_EQ(next.t.h(), d);
+  // (C1)/(C2)/(C3) + (C4) near the root.
+  const auto failure = verify_critical_pair(next, eval, 2);
+  EXPECT_FALSE(failure.has_value()) << *failure;
+  // The trace recorded the χ colour and the witness.
+  EXPECT_NE(trace.chi, gk::kNoColour);
+  EXPECT_GT(trace.x_size, 0);
+}
+
+TEST(InductiveStep, GreedyK4BothSteps) {
+  const int k = 4, d = 3;
+  const algo::GreedyLocal greedy(k);
+  Evaluator eval(greedy);
+  CriticalPair pair = make_base(k, eval);
+  for (int level = 2; level <= d; ++level) {
+    const StepOutcome out =
+        inductive_step(pair, eval, required_radius(k, level, greedy.running_time()), nullptr);
+    ASSERT_TRUE(std::holds_alternative<CriticalPair>(out)) << "level " << level;
+    pair = std::get<CriticalPair>(out);
+    EXPECT_EQ(pair.level, level);
+    const auto failure = verify_critical_pair(pair, eval, 2);
+    EXPECT_FALSE(failure.has_value()) << "level " << level << ": " << *failure;
+  }
+  // Final level: the trees agree to radius d (Theorem 5's U[d] = V[d]).
+  EXPECT_TRUE(ColourSystem::equal_to_radius(pair.s.tree(), pair.t.tree(), d));
+}
+
+TEST(InductiveStep, ProducesHPlusOneRegularTemplates) {
+  const algo::GreedyLocal greedy(4);
+  Evaluator eval(greedy);
+  CriticalPair pair = make_base(4, eval);
+  const StepOutcome out =
+      inductive_step(pair, eval, required_radius(4, 2, greedy.running_time()), nullptr);
+  ASSERT_TRUE(std::holds_alternative<CriticalPair>(out));
+  const CriticalPair& next = std::get<CriticalPair>(out);
+  EXPECT_TRUE(next.s.tree().is_regular(2));
+  EXPECT_TRUE(next.t.tree().is_regular(2));
+}
+
+TEST(InductiveStep, DepthBudgetEnforced) {
+  const algo::GreedyLocal greedy(4);
+  Evaluator eval(greedy);
+  CriticalPair pair = make_base(4, eval);
+  // Step once to get truncated templates, then demand an absurd radius.
+  const StepOutcome out =
+      inductive_step(pair, eval, required_radius(4, 2, greedy.running_time()), nullptr);
+  ASSERT_TRUE(std::holds_alternative<CriticalPair>(out));
+  const CriticalPair& next = std::get<CriticalPair>(out);
+  EXPECT_THROW(inductive_step(next, eval, next.s.valid_radius() + 100, nullptr),
+               std::logic_error);
+}
+
+TEST(InductiveStep, TruncatedGreedyGetsRefuted) {
+  // A 1-round "greedy" on k = 4 must fail somewhere in the construction.
+  const algo::TruncatedGreedy fast(4, 1);
+  Evaluator eval(fast);
+  CriticalPair pair = make_base(4, eval);
+  bool refuted = false;
+  for (int level = 2; level <= 3 && !refuted; ++level) {
+    StepOutcome out =
+        inductive_step(pair, eval, required_radius(4, level, fast.running_time()), nullptr);
+    if (std::holds_alternative<Certificate>(out)) {
+      const Certificate& cert = std::get<Certificate>(out);
+      Evaluator fresh(fast);
+      EXPECT_TRUE(certificate_holds(cert, fresh));
+      refuted = true;
+      break;
+    }
+    ASSERT_TRUE(std::holds_alternative<CriticalPair>(out));
+    pair = std::get<CriticalPair>(std::move(out));
+  }
+  if (!refuted) {
+    // If the induction survived, the final pair itself convicts the
+    // algorithm: both sides would need different outputs on equal views.
+    EXPECT_EQ(pair.level, 3);
+    const Colour a = eval(pair.s, ColourSystem::root());
+    const Colour b = eval(pair.t, ColourSystem::root());
+    // Radius r+1 = 2 ≤ d = 3 and U[3] = V[3]: the views at e are equal, so
+    // the outputs are equal — and then one side violates its promise.
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(RequiredRadius, FormulaShape) {
+  // Final level needs max(d, r+1); each step adds max(need+r+2, 2r+4)+r.
+  EXPECT_EQ(required_radius(3, 2, 2), 3);  // k=3: level d needs max(2,3)=3
+  // One step below: D_X = max(3 + r + 2, 2r + 4) = 8, plus r = 10.
+  EXPECT_EQ(required_radius(3, 1, 2), 10);
+  EXPECT_GT(required_radius(4, 1, 3), required_radius(4, 2, 3));
+  EXPECT_GT(required_radius(4, 1, 3), required_radius(4, 1, 1));
+}
+
+}  // namespace
+}  // namespace dmm::lower

@@ -1,0 +1,180 @@
+// The synchronous message-passing engine: halting, rounds, announcements.
+#include "local/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace dmm::local {
+namespace {
+
+/// Halts immediately with output = smallest incident colour (or ⊥).
+class HaltAtInit final : public NodeProgram {
+ public:
+  bool init(const std::vector<Colour>& incident) override {
+    out_ = incident.empty() ? kUnmatched : incident.front();
+    return true;
+  }
+  std::map<Colour, Message> send(int) override { return {}; }
+  bool receive(int, const std::map<Colour, Message>&) override { return true; }
+  Colour output() const override { return out_; }
+
+ private:
+  Colour out_ = kUnmatched;
+};
+
+/// Counts down `rounds` rounds, then halts with ⊥.
+class HaltAfter final : public NodeProgram {
+ public:
+  explicit HaltAfter(int rounds) : remaining_(rounds) {}
+  bool init(const std::vector<Colour>&) override { return remaining_ == 0; }
+  std::map<Colour, Message> send(int) override { return {}; }
+  bool receive(int, const std::map<Colour, Message>&) override { return --remaining_ == 0; }
+  Colour output() const override { return kUnmatched; }
+
+ private:
+  int remaining_;
+};
+
+/// Halts after the first exchange; remembers what it heard.
+class Listener final : public NodeProgram {
+ public:
+  bool init(const std::vector<Colour>&) override { return false; }
+  std::map<Colour, Message> send(int) override { return {}; }
+  bool receive(int, const std::map<Colour, Message>& inbox) override {
+    last_heard = inbox.empty() ? Message{} : inbox.begin()->second;
+    return true;
+  }
+  Colour output() const override { return kUnmatched; }
+
+  static Message last_heard;
+};
+Message Listener::last_heard;
+
+TEST(Engine, ZeroRoundAlgorithmHaltsAtRoundZero) {
+  const graph::EdgeColouredGraph g = graph::path_graph(3, {1, 2});
+  const RunResult r = run_sync(g, [] { return std::make_unique<HaltAtInit>(); }, 10);
+  EXPECT_EQ(r.rounds, 0);
+  EXPECT_EQ(r.outputs[0], 1);
+  EXPECT_EQ(r.outputs[1], 1);
+  EXPECT_EQ(r.outputs[2], 2);
+  for (int h : r.halt_round) EXPECT_EQ(h, 0);
+}
+
+TEST(Engine, RunningTimeIsMaxHaltRound) {
+  const graph::EdgeColouredGraph g = graph::path_graph(3, {1, 2});
+  const RunResult r = run_sync(g, [] { return std::make_unique<HaltAfter>(3); }, 10);
+  EXPECT_EQ(r.rounds, 3);
+}
+
+TEST(Engine, MixedHaltRoundsReported) {
+  const graph::EdgeColouredGraph g = graph::path_graph(3, {1, 2});
+  int counter = 0;
+  const RunResult r = run_sync(
+      g,
+      [&]() -> std::unique_ptr<NodeProgram> {
+        return std::make_unique<HaltAfter>(counter++);
+      },
+      10);
+  EXPECT_EQ(r.halt_round[0], 0);
+  EXPECT_EQ(r.halt_round[1], 1);
+  EXPECT_EQ(r.halt_round[2], 2);
+  EXPECT_EQ(r.rounds, 2);
+}
+
+TEST(Engine, ThrowsIfAlgorithmNeverHalts) {
+  const graph::EdgeColouredGraph g = graph::path_graph(3, {1, 2});
+  EXPECT_THROW(run_sync(g, [] { return std::make_unique<HaltAfter>(100); }, 5),
+               std::runtime_error);
+}
+
+TEST(Engine, IsolatedNodesHaltImmediately) {
+  const graph::EdgeColouredGraph g(4, 2);  // no edges
+  const RunResult r = run_sync(g, [] { return std::make_unique<HaltAfter>(0); }, 10);
+  EXPECT_EQ(r.rounds, 0);
+}
+
+/// Misbehaving program: sends messages for colours it does not have.
+class RogueSender final : public NodeProgram {
+ public:
+  bool init(const std::vector<Colour>& incident) override {
+    incident_ = incident;
+    return false;
+  }
+  std::map<Colour, Message> send(int) override {
+    std::map<Colour, Message> out;
+    for (Colour c = 1; c <= 9; ++c) out[c] = "spam";  // mostly non-incident
+    return out;
+  }
+  bool receive(int, const std::map<Colour, Message>& inbox) override {
+    received_count = inbox.size();
+    return true;
+  }
+  Colour output() const override { return kUnmatched; }
+  static std::size_t received_count;
+
+ private:
+  std::vector<Colour> incident_;
+};
+std::size_t RogueSender::received_count = 0;
+
+TEST(Engine, FailureInjectionRogueSendsAreIgnored) {
+  // A program writing to non-incident colours cannot corrupt anyone: the
+  // engine only ever routes messages along real edges.
+  graph::EdgeColouredGraph g(2, 9);
+  g.add_edge(0, 1, 3);
+  const RunResult r = run_sync(g, [] { return std::make_unique<RogueSender>(); }, 10);
+  EXPECT_EQ(r.rounds, 1);
+  // Each node received exactly one message (its single incident colour).
+  EXPECT_EQ(RogueSender::received_count, 1u);
+}
+
+/// Misbehaving program: throws during a round.
+class Thrower final : public NodeProgram {
+ public:
+  bool init(const std::vector<Colour>&) override { return false; }
+  std::map<Colour, Message> send(int) override {
+    throw std::runtime_error("node crashed");
+  }
+  bool receive(int, const std::map<Colour, Message>&) override { return true; }
+  Colour output() const override { return kUnmatched; }
+};
+
+TEST(Engine, FailureInjectionExceptionsPropagate) {
+  // The engine is deterministic and fail-fast: a crashing node surfaces as
+  // an exception rather than a silently wrong result.
+  graph::EdgeColouredGraph g(2, 2);
+  g.add_edge(0, 1, 1);
+  EXPECT_THROW(run_sync(g, [] { return std::make_unique<Thrower>(); }, 10),
+               std::runtime_error);
+}
+
+TEST(Engine, MessageAccounting) {
+  // Greedy uses constant-size messages (the remark after Theorem 2): one
+  // byte of status per edge per round.
+  const graph::EdgeColouredGraph g = graph::worst_case_chain(8).long_path;
+  const RunResult r = run_sync(
+      g, [] { return std::make_unique<HaltAfter>(2); }, 10);
+  EXPECT_EQ(r.max_message_bytes, 0u);  // HaltAfter sends empty messages
+  EXPECT_EQ(r.total_message_bytes, 0u);
+}
+
+TEST(Engine, HaltedAnnouncementVisibleToNeighbours) {
+  graph::EdgeColouredGraph g(2, 1);
+  g.add_edge(0, 1, 1);
+  int counter = 0;
+  Listener::last_heard.clear();
+  const RunResult r = run_sync(
+      g,
+      [&]() -> std::unique_ptr<NodeProgram> {
+        if (counter++ == 0) return std::make_unique<HaltAtInit>();
+        return std::make_unique<Listener>();
+      },
+      10);
+  EXPECT_EQ(r.rounds, 1);
+  // The listener received the halted-announcement of output 1.
+  EXPECT_EQ(Listener::last_heard, std::string(1, kHaltedPrefix) + "1");
+}
+
+}  // namespace
+}  // namespace dmm::local

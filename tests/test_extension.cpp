@@ -1,0 +1,176 @@
+// Extensions (§3.3-3.4): the observations (a)-(i), Lemma 6 (regularity),
+// Lemma 7 (symmetry) and Lemma 8 (commutativity), all verified
+// computationally on concrete templates.
+#include "lower/extension.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace dmm::lower {
+namespace {
+
+Template one_template(int k, Colour edge_colour, Colour tau_root, Colour tau_child) {
+  ColourSystem edge(k);
+  edge.add_child(ColourSystem::root(), edge_colour);
+  return Template(edge, {tau_root, tau_child}, 1);
+}
+
+TEST(Extension, Figure5PathExample) {
+  // A 2-template (infinite path) extended by a 1-colour picker gives a
+  // 3-regular tree (the paper's Figure 5 scenario, shrunk).
+  ColourSystem path(5, 4);
+  NodeId v = ColourSystem::root();
+  // Path alternating colours 1, 2 to depth 4.
+  for (int i = 0; i < 4; ++i) v = path.add_child(v, static_cast<Colour>(i % 2 == 0 ? 1 : 2));
+  // Make it 2-regular: the root needs a second colour; re-root mid-path.
+  const ColourSystem tree = path.rerooted(path.find(gk::Word::parse("1.2")));
+  std::vector<Colour> tau(static_cast<std::size_t>(tree.size()), 5);
+  const Template tmpl(tree, tau, 2);
+
+  const Picker p = canonical_free_picker(tmpl, 1);
+  const Extension ext_result = extend(tmpl, p, 2);
+  EXPECT_EQ(ext_result.result.h(), 3);
+  EXPECT_TRUE(ext_result.result.tree().is_regular(3));
+  // Root expansion: C = {1,2} plus one picked colour.
+  EXPECT_EQ(ext_result.result.tree().degree(ColourSystem::root()), 3);
+}
+
+TEST(Extension, Lemma6RegularityAndColours) {
+  // C(X, x) = C(T, p(x)) ∪ P(p(x)) for every interior x.
+  const Template tmpl = one_template(5, 2, 1, 1);
+  const Picker p = canonical_free_picker(tmpl, 1);
+  const Extension e = extend(tmpl, p, 4);
+  const ColourSystem& x = e.result.tree();
+  EXPECT_TRUE(x.is_regular(2));
+  for (NodeId v : x.nodes_up_to(3)) {
+    const NodeId label = e.p[static_cast<std::size_t>(v)];
+    std::vector<Colour> expected = tmpl.tree().colours_at(label);
+    for (Colour c : p.at(label)) expected.push_back(c);
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(x.colours_at(v), expected) << x.word_of(v).str();
+  }
+}
+
+TEST(Extension, XiIsTauComposedWithP) {
+  const Template tmpl = one_template(5, 2, 1, 3);
+  const Picker p = canonical_free_picker(tmpl, 1);
+  const Extension e = extend(tmpl, p, 4);
+  for (NodeId v : e.result.tree().nodes_up_to(4)) {
+    EXPECT_EQ(e.result.tau(v), tmpl.tau(e.p[static_cast<std::size_t>(v)]));
+  }
+}
+
+TEST(Extension, ObservationH_NormNeverShrinks) {
+  // x ↝ t implies |x| ≥ |t|.
+  const Template tmpl = one_template(4, 2, 1, 1);
+  const Picker p = canonical_free_picker(tmpl, 1);
+  const Extension e = extend(tmpl, p, 5);
+  for (NodeId v : e.result.tree().nodes_up_to(5)) {
+    EXPECT_GE(e.result.tree().depth(v),
+              tmpl.tree().depth(e.p[static_cast<std::size_t>(v)]));
+  }
+}
+
+TEST(Extension, ObservationI_EveryTemplateNodeIsCovered) {
+  const Template tmpl = one_template(4, 2, 1, 1);
+  const Picker p = canonical_free_picker(tmpl, 1);
+  const Extension e = extend(tmpl, p, 4);
+  std::vector<char> hit(static_cast<std::size_t>(tmpl.tree().size()), 0);
+  for (NodeId label : e.p) hit[static_cast<std::size_t>(label)] = 1;
+  for (char h : hit) EXPECT_TRUE(h);
+}
+
+TEST(Extension, Lemma7Symmetry) {
+  // p(x) = p(y) implies the rooted trees around x and y coincide: check
+  // that balls of equal radius around same-label nodes are equal.
+  const Template tmpl = one_template(5, 2, 1, 1);
+  const Picker p = canonical_free_picker(tmpl, 1);
+  const int depth = 6;
+  const Extension e = extend(tmpl, p, depth);
+  const ColourSystem& x = e.result.tree();
+  // Group nodes at depth ≤ 2 by label and compare radius-2 balls.
+  for (NodeId a : x.nodes_up_to(2)) {
+    for (NodeId b : x.nodes_up_to(2)) {
+      if (a >= b || e.p[static_cast<std::size_t>(a)] != e.p[static_cast<std::size_t>(b)]) {
+        continue;
+      }
+      EXPECT_TRUE(ColourSystem::equal_to_radius(x.ball(a, 2), x.ball(b, 2), 2))
+          << x.word_of(a).str() << " vs " << x.word_of(b).str();
+    }
+  }
+}
+
+TEST(Extension, Lemma8Commutativity) {
+  // ext by P then Q ∘ p equals ext by P ∪ Q, including the label maps.
+  const Template tmpl = one_template(6, 2, 1, 1);
+  Picker p, q;
+  p.choices = {{3}, {3}};
+  q.choices = {{4}, {5}};
+  ASSERT_TRUE(disjoint_pickers(p, q));
+
+  const int depth = 5;
+  const Extension kp = extend(tmpl, p, depth);
+  // Q ∘ p: the picker on K induced by labels.
+  Picker q_on_k;
+  q_on_k.choices.resize(static_cast<std::size_t>(kp.result.tree().size()));
+  for (NodeId v = 0; v < kp.result.tree().size(); ++v) {
+    q_on_k.choices[static_cast<std::size_t>(v)] = q.at(kp.p[static_cast<std::size_t>(v)]);
+  }
+  const Extension lq = extend(kp.result, q_on_k, depth);
+  const Extension xr = extend(tmpl, union_picker(p, q), depth);
+
+  // X = L as trees.
+  EXPECT_TRUE(ColourSystem::equal_to_radius(lq.result.tree(), xr.result.tree(), depth));
+  // λ = ξ and p ∘ q = r on the shared truncation.
+  for (NodeId v : lq.result.tree().nodes_up_to(depth - 1)) {
+    const NodeId in_x = xr.result.tree().find(lq.result.tree().word_of(v));
+    ASSERT_NE(in_x, colsys::kNullNode);
+    EXPECT_EQ(lq.result.tau(v), xr.result.tau(in_x));
+    const NodeId p_of_q = kp.p[static_cast<std::size_t>(lq.p[static_cast<std::size_t>(v)])];
+    EXPECT_EQ(tmpl.tree().word_of(p_of_q),
+              tmpl.tree().word_of(xr.p[static_cast<std::size_t>(in_x)]));
+  }
+}
+
+TEST(Extension, EmptyPickerReproducesTemplate) {
+  const Template tmpl = one_template(4, 2, 1, 1);
+  Picker none;
+  none.choices = {{}, {}};
+  const Extension e = extend(tmpl, none, 6);
+  // ext by the empty picker is T itself; it drains before depth 6 and is
+  // marked exact.
+  EXPECT_TRUE(e.result.tree().is_exact());
+  EXPECT_EQ(e.result.tree().size(), 2);
+  EXPECT_EQ(e.result.h(), 1);
+}
+
+TEST(Extension, BaseCaseShapeFromZeroTemplate) {
+  // §3.8: ext(Z, ĉ1, P) with P(e) = {c2} is the single edge {e, c2}.
+  ColourSystem z(4);
+  const Template zt(z, {1}, 0);
+  Picker p;
+  p.choices = {{2}};
+  const Extension e = extend(zt, p, 8);
+  EXPECT_TRUE(e.result.tree().is_exact());
+  EXPECT_EQ(e.result.tree().size(), 2);
+  EXPECT_EQ(e.result.h(), 1);
+  EXPECT_EQ(e.result.tau(ColourSystem::root()), 1);
+  EXPECT_EQ(e.result.tau(1), 1);
+  EXPECT_EQ(e.p[1], ColourSystem::root());  // picker copies keep the label
+}
+
+TEST(Extension, DepthBudgetEnforced) {
+  const Template shallow =
+      make_template_unchecked(colsys::regular_system(4, 2, 3),
+                              std::vector<Colour>(static_cast<std::size_t>(
+                                                      colsys::regular_system(4, 2, 3).size()),
+                                                  4),
+                              2);
+  Picker p = canonical_free_picker(shallow, 1);
+  EXPECT_THROW(extend(shallow, p, 5), std::logic_error);
+  EXPECT_NO_THROW(extend(shallow, p, 3));
+}
+
+}  // namespace
+}  // namespace dmm::lower

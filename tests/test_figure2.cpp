@@ -1,0 +1,90 @@
+// Figure 2 of the paper, executed: the 3-colour system
+// V = {e, 1, 2, 2·1, 3, 3·1, 3·2} and its translation U = 3̄V, with the
+// caption's claims V[1] = U[1] and V = V[2] ≠ U[2] ≠ U.
+#include <gtest/gtest.h>
+
+#include "colsys/colour_system.hpp"
+
+namespace dmm::colsys {
+namespace {
+
+ColourSystem figure2_v() {
+  ColourSystem v(3);
+  v.add_child(ColourSystem::root(), 1);
+  const NodeId two = v.add_child(ColourSystem::root(), 2);
+  v.add_child(two, 1);
+  const NodeId three = v.add_child(ColourSystem::root(), 3);
+  v.add_child(three, 1);
+  v.add_child(three, 2);
+  return v;
+}
+
+TEST(Figure2, VIsAColourSystem) {
+  const ColourSystem v = figure2_v();
+  EXPECT_EQ(v.size(), 7);
+  // Prefix closure: every claimed member is reachable.
+  for (const char* word : {"e", "1", "2", "2.1", "3", "3.1", "3.2"}) {
+    EXPECT_NE(v.find(gk::Word::parse(word)), kNullNode) << word;
+  }
+}
+
+TEST(Figure2, UIsTheTranslationByThree) {
+  const ColourSystem v = figure2_v();
+  const NodeId three = v.find(gk::Word::parse("3"));
+  std::vector<NodeId> map;
+  const ColourSystem u = v.rerooted(three, &map);
+  // U = 3̄V = {3̄v : v ∈ V} = {3, e, 3.1, 3.2, 3.2.1, 1, 2}.
+  for (const char* word : {"e", "3", "1", "2", "3.1", "3.2", "3.2.1"}) {
+    EXPECT_NE(u.find(gk::Word::parse(word)), kNullNode) << word;
+  }
+  EXPECT_EQ(u.size(), v.size());
+  // And the element-wise law 3̄v: node a of V appears in U under 3̄·word(a).
+  for (NodeId a = 0; a < v.size(); ++a) {
+    EXPECT_EQ(u.word_of(map[static_cast<std::size_t>(a)]),
+              gk::Word::generator(3) * v.word_of(a));
+  }
+}
+
+TEST(Figure2, CaptionClaims) {
+  const ColourSystem v = figure2_v();
+  const ColourSystem u = v.rerooted(v.find(gk::Word::parse("3")));
+  // V[1] = U[1]: both radius-1 balls are the full 3-star.
+  EXPECT_TRUE(ColourSystem::equal_to_radius(v, u, 1));
+  // V = V[2]: V has depth 2, restricting changes nothing.
+  EXPECT_TRUE(ColourSystem::equal_to_radius(v, v.restricted(2), 8));
+  // V[2] != U[2]: the radius-2 balls differ ...
+  EXPECT_FALSE(ColourSystem::equal_to_radius(v, u, 2));
+  // ... and U[2] != U: U has an element at depth 3 (namely 3̄·(2·1)... the
+  // translated word 3.2.1).
+  EXPECT_NE(u.find(gk::Word::parse("3.2.1")), kNullNode);
+  EXPECT_EQ(u.restricted(2).size(), u.size() - 1);
+}
+
+TEST(Figure2, Lemma3IsomorphismOnV) {
+  // x -> ūx preserves adjacencies and edge colours (Lemma 3), verified
+  // node-by-node on the concrete Figure 2 system.
+  const ColourSystem v = figure2_v();
+  const NodeId three = v.find(gk::Word::parse("3"));
+  std::vector<NodeId> map;
+  const ColourSystem u = v.rerooted(three, &map);
+  const gk::Word u_bar = gk::Word::generator(3);  // 3̄ = 3
+  for (NodeId a = 0; a < v.size(); ++a) {
+    EXPECT_EQ(u.word_of(map[static_cast<std::size_t>(a)]), u_bar * v.word_of(a));
+    for (gk::Colour c = 1; c <= 3; ++c) {
+      const NodeId nb = v.neighbour(a, c);
+      if (nb == kNullNode) continue;
+      EXPECT_EQ(u.neighbour(map[static_cast<std::size_t>(a)], c),
+                map[static_cast<std::size_t>(nb)]);
+    }
+  }
+}
+
+TEST(Figure2, Gamma3IsThreeRegularTree) {
+  const ColourSystem g = cayley_ball(3, 4);
+  EXPECT_TRUE(g.is_regular(3));
+  // Γ_3[4]: 1 + 3 + 6 + 12 + 24.
+  EXPECT_EQ(g.size(), 46);
+}
+
+}  // namespace
+}  // namespace dmm::colsys

@@ -1,0 +1,234 @@
+// Randomised property sweeps across the lower-bound machinery: surgery
+// composition laws on colour systems, the individual ↝-relation
+// observations of §3.3 on random templates/pickers, the Remark 1
+// equivalence on random quotients, and adversary robustness against
+// batches of arbitrary algorithms.
+#include <gtest/gtest.h>
+
+#include "algo/truncated_greedy.hpp"
+#include "cover/universal_cover.hpp"
+#include "lower/adversary.hpp"
+#include "lower/extension.hpp"
+#include "util/rng.hpp"
+
+namespace dmm::lower {
+namespace {
+
+using colsys::ColourSystem;
+using colsys::NodeId;
+
+/// Random exact tree with at most `target` nodes.
+ColourSystem random_tree(Rng& rng, int k, int target) {
+  ColourSystem out(k, colsys::kExactRadius);
+  std::vector<NodeId> pool{ColourSystem::root()};
+  int attempts = 0;
+  while (out.size() < target && ++attempts < target * 8) {
+    const NodeId v = pool[rng.index(pool.size())];
+    const gk::Colour c = static_cast<gk::Colour>(rng.uniform(1, k));
+    if (out.parent_colour(v) != c && out.child(v, c) == colsys::kNullNode) {
+      pool.push_back(out.add_child(v, c));
+    }
+  }
+  return out;
+}
+
+/// τ assignment picking, per node, a uniformly random non-incident colour.
+std::vector<gk::Colour> random_tau(Rng& rng, const ColourSystem& tree) {
+  std::vector<gk::Colour> tau;
+  for (NodeId v = 0; v < tree.size(); ++v) {
+    std::vector<gk::Colour> open;
+    for (gk::Colour c = 1; c <= tree.k(); ++c) {
+      if (tree.neighbour(v, c) == colsys::kNullNode) open.push_back(c);
+    }
+    tau.push_back(open[rng.index(open.size())]);
+  }
+  return tau;
+}
+
+TEST(Fuzz, RerootComposition) {
+  // (ūV re-rooted at w̄·e) ... re-rooting twice along a path equals
+  // re-rooting once at the composite node.
+  Rng rng(1201);
+  for (int trial = 0; trial < 30; ++trial) {
+    const ColourSystem v = random_tree(rng, 4, 40);
+    const NodeId a = static_cast<NodeId>(rng.index(static_cast<std::size_t>(v.size())));
+    std::vector<NodeId> map_a;
+    const ColourSystem va = v.rerooted(a, &map_a);
+    const NodeId b = static_cast<NodeId>(rng.index(static_cast<std::size_t>(v.size())));
+    const ColourSystem vab = va.rerooted(map_a[static_cast<std::size_t>(b)]);
+    const ColourSystem direct = v.rerooted(b);
+    EXPECT_TRUE(ColourSystem::equal_to_radius(vab, direct, 64));
+  }
+}
+
+TEST(Fuzz, SerializeEqualityIsStructuralEquality) {
+  Rng rng(1203);
+  for (int trial = 0; trial < 30; ++trial) {
+    const ColourSystem a = random_tree(rng, 3, 25);
+    const ColourSystem b = random_tree(rng, 3, 25);
+    const bool serial_equal = a.serialize(32) == b.serialize(32);
+    // Structural check by mutual embedding of all words.
+    bool structural = a.size() == b.size();
+    for (NodeId v = 0; structural && v < a.size(); ++v) {
+      structural = b.find(a.word_of(v)) != colsys::kNullNode;
+    }
+    EXPECT_EQ(serial_equal, structural);
+  }
+}
+
+TEST(Fuzz, PruneRemovesExactlyHeadClass) {
+  Rng rng(1207);
+  for (int trial = 0; trial < 20; ++trial) {
+    ColourSystem v = random_tree(rng, 4, 40);
+    const std::vector<gk::Colour> root_colours = v.colours_at(ColourSystem::root());
+    if (root_colours.empty()) continue;
+    const gk::Colour c = root_colours[rng.index(root_colours.size())];
+    std::vector<NodeId> map;
+    const ColourSystem p = v.pruned(c, &map);
+    int kept = 0;
+    for (NodeId n = 0; n < v.size(); ++n) {
+      const gk::Word w = v.word_of(n);
+      const bool should_keep = w.is_identity() || w.head() != c;
+      EXPECT_EQ(map[static_cast<std::size_t>(n)] != colsys::kNullNode, should_keep);
+      if (should_keep) ++kept;
+    }
+    EXPECT_EQ(p.size(), kept);
+  }
+}
+
+TEST(Fuzz, ExtensionObservationsOnRandomTemplates) {
+  // §3.3 observations (b)-(f) on random 1-regular... on random templates
+  // built from single edges with random τ, random 1-pickers.
+  Rng rng(1213);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int k = static_cast<int>(rng.uniform(4, 6));
+    ColourSystem edge(k);
+    const gk::Colour ec = static_cast<gk::Colour>(rng.uniform(1, k));
+    edge.add_child(ColourSystem::root(), ec);
+    const Template tmpl(edge, random_tau(rng, edge), 1);
+
+    Picker picker;
+    picker.choices.resize(2);
+    for (NodeId t = 0; t < 2; ++t) {
+      const std::vector<gk::Colour> free = tmpl.free_colours(t);
+      picker.choices[static_cast<std::size_t>(t)] = {free[rng.index(free.size())]};
+    }
+    const int depth = 5;
+    const Extension e = extend(tmpl, picker, depth);
+    const ColourSystem& x = e.result.tree();
+    for (NodeId v : x.nodes_up_to(depth - 1)) {
+      const NodeId label = e.p[static_cast<std::size_t>(v)];
+      if (v == ColourSystem::root()) continue;
+      const gk::Colour tail = x.parent_colour(v);
+      // (b) tail(x) ∈ C(T, p(x)) ∪ P(p(x)).
+      const auto c_label = tmpl.tree().colours_at(label);
+      const bool in_c = std::find(c_label.begin(), c_label.end(), tail) != c_label.end();
+      const bool in_p = picker.at(label).front() == tail;
+      EXPECT_TRUE(in_c || in_p);
+      // (c)/(d): the parent's label follows the relation.
+      const NodeId parent_label = e.p[static_cast<std::size_t>(x.parent(v))];
+      if (in_c) {
+        EXPECT_EQ(parent_label, tmpl.tree().neighbour(label, tail));
+      } else {
+        EXPECT_EQ(parent_label, label);
+      }
+    }
+  }
+}
+
+TEST(Fuzz, Remark1OnRandomQuotients) {
+  // Random single-edge-or-path quotient trees with random loops: the
+  // extension equals the universal cover, including label maps.
+  Rng rng(1217);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int k = 5;
+    // Quotient tree: a path of 2 or 3 nodes with random distinct colours.
+    const int quotient_nodes = static_cast<int>(rng.uniform(2, 3));
+    ColourSystem tree(k);
+    std::vector<gk::Colour> path_colours;
+    gk::Colour prev = 0;
+    for (int i = 1; i < quotient_nodes; ++i) {
+      gk::Colour c;
+      do {
+        c = static_cast<gk::Colour>(rng.uniform(1, k));
+      } while (c == prev);
+      path_colours.push_back(c);
+      prev = c;
+    }
+    NodeId tip = ColourSystem::root();
+    for (gk::Colour c : path_colours) tip = tree.add_child(tip, c);
+    const std::vector<gk::Colour> tau = random_tau(rng, tree);
+
+    // One random loop (free colour) per node.
+    cover::Multigraph quotient(quotient_nodes, k);
+    {
+      NodeId node = ColourSystem::root();
+      for (std::size_t i = 0; i < path_colours.size(); ++i) {
+        const NodeId next = tree.child(node, path_colours[i]);
+        quotient.add_edge(static_cast<cover::NodeIndex>(node),
+                          static_cast<cover::NodeIndex>(next), path_colours[i]);
+        node = next;
+      }
+    }
+    Picker picker;
+    picker.choices.resize(static_cast<std::size_t>(tree.size()));
+    const Template tmpl = make_template_unchecked(tree, tau, 0);  // h unused here
+    bool ok = true;
+    for (NodeId v = 0; v < tree.size(); ++v) {
+      const std::vector<gk::Colour> free = tmpl.free_colours(v);
+      if (free.empty()) {
+        ok = false;
+        break;
+      }
+      const gk::Colour loop = free[rng.index(free.size())];
+      picker.choices[static_cast<std::size_t>(v)] = {loop};
+      quotient.add_loop(static_cast<cover::NodeIndex>(v), loop);
+    }
+    if (!ok) continue;
+
+    const int depth = 5;
+    const Extension e = extend(tmpl, picker, depth);
+    std::vector<cover::NodeIndex> labels;
+    const ColourSystem cov = cover::universal_cover(quotient, 0, depth, &labels);
+    ASSERT_TRUE(ColourSystem::equal_to_radius(e.result.tree(), cov, depth)) << trial;
+    for (NodeId v : e.result.tree().nodes_up_to(depth - 1)) {
+      const NodeId in_cover = cov.find(e.result.tree().word_of(v));
+      ASSERT_NE(in_cover, colsys::kNullNode);
+      EXPECT_EQ(static_cast<NodeId>(labels[static_cast<std::size_t>(in_cover)]),
+                e.p[static_cast<std::size_t>(v)]);
+    }
+  }
+}
+
+TEST(Fuzz, AdversaryBatchK4Arbitrary) {
+  // A batch of arbitrary 1-round algorithms at k = 4: each is either
+  // refuted with a valid certificate or (in principle) survives — in
+  // practice random functions never survive; count and assert.
+  int refuted = 0;
+  for (std::uint64_t seed = 100; seed < 112; ++seed) {
+    const algo::ArbitraryLocal arb(4, 1, seed);
+    const LowerBoundResult result = run_adversary(4, arb);
+    if (result.refuted()) {
+      Evaluator fresh(arb);
+      EXPECT_TRUE(certificate_holds(std::get<Certificate>(result.outcome), fresh))
+          << "seed " << seed;
+      ++refuted;
+    }
+  }
+  EXPECT_GE(refuted, 10);
+}
+
+TEST(Fuzz, RealisationBallDeterministic) {
+  Rng rng(1223);
+  for (int trial = 0; trial < 10; ++trial) {
+    ColourSystem edge(5);
+    edge.add_child(ColourSystem::root(), static_cast<gk::Colour>(rng.uniform(1, 5)));
+    const Template tmpl(edge, random_tau(rng, edge), 1);
+    const auto a = realisation_ball(tmpl, 0, 4).serialize(4);
+    const auto b = realisation_ball(tmpl, 0, 4).serialize(4);
+    EXPECT_EQ(a, b);
+  }
+}
+
+}  // namespace
+}  // namespace dmm::lower

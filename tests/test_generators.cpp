@@ -1,0 +1,136 @@
+// Instance generators: every generator must produce properly coloured
+// graphs with the structural properties the experiments rely on.
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dmm::graph {
+namespace {
+
+TEST(Generators, PathGraph) {
+  const EdgeColouredGraph g = path_graph(4, {1, 2, 3, 4});
+  EXPECT_EQ(g.node_count(), 5);
+  EXPECT_EQ(g.edge_count(), 4);
+  EXPECT_TRUE(g.is_properly_coloured());
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(2), 2);
+}
+
+TEST(Generators, WorstCaseChainShape) {
+  for (int k = 2; k <= 8; ++k) {
+    const WorstCase wc = worst_case_chain(k);
+    EXPECT_EQ(wc.long_path.node_count(), k + 1);
+    EXPECT_EQ(wc.short_path.node_count(), k);
+    EXPECT_TRUE(wc.long_path.is_properly_coloured());
+    EXPECT_TRUE(wc.short_path.is_properly_coloured());
+    // u and v are the far (colour-k) endpoints.
+    EXPECT_EQ(wc.long_path.incident_colours(wc.u), (std::vector<gk::Colour>{static_cast<gk::Colour>(k)}));
+    EXPECT_EQ(wc.short_path.incident_colours(wc.v), (std::vector<gk::Colour>{static_cast<gk::Colour>(k)}));
+  }
+  EXPECT_THROW(worst_case_chain(1), std::invalid_argument);
+}
+
+TEST(Generators, Figure1GraphIsProperK4) {
+  const EdgeColouredGraph g = figure1_graph();
+  EXPECT_EQ(g.k(), 4);
+  EXPECT_TRUE(g.is_properly_coloured());
+  EXPECT_GE(g.edge_count(), 20);
+  // All four colour classes are inhabited.
+  std::vector<int> class_size(5, 0);
+  for (const Edge& e : g.edges()) ++class_size[e.colour];
+  for (int c = 1; c <= 4; ++c) EXPECT_GT(class_size[static_cast<std::size_t>(c)], 0);
+}
+
+TEST(Generators, RandomColouredGraphAlwaysProper) {
+  Rng rng(101);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = static_cast<int>(rng.uniform(2, 60));
+    const int k = static_cast<int>(rng.uniform(1, 8));
+    const EdgeColouredGraph g = random_coloured_graph(n, k, 0.7, rng);
+    EXPECT_TRUE(g.is_properly_coloured());
+    EXPECT_LE(g.max_degree(), k);
+  }
+}
+
+TEST(Generators, RandomColouredGraphDensityZeroIsEmpty) {
+  Rng rng(5);
+  const EdgeColouredGraph g = random_coloured_graph(20, 3, 0.0, rng);
+  EXPECT_EQ(g.edge_count(), 0);
+}
+
+TEST(Generators, HypercubeRegularAndPerfectClassOne) {
+  for (int dim = 1; dim <= 6; ++dim) {
+    const EdgeColouredGraph g = hypercube(dim);
+    EXPECT_EQ(g.node_count(), 1 << dim);
+    EXPECT_TRUE(g.is_properly_coloured());
+    EXPECT_EQ(g.max_degree(), dim);
+    for (graph::NodeIndex v = 0; v < g.node_count(); ++v) {
+      EXPECT_EQ(g.degree(v), dim);  // d-regular with d = k
+    }
+    // Colour class 1 is a perfect matching (the trivial d = k case, §1.3).
+    int class_one = 0;
+    for (const Edge& e : g.edges()) {
+      if (e.colour == 1) ++class_one;
+    }
+    EXPECT_EQ(class_one, g.node_count() / 2);
+  }
+}
+
+TEST(Generators, CompleteBipartitePerfectClasses) {
+  for (int d = 1; d <= 6; ++d) {
+    const EdgeColouredGraph g = complete_bipartite(d);
+    EXPECT_TRUE(g.is_properly_coloured());
+    EXPECT_EQ(g.edge_count(), d * d);
+    std::vector<int> class_size(static_cast<std::size_t>(d) + 1, 0);
+    for (const Edge& e : g.edges()) ++class_size[e.colour];
+    for (int c = 1; c <= d; ++c) EXPECT_EQ(class_size[static_cast<std::size_t>(c)], d);
+  }
+}
+
+TEST(Generators, AlternatingCycle) {
+  const EdgeColouredGraph g = alternating_cycle(4, 5, 1, 2);
+  EXPECT_EQ(g.node_count(), 10);
+  EXPECT_EQ(g.edge_count(), 10);
+  EXPECT_TRUE(g.is_properly_coloured());
+  for (graph::NodeIndex v = 0; v < g.node_count(); ++v) EXPECT_EQ(g.degree(v), 2);
+}
+
+TEST(Generators, GridGraphProperAndShaped) {
+  const EdgeColouredGraph g = graph::grid_graph(5, 4, false);
+  EXPECT_EQ(g.node_count(), 20);
+  EXPECT_TRUE(g.is_properly_coloured());
+  EXPECT_LE(g.max_degree(), 4);
+  // Interior node degree 4, corner degree 2.
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.degree(6), 4);
+}
+
+TEST(Generators, TorusIsFourRegularWithPerfectClassOne) {
+  const EdgeColouredGraph g = graph::grid_graph(6, 4, true);
+  EXPECT_TRUE(g.is_properly_coloured());
+  for (NodeIndex v = 0; v < g.node_count(); ++v) EXPECT_EQ(g.degree(v), 4);
+  int class_one = 0;
+  for (const Edge& e : g.edges()) {
+    if (e.colour == 1) ++class_one;
+  }
+  EXPECT_EQ(class_one, g.node_count() / 2);  // d = k trivial case again
+}
+
+TEST(Generators, TorusRejectsOddDimensions) {
+  EXPECT_THROW(graph::grid_graph(5, 4, true), std::invalid_argument);
+  EXPECT_THROW(graph::grid_graph(4, 3, true), std::invalid_argument);
+  EXPECT_NO_THROW(graph::grid_graph(4, 4, true));
+}
+
+TEST(Generators, ToGraphPreservesStructure) {
+  const colsys::ColourSystem s = colsys::cayley_ball(3, 3);
+  const EdgeColouredGraph g = to_graph(s);
+  EXPECT_EQ(g.node_count(), s.size());
+  EXPECT_EQ(g.edge_count(), s.size() - 1);  // trees
+  EXPECT_TRUE(g.is_properly_coloured());
+  // Node 0 (the root) keeps its colour set.
+  EXPECT_EQ(g.incident_colours(0), s.colours_at(colsys::ColourSystem::root()));
+}
+
+}  // namespace
+}  // namespace dmm::graph

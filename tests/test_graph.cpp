@@ -1,0 +1,68 @@
+// Edge-coloured graph substrate: proper-colouring enforcement, adjacency.
+#include "graph/edge_coloured_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dmm::graph {
+namespace {
+
+TEST(EdgeColouredGraph, BasicAdjacency) {
+  EdgeColouredGraph g(3, 4);
+  g.add_edge(0, 1, 2);
+  g.add_edge(1, 2, 3);
+  EXPECT_EQ(g.node_count(), 3);
+  EXPECT_EQ(g.edge_count(), 2);
+  EXPECT_EQ(*g.neighbour(0, 2), 1);
+  EXPECT_EQ(*g.neighbour(1, 2), 0);
+  EXPECT_EQ(*g.neighbour(1, 3), 2);
+  EXPECT_FALSE(g.neighbour(0, 3).has_value());
+  EXPECT_EQ(g.incident_colours(1), (std::vector<gk::Colour>{2, 3}));
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_EQ(g.max_degree(), 2);
+  EXPECT_TRUE(g.is_properly_coloured());
+}
+
+TEST(EdgeColouredGraph, RejectsImproperColouring) {
+  EdgeColouredGraph g(3, 2);
+  g.add_edge(0, 1, 1);
+  EXPECT_THROW(g.add_edge(0, 2, 1), std::logic_error);  // colour 1 reused at 0
+  EXPECT_THROW(g.add_edge(1, 2, 1), std::logic_error);  // colour 1 reused at 1
+  EXPECT_NO_THROW(g.add_edge(1, 2, 2));
+}
+
+TEST(EdgeColouredGraph, RejectsSelfLoopsAndParallelEdges) {
+  EdgeColouredGraph g(2, 3);
+  g.add_edge(0, 1, 1);
+  EXPECT_THROW(g.add_edge(0, 0, 2), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 1, 2), std::logic_error);  // parallel
+}
+
+TEST(EdgeColouredGraph, RejectsBadColoursAndNodes) {
+  EdgeColouredGraph g(2, 3);
+  EXPECT_THROW(g.add_edge(0, 1, 0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 1, 4), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 5, 1), std::out_of_range);
+  EXPECT_THROW(g.degree(-1), std::out_of_range);
+}
+
+TEST(EdgeColouredGraph, ProperColouringBoundsDegreeByK) {
+  EdgeColouredGraph g(10, 3);
+  g.add_edge(0, 1, 1);
+  g.add_edge(0, 2, 2);
+  g.add_edge(0, 3, 3);
+  EXPECT_EQ(g.degree(0), 3);
+  // A fourth edge at node 0 is impossible: all k colours used.
+  for (gk::Colour c = 1; c <= 3; ++c) {
+    EXPECT_THROW(g.add_edge(0, 4, c), std::logic_error);
+  }
+}
+
+TEST(EdgeColouredGraph, EmptyGraph) {
+  EdgeColouredGraph g(0, 1);
+  EXPECT_EQ(g.node_count(), 0);
+  EXPECT_EQ(g.max_degree(), 0);
+  EXPECT_TRUE(g.is_properly_coloured());
+}
+
+}  // namespace
+}  // namespace dmm::graph

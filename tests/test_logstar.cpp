@@ -1,0 +1,56 @@
+#include "util/logstar.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dmm {
+namespace {
+
+TEST(LogStar, SmallValues) {
+  EXPECT_EQ(log_star(0), 0);
+  EXPECT_EQ(log_star(1), 0);
+  EXPECT_EQ(log_star(2), 1);
+  EXPECT_EQ(log_star(3), 2);
+  EXPECT_EQ(log_star(4), 2);
+  EXPECT_EQ(log_star(5), 3);
+  EXPECT_EQ(log_star(16), 3);
+  EXPECT_EQ(log_star(17), 4);
+  EXPECT_EQ(log_star(65536), 4);
+  EXPECT_EQ(log_star(65537), 5);
+}
+
+TEST(LogStar, Monotone) {
+  for (std::uint64_t x = 1; x < 100000; x += 97) {
+    EXPECT_LE(log_star(x), log_star(x + 1));
+  }
+}
+
+TEST(LogStar, GrowsExtremelySlowly) {
+  EXPECT_LE(log_star(UINT64_MAX), 5);
+}
+
+TEST(FloorLog2, PowersAndBetween) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(4), 2);
+  EXPECT_EQ(floor_log2(1023), 9);
+  EXPECT_EQ(floor_log2(1024), 10);
+}
+
+TEST(CeilLog2, PowersAndBetween) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(1025), 11);
+}
+
+TEST(LogStar, DefinitionViaCeilLog2) {
+  for (std::uint64_t x = 2; x < 5000; ++x) {
+    EXPECT_EQ(log_star(x), 1 + log_star(static_cast<std::uint64_t>(ceil_log2(x))));
+  }
+}
+
+}  // namespace
+}  // namespace dmm

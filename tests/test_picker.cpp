@@ -1,0 +1,80 @@
+// Colour pickers (§3.2): validity, canonical and full pickers, disjoint
+// unions (the Lemma 8 setup).
+#include "lower/picker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dmm::lower {
+namespace {
+
+Template one_template(int k) {
+  ColourSystem edge(k);
+  edge.add_child(ColourSystem::root(), 2);
+  std::vector<Colour> tau(2, 1);
+  return Template(edge, tau, 1);
+}
+
+TEST(Picker, CanonicalPickerIsValid) {
+  const Template t = one_template(5);
+  const Picker p = canonical_free_picker(t, 1);
+  EXPECT_TRUE(is_valid_picker(t, p, 1, 1));
+  // Smallest free colour at the root: F = {3,4,5} (1 is τ, 2 incident).
+  EXPECT_EQ(p.at(ColourSystem::root()), (std::vector<Colour>{3}));
+}
+
+TEST(Picker, CanonicalPickerMultipleColours) {
+  const Template t = one_template(6);
+  const Picker p = canonical_free_picker(t, 2);
+  EXPECT_TRUE(is_valid_picker(t, p, 2, 1));
+  EXPECT_EQ(p.at(ColourSystem::root()), (std::vector<Colour>{3, 4}));
+}
+
+TEST(Picker, CanonicalPickerThrowsWhenTooGreedy) {
+  const Template t = one_template(4);  // F has k-h-1 = 2 colours
+  EXPECT_THROW(canonical_free_picker(t, 3), std::logic_error);
+}
+
+TEST(Picker, FullFreePickerTakesEverything) {
+  const Template t = one_template(5);
+  const Picker p = full_free_picker(t);
+  EXPECT_EQ(p.at(ColourSystem::root()), t.free_colours(ColourSystem::root()));
+  EXPECT_TRUE(is_valid_picker(t, p, 3, 1));
+}
+
+TEST(Picker, ValidityCatchesNonFreeChoice) {
+  const Template t = one_template(5);
+  Picker p = canonical_free_picker(t, 1);
+  p.choices[0] = {2};  // colour 2 is incident, not free
+  EXPECT_FALSE(is_valid_picker(t, p, 1, 1));
+  p.choices[0] = {1};  // colour 1 is forbidden
+  EXPECT_FALSE(is_valid_picker(t, p, 1, 1));
+}
+
+TEST(Picker, ValidityCatchesWrongArity) {
+  const Template t = one_template(5);
+  const Picker p = canonical_free_picker(t, 1);
+  EXPECT_FALSE(is_valid_picker(t, p, 2, 1));
+}
+
+TEST(Picker, DisjointAndUnion) {
+  const Template t = one_template(6);  // F = {3,4,5,6} at both nodes
+  Picker p, q;
+  p.choices = {{3}, {3}};
+  q.choices = {{4}, {5}};
+  EXPECT_TRUE(disjoint_pickers(p, q));
+  const Picker r = union_picker(p, q);
+  EXPECT_EQ(r.at(0), (std::vector<Colour>{3, 4}));
+  EXPECT_EQ(r.at(1), (std::vector<Colour>{3, 5}));
+  EXPECT_TRUE(is_valid_picker(t, r, 2, 1));
+}
+
+TEST(Picker, UnionRejectsOverlap) {
+  Picker p, q;
+  p.choices = {{3}};
+  q.choices = {{3}};
+  EXPECT_FALSE(disjoint_pickers(p, q));
+  EXPECT_THROW(union_picker(p, q), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmm::lower

@@ -1,0 +1,66 @@
+// Randomized contrast baseline: correct on everything, rounds independent
+// of k — the deterministic-only scope of Theorem 2 made visible.
+#include "algo/randomized_matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "verify/matching.hpp"
+
+namespace dmm::algo {
+namespace {
+
+TEST(Randomized, ValidMaximalMatchingOnFamilies) {
+  Rng rng(1001);
+  for (const graph::EdgeColouredGraph& g :
+       {graph::figure1_graph(), graph::hypercube(5), graph::complete_bipartite(6),
+        graph::worst_case_chain(9).long_path}) {
+    const RandomizedMatchingResult r = randomized_matching(g, rng);
+    const verify::MatchingReport report = verify::check_outputs(g, r.outputs);
+    EXPECT_TRUE(report.ok()) << report.describe();
+  }
+}
+
+TEST(Randomized, ValidOnRandomInstances) {
+  Rng rng(1003);
+  for (int trial = 0; trial < 25; ++trial) {
+    const graph::EdgeColouredGraph g = graph::random_coloured_graph(
+        static_cast<int>(rng.uniform(2, 60)), static_cast<int>(rng.uniform(1, 9)), 0.8, rng);
+    const RandomizedMatchingResult r = randomized_matching(g, rng);
+    EXPECT_TRUE(verify::check_outputs(g, r.outputs).ok());
+  }
+}
+
+TEST(Randomized, RoundsDoNotScaleWithK) {
+  // On the worst-case chain, greedy is forced to k-1 rounds; the
+  // randomized algorithm needs O(log k) (it never looks at colours).
+  Rng rng(1009);
+  for (int k : {16, 64, 200}) {
+    const graph::EdgeColouredGraph g = graph::worst_case_chain(k).long_path;
+    int worst = 0;
+    for (int rep = 0; rep < 5; ++rep) {
+      const RandomizedMatchingResult r = randomized_matching(g, rng);
+      EXPECT_TRUE(verify::check_outputs(g, r.outputs).ok());
+      worst = std::max(worst, r.rounds);
+    }
+    EXPECT_LT(worst, k - 1) << "k=" << k;   // beats the deterministic bound
+    EXPECT_LE(worst, 6 * 8 + 8) << "k=" << k;  // ~O(log edges) in practice
+  }
+}
+
+TEST(Randomized, DeterministicGivenSeed) {
+  const graph::EdgeColouredGraph g = graph::figure1_graph();
+  Rng a(77), b(77);
+  EXPECT_EQ(randomized_matching(g, a).outputs, randomized_matching(g, b).outputs);
+}
+
+TEST(Randomized, EdgelessGraph) {
+  Rng rng(1013);
+  const graph::EdgeColouredGraph g(6, 3);
+  const RandomizedMatchingResult r = randomized_matching(g, rng);
+  EXPECT_EQ(r.rounds, 0);
+  EXPECT_TRUE(verify::check_outputs(g, r.outputs).ok());
+}
+
+}  // namespace
+}  // namespace dmm::algo

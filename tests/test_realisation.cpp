@@ -1,0 +1,181 @@
+// Realisations (§3.5): lazily unfolded views, Corollary 2 symmetry,
+// Corollary 3 (template and extension share realisations), Lemma 9, the
+// memoised evaluator and the certificate machinery.
+#include "lower/realisation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algo/greedy.hpp"
+#include "algo/truncated_greedy.hpp"
+#include "lower/extension.hpp"
+
+namespace dmm::lower {
+namespace {
+
+Template one_template(int k, Colour edge_colour, Colour tau_root, Colour tau_child) {
+  ColourSystem edge(k);
+  edge.add_child(ColourSystem::root(), edge_colour);
+  return Template(edge, {tau_root, tau_child}, 1);
+}
+
+TEST(RealisationBall, ZeroTemplateGivesFullRegularTree) {
+  // real(Z, ĉ) is the (k-1)-regular tree over colours [k] - c.
+  ColourSystem z(4);
+  const Template zt(z, {2}, 0);
+  const ColourSystem ball = realisation_ball(zt, ColourSystem::root(), 2);
+  EXPECT_TRUE(ball.is_regular(3));
+  // 1 + 3 + 3*2 = 10 nodes.
+  EXPECT_EQ(ball.size(), 10);
+  // No edge of the forbidden colour anywhere.
+  for (NodeId v = 1; v < ball.size(); ++v) EXPECT_NE(ball.parent_colour(v), 2);
+}
+
+TEST(RealisationBall, EveryNodeSeesOpenColours) {
+  const Template tmpl = one_template(5, 2, 1, 3);
+  const ColourSystem ball = realisation_ball(tmpl, ColourSystem::root(), 3);
+  // Interior ball nodes all have degree k-1 = 4 (d-regular realisation).
+  for (NodeId v : ball.nodes_up_to(2)) {
+    EXPECT_EQ(ball.degree(v), 4);
+  }
+}
+
+TEST(RealisationBall, RespectsTemplateTruncation) {
+  ColourSystem tree = colsys::regular_system(4, 2, 3);
+  std::vector<Colour> tau(static_cast<std::size_t>(tree.size()), 4);
+  const Template tmpl = make_template_unchecked(tree, tau, 2);
+  EXPECT_NO_THROW(realisation_ball(tmpl, ColourSystem::root(), 3));
+  EXPECT_THROW(realisation_ball(tmpl, ColourSystem::root(), 4), std::logic_error);
+}
+
+TEST(RealisationBall, Corollary2SameLabelSameView) {
+  // Nodes of an extension with the same p-label produce identical
+  // realisation views (Corollary 2 via Lemma 7).
+  const Template tmpl = one_template(5, 2, 1, 1);
+  const Picker p = canonical_free_picker(tmpl, 1);
+  const Extension e = extend(tmpl, p, 6);
+  const int radius = 2;
+  for (NodeId a : e.result.tree().nodes_up_to(2)) {
+    for (NodeId b : e.result.tree().nodes_up_to(2)) {
+      if (a >= b || e.p[static_cast<std::size_t>(a)] != e.p[static_cast<std::size_t>(b)]) {
+        continue;
+      }
+      EXPECT_TRUE(ColourSystem::equal_to_radius(realisation_ball(e.result, a, radius),
+                                                realisation_ball(e.result, b, radius), radius));
+    }
+  }
+}
+
+TEST(RealisationBall, Corollary3ExtensionSharesRealisation) {
+  // real(K, κ) = real(T, τ): the view of x in K's realisation equals the
+  // view of p(x) in T's realisation.
+  const Template tmpl = one_template(5, 2, 1, 3);
+  const Picker p = canonical_free_picker(tmpl, 1);
+  const Extension e = extend(tmpl, p, 6);
+  const int radius = 3;
+  for (NodeId x : e.result.tree().nodes_up_to(2)) {
+    const NodeId label = e.p[static_cast<std::size_t>(x)];
+    EXPECT_TRUE(ColourSystem::equal_to_radius(realisation_ball(e.result, x, radius),
+                                              realisation_ball(tmpl, label, radius), radius))
+        << "x=" << e.result.tree().word_of(x).str();
+  }
+}
+
+TEST(Evaluator, MemoisesByView) {
+  const algo::GreedyLocal greedy(4);
+  Evaluator eval(greedy);
+  const Template zt = make_template_unchecked(ColourSystem(4), {2}, 0);
+  const Colour first = eval(zt, ColourSystem::root());
+  const Colour second = eval(zt, ColourSystem::root());
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(eval.evaluations(), 1u);
+  EXPECT_EQ(eval.memo_hits(), 1u);
+}
+
+TEST(Evaluator, GreedyOnZeroTemplateMatchesLemma10Intuition) {
+  // For the greedy algorithm, A(Z, 1̂, e) = 2 and A(Z, 3̂, e) = 1 (§3.6).
+  const algo::GreedyLocal greedy(4);
+  Evaluator eval(greedy);
+  EXPECT_EQ(eval(make_template_unchecked(ColourSystem(4), {1}, 0), ColourSystem::root()), 2);
+  EXPECT_EQ(eval(make_template_unchecked(ColourSystem(4), {3}, 0), ColourSystem::root()), 1);
+}
+
+TEST(Evaluator, Lemma9GreedyNeverUnmatchedOnNonFullTemplates) {
+  // h < d: greedy always matches every node of the realisation (Lemma 9
+  // instantiated for our concrete correct algorithm).
+  const algo::GreedyLocal greedy(5);
+  Evaluator eval(greedy);
+  for (Colour tau = 1; tau <= 5; ++tau) {
+    const Template zt = make_template_unchecked(ColourSystem(5), {tau}, 0);
+    EXPECT_NE(eval(zt, ColourSystem::root()), local::kUnmatched);
+  }
+  const Template ot = one_template(5, 2, 1, 3);
+  for (NodeId t = 0; t < ot.tree().size(); ++t) {
+    EXPECT_NE(eval(ot, t), local::kUnmatched);
+  }
+}
+
+TEST(EvaluateChecked, M1PassesForGreedy) {
+  const algo::GreedyLocal greedy(4);
+  Evaluator eval(greedy);
+  const Template ot = one_template(4, 2, 1, 3);
+  const CheckedOutput co = evaluate_checked(eval, ot, ColourSystem::root());
+  EXPECT_FALSE(co.violation.has_value());
+  EXPECT_NE(co.output, 1);  // τ(e) = 1 is not incident in the realisation
+}
+
+/// An algorithm that deliberately breaks (M1): outputs its forbidden...
+/// outputs a colour that is never incident (k+... we use τ implicitly by
+/// always answering colour 1 even when absent).
+class AlwaysColourOne final : public local::LocalAlgorithm {
+ public:
+  explicit AlwaysColourOne(int k) : k_(k) {}
+  int running_time() const override { return 0; }
+  Colour evaluate(const ColourSystem&) const override { return 1; }
+  std::string name() const override { return "always-1"; }
+
+ private:
+  int k_;
+};
+
+TEST(EvaluateChecked, M1ViolationCaught) {
+  const AlwaysColourOne bad(4);
+  Evaluator eval(bad);
+  // τ(e) = 1: colour 1 is not incident to e's realisation copy.
+  const Template zt = make_template_unchecked(ColourSystem(4), {1}, 0);
+  const CheckedOutput co = evaluate_checked(eval, zt, ColourSystem::root());
+  ASSERT_TRUE(co.violation.has_value());
+  EXPECT_EQ(co.violation->kind, Certificate::Kind::M1);
+  EXPECT_TRUE(certificate_holds(*co.violation, eval));
+  EXPECT_NE(co.violation->describe().find("M1"), std::string::npos);
+}
+
+/// Unmatches everyone: breaks Lemma 9 / (M3) immediately.
+class AlwaysBottom final : public local::LocalAlgorithm {
+ public:
+  int running_time() const override { return 0; }
+  Colour evaluate(const ColourSystem&) const override { return local::kUnmatched; }
+  std::string name() const override { return "always-bottom"; }
+};
+
+TEST(Certificate, L9RecheckHolds) {
+  const AlwaysBottom bad;
+  Evaluator eval(bad);
+  const Template zt = make_template_unchecked(ColourSystem(4), {2}, 0);
+  Certificate cert{Certificate::Kind::L9, zt, ColourSystem::root(), colsys::kNullNode,
+                   zt.free_colours(ColourSystem::root()).front(), local::kUnmatched,
+                   local::kUnmatched, "test"};
+  EXPECT_TRUE(certificate_holds(cert, eval));
+}
+
+TEST(Certificate, StaleEvidenceRejected) {
+  // A certificate claiming greedy answered ⊥ must fail the recheck.
+  const algo::GreedyLocal greedy(4);
+  Evaluator eval(greedy);
+  const Template zt = make_template_unchecked(ColourSystem(4), {2}, 0);
+  Certificate cert{Certificate::Kind::L9, zt, ColourSystem::root(), colsys::kNullNode, 1,
+                   local::kUnmatched, local::kUnmatched, "stale"};
+  EXPECT_FALSE(certificate_holds(cert, eval));
+}
+
+}  // namespace
+}  // namespace dmm::lower

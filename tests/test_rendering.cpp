@@ -1,0 +1,87 @@
+// Human-facing renderings: str()/describe()/summary() functions are part
+// of the public API (examples and the CLI rely on them), so their key
+// content is pinned here.
+#include <gtest/gtest.h>
+
+#include "algo/greedy.hpp"
+#include "algo/truncated_greedy.hpp"
+#include "graph/generators.hpp"
+#include "lower/adversary.hpp"
+
+namespace dmm {
+namespace {
+
+TEST(Rendering, GraphStrListsEdges) {
+  const graph::EdgeColouredGraph g = graph::path_graph(3, {1, 2, 3});
+  const std::string s = g.str();
+  EXPECT_NE(s.find("n=4"), std::string::npos);
+  EXPECT_NE(s.find("k=3"), std::string::npos);
+  EXPECT_NE(s.find("0 -1- 1"), std::string::npos);
+  EXPECT_NE(s.find("2 -3- 3"), std::string::npos);
+}
+
+TEST(Rendering, ColourSystemStrShowsRootAndEdges) {
+  const colsys::ColourSystem v = colsys::path_system(3, {1, 2});
+  const std::string s = v.str();
+  EXPECT_NE(s.find("e"), std::string::npos);
+  EXPECT_NE(s.find("-1-"), std::string::npos);
+  EXPECT_NE(s.find("-2-"), std::string::npos);
+}
+
+TEST(Rendering, TemplateStrShowsTauAndRadius) {
+  colsys::ColourSystem edge(4);
+  edge.add_child(colsys::ColourSystem::root(), 2);
+  const lower::Template t(edge, {1, 3}, 1);
+  const std::string s = t.str();
+  EXPECT_NE(s.find("h=1"), std::string::npos);
+  EXPECT_NE(s.find("exact"), std::string::npos);
+  EXPECT_NE(s.find("tau=1"), std::string::npos);
+  EXPECT_NE(s.find("tau=3"), std::string::npos);
+}
+
+TEST(Rendering, AlgorithmNamesAreDescriptive) {
+  EXPECT_EQ(algo::GreedyLocal(4).name(), "greedy(k=4)");
+  EXPECT_EQ(algo::TruncatedGreedy(4, 2).name(), "truncated-greedy(k=4,r=2)");
+  EXPECT_NE(algo::ArbitraryLocal(3, 1, 7).name().find("seed=7"), std::string::npos);
+}
+
+TEST(Rendering, AdversarySummaryStatesTheTheorem) {
+  const algo::GreedyLocal greedy(3);
+  const lower::LowerBoundResult result = lower::run_adversary(3, greedy);
+  const std::string s = result.summary();
+  EXPECT_NE(s.find("tight pair"), std::string::npos);
+  EXPECT_NE(s.find("U[2] = V[2]"), std::string::npos);
+  EXPECT_NE(s.find("k-1"), std::string::npos);
+}
+
+TEST(Rendering, RefutationSummaryNamesTheViolation) {
+  const algo::TruncatedGreedy fast(3, 0);
+  const lower::LowerBoundResult result = lower::run_adversary(3, fast);
+  ASSERT_TRUE(result.refuted());
+  const std::string s = result.summary();
+  EXPECT_NE(s.find("refuted"), std::string::npos);
+  // Kind appears (one of M1/M2/M3/Lemma 9).
+  const bool names_kind = s.find("M1") != std::string::npos ||
+                          s.find("M2") != std::string::npos ||
+                          s.find("M3") != std::string::npos ||
+                          s.find("Lemma 9") != std::string::npos;
+  EXPECT_TRUE(names_kind) << s;
+}
+
+TEST(Rendering, CertificateDescribeUsesWords) {
+  const algo::TruncatedGreedy fast(4, 1);
+  const lower::LowerBoundResult result = lower::run_adversary(4, fast);
+  ASSERT_TRUE(result.refuted());
+  const std::string s = std::get<lower::Certificate>(result.outcome).describe();
+  EXPECT_NE(s.find("violation at node"), std::string::npos);
+  EXPECT_NE(s.find("output="), std::string::npos);
+}
+
+TEST(Rendering, WordStrRoundTrips) {
+  for (const char* text : {"e", "2", "1.2.1.2", "4.3.2.1"}) {
+    EXPECT_EQ(gk::Word::parse(text).str(), text);
+  }
+}
+
+}  // namespace
+}  // namespace dmm

@@ -1,0 +1,194 @@
+// The §3.9 intermediate objects, tested directly against the paper's
+// observations (a)-(h) and the Lemma 12 parity facts:
+//
+//   (f)/(g)  M(K, κ) and M(L, λ) are perfect matchings (checked near),
+//   (h)      {e, χ} ∉ M(K, κ) but {e, χ} ∈ M(L, λ),
+//   parity   |K₂| is even, |L₂| is odd, and the witness y of the actual
+//            step lies in K₂ ∪ L₂.
+#include <gtest/gtest.h>
+
+#include "algo/greedy.hpp"
+#include "lower/critical_pair.hpp"
+
+namespace dmm::lower {
+namespace {
+
+struct StepFixture {
+  int k;
+  Evaluator eval;
+  CriticalPair pair;
+  int d_x;
+  StepParts parts;
+
+  static StepFixture make(int k, const local::LocalAlgorithm& algo) {
+    Evaluator eval(algo);
+    const auto colours = choose_lemma10_colours(k, eval);
+    auto base = base_case(k, std::get<Lemma10Colours>(colours), eval);
+    CriticalPair pair = std::get<CriticalPair>(std::move(base));
+    const int r = algo.running_time();
+    const int d_x = std::max(required_radius(k, 2, r) + r + 2, 2 * r + 4);
+    auto parts = build_step_parts(pair, eval, d_x);
+    return StepFixture{k, std::move(eval), std::move(pair), d_x,
+                       std::get<StepParts>(std::move(parts))};
+  }
+};
+
+TEST(StepParts, ObservationH_ChiEdgeMembership) {
+  for (int k = 3; k <= 5; ++k) {
+    const algo::GreedyLocal greedy(k);
+    StepFixture f = StepFixture::make(k, greedy);
+    const Colour chi = f.parts.chi;
+    // {e, χ} ∈ M(L, λ): both ends of L's χ-edge output χ.
+    const Template& L = f.parts.l.result;
+    const colsys::NodeId chi_in_l = L.tree().child(colsys::ColourSystem::root(), chi);
+    ASSERT_NE(chi_in_l, colsys::kNullNode);
+    EXPECT_EQ(f.eval(L, colsys::ColourSystem::root()), chi);
+    EXPECT_EQ(f.eval(L, chi_in_l), chi);
+    // {e, χ} ∉ M(K, κ): K's root does not match along χ.
+    const Template& K = f.parts.k.result;
+    EXPECT_NE(f.eval(K, colsys::ColourSystem::root()), chi);
+  }
+}
+
+TEST(StepParts, ObservationsFG_PerfectMatchingsNearTheRoot) {
+  for (int k = 3; k <= 4; ++k) {
+    const algo::GreedyLocal greedy(k);
+    StepFixture f = StepFixture::make(k, greedy);
+    const int r = greedy.running_time();
+    for (const Template* side : {&f.parts.k.result, &f.parts.l.result}) {
+      for (colsys::NodeId v : side->tree().nodes_up_to(r + 1)) {
+        const Colour out = f.eval(*side, v);
+        const auto incident = side->tree().colours_at(v);
+        ASSERT_NE(std::find(incident.begin(), incident.end(), out), incident.end())
+            << "k=" << k << " node " << side->tree().word_of(v).str();
+        // (M2) pairing.
+        EXPECT_EQ(f.eval(*side, side->tree().neighbour(v, out)), out);
+      }
+    }
+  }
+}
+
+TEST(StepParts, SymmetryChiBarKEqualsK) {
+  // Observation (e): χ̄K = K — K looks the same from both ends of the
+  // χ-edge (they share their p-image).
+  const algo::GreedyLocal greedy(4);
+  StepFixture f = StepFixture::make(4, greedy);
+  const Template& K = f.parts.k.result;
+  const colsys::NodeId chi_node =
+      K.tree().child(colsys::ColourSystem::root(), f.parts.chi);
+  ASSERT_NE(chi_node, colsys::kNullNode);
+  const Template flipped = K.rerooted(chi_node);
+  const int radius = std::min(4, flipped.valid_radius());
+  EXPECT_TRUE(colsys::ColourSystem::equal_to_radius(K.tree(), flipped.tree(), radius));
+}
+
+TEST(StepParts, Lemma12ParityFacts) {
+  for (int k = 3; k <= 4; ++k) {
+    const algo::GreedyLocal greedy(k);
+    StepFixture f = StepFixture::make(k, greedy);
+    const int r = greedy.running_time();
+    const Lemma12Partition partition = lemma12_partition(f.parts, f.eval, r);
+    EXPECT_EQ(partition.k2.size() % 2, 0u) << "k=" << k;   // even
+    EXPECT_EQ(partition.l2.size() % 2, 1u) << "k=" << k;   // odd
+  }
+}
+
+TEST(StepParts, WitnessLiesInKTwoUnionLTwo) {
+  for (int k = 3; k <= 4; ++k) {
+    const algo::GreedyLocal greedy(k);
+    StepFixture f = StepFixture::make(k, greedy);
+    const int r = greedy.running_time();
+    const Lemma12Partition partition = lemma12_partition(f.parts, f.eval, r);
+    // Run the real step to obtain y.
+    StepTrace trace;
+    const StepOutcome out =
+        inductive_step(f.pair, f.eval, required_radius(k, 2, r), &trace);
+    ASSERT_TRUE(std::holds_alternative<CriticalPair>(out));
+    ASSERT_TRUE(trace.y_found);
+    const colsys::NodeId y = f.parts.x.tree().find(trace.y);
+    ASSERT_NE(y, colsys::kNullNode);
+    const bool in_k2 =
+        std::find(partition.k2.begin(), partition.k2.end(), y) != partition.k2.end();
+    const bool in_l2 =
+        std::find(partition.l2.begin(), partition.l2.end(), y) != partition.l2.end();
+    EXPECT_TRUE(in_k2 || in_l2) << "k=" << k << " y=" << trace.y.str();
+  }
+}
+
+TEST(StepParts, PairwiseHCompatibility) {
+  // §3.9's second observation list: (X, ξ), (K, κ), (L, λ) are pairwise
+  // h-compatible.
+  for (int k = 3; k <= 4; ++k) {
+    const algo::GreedyLocal greedy(k);
+    StepFixture f = StepFixture::make(k, greedy);
+    const int h = f.pair.level;
+    EXPECT_TRUE(compatible(f.parts.x, f.parts.k.result, h)) << k;
+    EXPECT_TRUE(compatible(f.parts.x, f.parts.l.result, h)) << k;
+    EXPECT_TRUE(compatible(f.parts.k.result, f.parts.l.result, h)) << k;
+  }
+}
+
+TEST(StepParts, RerootedHPlusOneCompatibility) {
+  // (ȳX, ȳξ) and (ȳK, ȳκ) are (h+1)-compatible for y ∈ K₁ (and with L for
+  // y ∈ L₁) — checked on a few near nodes of each side.
+  const algo::GreedyLocal greedy(4);
+  StepFixture f = StepFixture::make(4, greedy);
+  const int h = f.pair.level;
+  int checked = 0;
+  for (colsys::NodeId y : f.parts.x.tree().nodes_up_to(1)) {
+    const gk::Word w = f.parts.x.tree().word_of(y);
+    const bool l_side = !w.is_identity() && w.head() == f.parts.chi;
+    const Template& source = l_side ? f.parts.l.result : f.parts.k.result;
+    const colsys::NodeId y_src = source.tree().find(w);
+    ASSERT_NE(y_src, colsys::kNullNode);
+    EXPECT_TRUE(compatible(f.parts.x.rerooted(y), source.rerooted(y_src), h + 1))
+        << w.str();
+    ++checked;
+  }
+  EXPECT_GE(checked, 3);
+}
+
+TEST(StepParts, VerifyCriticalPairCatchesFabrications) {
+  // Negative control for the (C1)-(C4) checker: a "pair" whose T-side root
+  // output is an incident colour violates (C3).
+  const algo::GreedyLocal greedy(4);
+  Evaluator eval(greedy);
+  // S = T = the single edge {e, 2} with τ ≡ 1: greedy matches everything
+  // along colour 2 at the root, so A(T, τ, e) ∈ C(T, e): (C3) fails.
+  colsys::ColourSystem edge(4);
+  edge.add_child(colsys::ColourSystem::root(), 2);
+  const Template t(edge, {1, 1}, 1);
+  const CriticalPair fake{t, t, 1};
+  const auto failure = verify_critical_pair(fake, eval, 1);
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_NE(failure->find("(C3)"), std::string::npos);
+}
+
+TEST(StepParts, PickersAreValidOnTheExpandedRegion) {
+  const algo::GreedyLocal greedy(4);
+  StepFixture f = StepFixture::make(4, greedy);
+  EXPECT_TRUE(is_valid_picker(f.pair.t, f.parts.q, 1, f.d_x - 1));
+  EXPECT_TRUE(is_valid_picker(f.pair.s, f.parts.p, 1, f.d_x - 1));
+  // P copies Q on the shared prefix (depth ≤ h-1 = 0: the root).
+  EXPECT_EQ(f.parts.p.at(colsys::ColourSystem::root()),
+            f.parts.q.at(colsys::ColourSystem::root()));
+}
+
+TEST(StepParts, XSplicesKAndL) {
+  const algo::GreedyLocal greedy(4);
+  StepFixture f = StepFixture::make(4, greedy);
+  const Colour chi = f.parts.chi;
+  const Template& X = f.parts.x;
+  // X's non-χ root branches come from K; the χ-subtree comes from L.
+  for (colsys::NodeId v : X.tree().nodes_up_to(3)) {
+    const gk::Word w = X.tree().word_of(v);
+    const bool l_side = !w.is_identity() && w.head() == chi;
+    const Template& source = l_side ? f.parts.l.result : f.parts.k.result;
+    const colsys::NodeId in_source = source.tree().find(w);
+    ASSERT_NE(in_source, colsys::kNullNode) << w.str();
+    EXPECT_EQ(X.tau(v), source.tau(in_source)) << w.str();
+  }
+}
+
+}  // namespace
+}  // namespace dmm::lower

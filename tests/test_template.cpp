@@ -1,0 +1,110 @@
+// Templates (§3.2): validity, free colours, transport of τ through tree
+// surgeries, and the (C1)/(C2) compatibility predicate of §3.7.
+#include "lower/template.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dmm::lower {
+namespace {
+
+TEST(Template, ZeroTemplateShape) {
+  Template z(ColourSystem(4), {2}, 0);
+  EXPECT_EQ(z.h(), 0);
+  EXPECT_EQ(z.tau(ColourSystem::root()), 2);
+  EXPECT_EQ(z.free_colours(ColourSystem::root()), (std::vector<Colour>{1, 3, 4}));
+  EXPECT_EQ(z.open_colours(ColourSystem::root()), (std::vector<Colour>{1, 3, 4}));
+}
+
+TEST(Template, RejectsTauIncidentToNode) {
+  ColourSystem edge(4);
+  edge.add_child(ColourSystem::root(), 2);
+  // τ(e) = 2 collides with the incident edge of colour 2.
+  EXPECT_THROW(Template(edge, {2, 1}, 1), std::invalid_argument);
+  EXPECT_NO_THROW(Template(edge, {1, 1}, 1));
+}
+
+TEST(Template, RejectsTauOutOfRange) {
+  EXPECT_THROW(Template(ColourSystem(4), {0}, 0), std::invalid_argument);
+  EXPECT_THROW(Template(ColourSystem(4), {5}, 0), std::invalid_argument);
+}
+
+TEST(Template, RejectsNonRegularTree) {
+  ColourSystem path = colsys::path_system(4, {1, 2});
+  // Interior node has degree 2, endpoints degree 1: not 1-regular.
+  EXPECT_THROW(Template(path, {3, 3, 3}, 1), std::invalid_argument);
+}
+
+TEST(Template, RejectsSizeMismatch) {
+  EXPECT_THROW(Template(ColourSystem(4), {1, 1}, 0), std::invalid_argument);
+}
+
+TEST(Template, FreeColoursCountForHTemplate) {
+  // An h-template over [k] has |F| = k - h - 1 everywhere (interior).
+  const int k = 5, h = 3;
+  ColourSystem tree = colsys::regular_system(k, h, 3);
+  std::vector<Colour> tau;
+  for (NodeId t = 0; t < tree.size(); ++t) {
+    // The largest colour not incident works as τ for this builder (it uses
+    // the smallest colours first).
+    Colour forbidden = static_cast<Colour>(k);
+    while (tree.neighbour(t, forbidden) != colsys::kNullNode) --forbidden;
+    tau.push_back(forbidden);
+  }
+  const Template tmpl(tree, tau, h);
+  for (NodeId t : tree.nodes_up_to(2)) {
+    EXPECT_EQ(static_cast<int>(tmpl.free_colours(t).size()), k - h - 1);
+    EXPECT_EQ(static_cast<int>(tmpl.open_colours(t).size()), k - 1);
+  }
+}
+
+TEST(Template, RerootedTransportsTau) {
+  ColourSystem edge(4);
+  const NodeId child = edge.add_child(ColourSystem::root(), 2);
+  Template t(edge, {1, 3}, 1);
+  const Template r = t.rerooted(child);
+  // After re-rooting at the child, the root's τ is the child's old τ.
+  EXPECT_EQ(r.tau(ColourSystem::root()), 3);
+  const NodeId new_child = r.tree().find(gk::Word::generator(2));
+  ASSERT_NE(new_child, colsys::kNullNode);
+  EXPECT_EQ(r.tau(new_child), 1);
+}
+
+TEST(Template, RestrictedTransportsTau) {
+  ColourSystem tree = colsys::path_system(4, {1});
+  Template t(tree, {2, 2}, 1);
+  const Template cut = t.restricted(1, 1);
+  EXPECT_EQ(cut.tree().size(), 2);
+  EXPECT_EQ(cut.tau(ColourSystem::root()), 2);
+}
+
+TEST(Compatible, C1AndC2) {
+  // Two single-edge templates with equal trees: compatibility at h = 1
+  // needs σ[0] = τ[0], i.e. equal τ at the root only.
+  ColourSystem edge(4);
+  edge.add_child(ColourSystem::root(), 2);
+  const Template a(edge, {1, 1}, 1);
+  const Template b(edge, {1, 3}, 1);  // same τ(e), different τ(c2)
+  const Template c(edge, {3, 3}, 1);  // different τ(e)
+  EXPECT_TRUE(compatible(a, b, 1));
+  EXPECT_FALSE(compatible(a, c, 1));
+  // At h = 2 the τ of depth-1 nodes matters too.
+  EXPECT_FALSE(compatible(a, b, 2));
+}
+
+TEST(Compatible, DifferentTreesFail) {
+  ColourSystem e1(4), e2(4);
+  e1.add_child(ColourSystem::root(), 2);
+  e2.add_child(ColourSystem::root(), 3);
+  EXPECT_FALSE(compatible(Template(e1, {1, 1}, 1), Template(e2, {1, 1}, 1), 1));
+}
+
+TEST(Template, MakeUncheckedSkipsValidation) {
+  // Used internally for by-construction-valid results; it must not throw
+  // even for data the checked constructor would reject.
+  ColourSystem edge(4);
+  edge.add_child(ColourSystem::root(), 2);
+  EXPECT_NO_THROW(make_template_unchecked(edge, {2, 1}, 1));
+}
+
+}  // namespace
+}  // namespace dmm::lower

@@ -1,0 +1,54 @@
+// Maximal matching in 2-coloured graphs (§1.1 / E13): one round suffices.
+#include "algo/two_colour.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algo/greedy.hpp"
+#include "graph/generators.hpp"
+#include "verify/matching.hpp"
+
+namespace dmm::algo {
+namespace {
+
+TEST(TwoColour, AlternatingCycleFullyMatchedInstantly) {
+  const graph::EdgeColouredGraph g = graph::alternating_cycle(2, 5, 1, 2);
+  const TwoColourResult r = two_colour_matching(g);
+  EXPECT_TRUE(verify::check_outputs(g, r.outputs).ok());
+  // Colour-1 edges form a perfect matching here.
+  for (gk::Colour c : r.outputs) EXPECT_EQ(c, 1);
+}
+
+TEST(TwoColour, PathNeedsTheOneAllowedRound) {
+  const graph::EdgeColouredGraph g = graph::path_graph(2, {1, 2});
+  const TwoColourResult r = two_colour_matching(g);
+  EXPECT_TRUE(verify::check_outputs(g, r.outputs).ok());
+  EXPECT_EQ(r.rounds, 1);
+  EXPECT_EQ(r.outputs[2], local::kUnmatched);
+}
+
+TEST(TwoColour, MatchesGreedyEverywhere) {
+  Rng rng(431);
+  for (int trial = 0; trial < 30; ++trial) {
+    const graph::EdgeColouredGraph g =
+        graph::random_coloured_graph(static_cast<int>(rng.uniform(2, 50)), 2, 0.8, rng);
+    const TwoColourResult r = two_colour_matching(g);
+    EXPECT_EQ(r.outputs, greedy_outputs(g));
+    EXPECT_LE(r.rounds, 1);  // Lemma 1 with k = 2
+  }
+}
+
+TEST(TwoColour, SingleColourInstancesTakeZeroRounds) {
+  Rng rng(433);
+  const graph::EdgeColouredGraph g = graph::random_coloured_graph(30, 1, 0.9, rng);
+  const TwoColourResult r = two_colour_matching(g);
+  EXPECT_EQ(r.rounds, 0);
+  EXPECT_TRUE(verify::check_outputs(g, r.outputs).ok());
+}
+
+TEST(TwoColour, RejectsLargerPalettes) {
+  const graph::EdgeColouredGraph g = graph::path_graph(3, {1, 2, 3});
+  EXPECT_THROW(two_colour_matching(g), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmm::algo

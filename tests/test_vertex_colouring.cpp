@@ -1,0 +1,90 @@
+// (Δ+1)-vertex colouring (§1.1 / E13): properness, palette Δ+1, and the
+// log*-flavoured round behaviour in the identifier width.
+#include "algo/vertex_colouring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "util/logstar.hpp"
+
+namespace dmm::algo {
+namespace {
+
+std::vector<std::uint64_t> spread_ids(Rng& rng, int n, std::uint64_t stride) {
+  std::vector<std::uint64_t> ids(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = (i + 1) * stride;
+  std::shuffle(ids.begin(), ids.end(), rng.engine());
+  return ids;
+}
+
+TEST(VertexColouring, ProperWithDeltaPlusOneColours) {
+  Rng rng(901);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = static_cast<int>(rng.uniform(2, 60));
+    const int k = static_cast<int>(rng.uniform(1, 7));
+    const graph::EdgeColouredGraph g = graph::random_coloured_graph(n, k, 0.8, rng);
+    const auto ids = spread_ids(rng, n, 97);
+    const VertexColouringResult r = delta_plus_one_colouring(g, ids);
+    EXPECT_TRUE(is_proper_vertex_colouring(g, r.colours));
+    EXPECT_LE(r.palette, g.max_degree() + 1);
+    for (std::int64_t c : r.colours) {
+      EXPECT_GE(c, 0);
+      EXPECT_LT(c, r.palette);
+    }
+  }
+}
+
+TEST(VertexColouring, NamedFamilies) {
+  Rng rng(907);
+  for (const graph::EdgeColouredGraph& g :
+       {graph::figure1_graph(), graph::hypercube(4), graph::complete_bipartite(5),
+        graph::worst_case_chain(7).long_path}) {
+    const auto ids = spread_ids(rng, g.node_count(), 1315423911ull);
+    const VertexColouringResult r = delta_plus_one_colouring(g, ids);
+    EXPECT_TRUE(is_proper_vertex_colouring(g, r.colours));
+    EXPECT_LE(r.palette, g.max_degree() + 1);
+  }
+}
+
+TEST(VertexColouring, RoundsInsensitiveToIdWidth) {
+  // Doubling the id width costs O(log*) extra rounds only.
+  Rng rng(911);
+  const graph::EdgeColouredGraph g = graph::random_coloured_graph(48, 4, 0.8, rng);
+  Rng r1(1), r2(2);
+  const VertexColouringResult narrow =
+      delta_plus_one_colouring(g, spread_ids(r1, g.node_count(), 3));
+  const VertexColouringResult wide =
+      delta_plus_one_colouring(g, spread_ids(r2, g.node_count(), 1ull << 40));
+  EXPECT_LE(wide.rounds, narrow.rounds + log_star(1ull << 46) + 2);
+}
+
+TEST(VertexColouring, RejectsBadIds) {
+  const graph::EdgeColouredGraph g = graph::path_graph(2, {1, 2});
+  EXPECT_THROW(delta_plus_one_colouring(g, {1, 2}), std::invalid_argument);        // wrong size
+  EXPECT_THROW(delta_plus_one_colouring(g, {1, 1, 2}), std::invalid_argument);     // duplicate
+  EXPECT_NO_THROW(delta_plus_one_colouring(g, {5, 1, 9}));
+}
+
+TEST(VertexColouring, EdgelessGraphGetsOneColour) {
+  const graph::EdgeColouredGraph g(5, 2);
+  const VertexColouringResult r = delta_plus_one_colouring(g, {1, 2, 3, 4, 5});
+  EXPECT_TRUE(is_proper_vertex_colouring(g, r.colours));
+  EXPECT_LE(r.palette, 1);
+}
+
+TEST(VertexColouring, PathNeedsOnlyThreeColoursWorth) {
+  // Δ = 2 on paths: palette ≤ 3.
+  std::vector<gk::Colour> colours;
+  for (int c = 1; c <= 12; ++c) colours.push_back(static_cast<gk::Colour>(c));
+  const graph::EdgeColouredGraph g = graph::path_graph(12, colours);
+  std::vector<std::uint64_t> ids(static_cast<std::size_t>(g.node_count()));
+  std::iota(ids.begin(), ids.end(), 100);
+  const VertexColouringResult r = delta_plus_one_colouring(g, ids);
+  EXPECT_LE(r.palette, 3);
+  EXPECT_TRUE(is_proper_vertex_colouring(g, r.colours));
+}
+
+}  // namespace
+}  // namespace dmm::algo

@@ -1,0 +1,169 @@
+// Group G_k (§2.1): reduced words, involution relations, norm / metric
+// facts stated in the paper, exercised both on hand-picked cases and on
+// randomized sweeps over k.
+#include "gk/word.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace dmm::gk {
+namespace {
+
+Word random_word(Rng& rng, int k, int max_len) {
+  std::vector<Colour> letters;
+  const int len = static_cast<int>(rng.uniform(0, max_len));
+  for (int i = 0; i < len; ++i) {
+    letters.push_back(static_cast<Colour>(rng.uniform(1, k)));
+  }
+  return Word::from_letters(letters);
+}
+
+TEST(Word, IdentityBasics) {
+  Word e;
+  EXPECT_TRUE(e.is_identity());
+  EXPECT_EQ(e.norm(), 0);
+  EXPECT_EQ(e.str(), "e");
+  EXPECT_EQ(e * e, e);
+  EXPECT_EQ(e.inverse(), e);
+}
+
+TEST(Word, GeneratorsAreInvolutions) {
+  for (Colour c = 1; c <= 9; ++c) {
+    const Word g = Word::generator(c);
+    EXPECT_EQ(g * g, Word{});
+    EXPECT_EQ(g.inverse(), g);
+    EXPECT_EQ(g.norm(), 1);
+  }
+}
+
+TEST(Word, FromLettersReduces) {
+  EXPECT_EQ(Word::from_letters({1, 1}), Word{});
+  EXPECT_EQ(Word::from_letters({1, 2, 2, 1}), Word{});
+  EXPECT_EQ(Word::from_letters({1, 2, 2, 3}).str(), "1.3");
+  EXPECT_EQ(Word::from_letters({3, 3, 3}).str(), "3");
+  EXPECT_EQ(Word::from_letters({1, 2, 1, 2}).norm(), 4);
+}
+
+TEST(Word, ParseRoundTrip) {
+  for (const char* text : {"e", "1", "3.1.2", "2.1.2.1.2"}) {
+    EXPECT_EQ(Word::parse(text).str(), text);
+  }
+  EXPECT_THROW(Word::parse("0"), std::invalid_argument);
+}
+
+TEST(Word, TailHeadPred) {
+  const Word w = Word::parse("3.1.2");
+  EXPECT_EQ(w.tail(), 2);
+  EXPECT_EQ(w.head(), 3);
+  EXPECT_EQ(w.pred().str(), "3.1");
+  // head(x) = tail(x̄), as defined in the paper.
+  EXPECT_EQ(w.head(), w.inverse().tail());
+  EXPECT_THROW(Word{}.tail(), std::logic_error);
+  EXPECT_THROW(Word{}.head(), std::logic_error);
+  EXPECT_THROW(Word{}.pred(), std::logic_error);
+}
+
+TEST(Word, PredReducesNormByOne) {
+  const Word w = Word::parse("1.2.3.4");
+  EXPECT_EQ((w * w.tail()).norm(), w.norm() - 1);
+  EXPECT_EQ(w.pred(), w * w.tail());
+}
+
+TEST(Word, MultiplicationSeamCancellation) {
+  EXPECT_EQ((Word::parse("1.2") * Word::parse("2.1")), Word{});
+  EXPECT_EQ((Word::parse("1.2") * Word::parse("2.3")).str(), "1.3");
+  EXPECT_EQ((Word::parse("1.2.3") * Word::parse("3.2.1")), Word{});
+  EXPECT_EQ((Word::parse("1.2.3") * Word::parse("1.2.3")).norm(), 6);
+}
+
+TEST(Word, NormParityLaw) {
+  // |xy| ≡ |x| + |y| (mod 2) for all x, y (paper §2.1).
+  Rng rng(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Word x = random_word(rng, 5, 12);
+    const Word y = random_word(rng, 5, 12);
+    EXPECT_EQ(((x * y).norm() - x.norm() - y.norm()) % 2, 0);
+  }
+}
+
+TEST(Word, NormAdditiveIff) {
+  // |xy| = |x| + |y| iff x = e, y = e, or tail(x) != head(y).
+  Rng rng(11);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Word x = random_word(rng, 4, 10);
+    const Word y = random_word(rng, 4, 10);
+    const bool additive = (x * y).norm() == x.norm() + y.norm();
+    EXPECT_EQ(additive, norm_additive(x, y)) << x.str() << " * " << y.str();
+  }
+}
+
+TEST(Word, MetricAxioms) {
+  Rng rng(13);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Word x = random_word(rng, 4, 8);
+    const Word y = random_word(rng, 4, 8);
+    const Word z = random_word(rng, 4, 8);
+    EXPECT_EQ(distance(x, x), 0);
+    EXPECT_EQ(distance(x, y), distance(y, x));
+    EXPECT_LE(distance(x, z), distance(x, y) + distance(y, z));
+    EXPECT_EQ(distance(x, y) == 0, x == y);
+  }
+}
+
+TEST(Word, InverseNormPreserved) {
+  Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Word x = random_word(rng, 6, 15);
+    EXPECT_EQ(x.inverse().norm(), x.norm());
+    EXPECT_EQ(x * x.inverse(), Word{});
+    EXPECT_EQ(x.inverse() * x, Word{});
+  }
+}
+
+TEST(Word, Associativity) {
+  Rng rng(19);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Word x = random_word(rng, 4, 8);
+    const Word y = random_word(rng, 4, 8);
+    const Word z = random_word(rng, 4, 8);
+    EXPECT_EQ((x * y) * z, x * (y * z));
+  }
+}
+
+TEST(Word, GeneratorMultiplicationMatchesWordMultiplication) {
+  Rng rng(23);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Word x = random_word(rng, 5, 10);
+    const Colour c = static_cast<Colour>(rng.uniform(1, 5));
+    EXPECT_EQ(x * c, x * Word::generator(c));
+  }
+}
+
+TEST(Word, DistanceOneMeansEdgeOfThatColour) {
+  // If |x̄y| = 1 then x and y are joined by an edge of colour x̄y in Γ_k.
+  const Word x = Word::parse("1.2");
+  const Word y = Word::parse("1.2.3");
+  EXPECT_EQ(distance(x, y), 1);
+  EXPECT_EQ((x.inverse() * y).str(), "3");
+}
+
+TEST(WordHash, EqualWordsHashEqual) {
+  Rng rng(29);
+  WordHash hash;
+  for (int trial = 0; trial < 100; ++trial) {
+    const Word x = random_word(rng, 4, 10);
+    const Word y = Word::from_letters(x.letters());
+    EXPECT_EQ(hash(x), hash(y));
+  }
+}
+
+TEST(Word, OrderingIsTotal) {
+  const Word a = Word::parse("1");
+  const Word b = Word::parse("1.2");
+  EXPECT_TRUE(a < b || b < a || a == b);
+  EXPECT_FALSE(a < a);
+}
+
+}  // namespace
+}  // namespace dmm::gk

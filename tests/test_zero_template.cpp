@@ -1,0 +1,126 @@
+// Lemma 10 (§3.6): the seed colours exist for correct algorithms and the
+// case analysis is exercised on adversarial-but-M1-valid algorithms.
+#include "lower/zero_template.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algo/greedy.hpp"
+#include "algo/truncated_greedy.hpp"
+
+namespace dmm::lower {
+namespace {
+
+TEST(ZeroTemplate, ConstructionAndValidation) {
+  const Template z = zero_template(5, 3);
+  EXPECT_EQ(z.h(), 0);
+  EXPECT_EQ(z.tau(ColourSystem::root()), 3);
+  EXPECT_THROW(zero_template(5, 0), std::invalid_argument);
+  EXPECT_THROW(zero_template(5, 6), std::invalid_argument);
+}
+
+void expect_lemma10_contract(const Lemma10Colours& c, Evaluator& eval, int k) {
+  // Distinctness.
+  EXPECT_NE(c.c1, c.c2);
+  EXPECT_NE(c.c2, c.c3);
+  EXPECT_NE(c.c1, c.c3);
+  // A(Z, ĉ1, e) = c2 and A(Z, ĉ3, e) = c4 != c2.
+  EXPECT_EQ(eval(zero_template(k, c.c1), ColourSystem::root()), c.c2);
+  EXPECT_EQ(eval(zero_template(k, c.c3), ColourSystem::root()), c.c4);
+  EXPECT_NE(c.c4, c.c2);
+}
+
+TEST(Lemma10, GreedySweepOverK) {
+  for (int k = 3; k <= 7; ++k) {
+    const algo::GreedyLocal greedy(k);
+    Evaluator eval(greedy);
+    const auto out = choose_lemma10_colours(k, eval);
+    ASSERT_TRUE(std::holds_alternative<Lemma10Colours>(out)) << "k=" << k;
+    Lemma10Colours c = std::get<Lemma10Colours>(out);
+    expect_lemma10_contract(c, eval, k);
+  }
+}
+
+TEST(Lemma10, GreedyConcreteValuesK4) {
+  // h(c) = smallest colour != c; h(1) = 2, h(2) = 1, so h(h(1)) = 1 and the
+  // second branch fires with c = 3: h(3) = 1 != h(1) = 2
+  //   -> c1 = 1, c2 = 2, c3 = 3, c4 = h(3) = 1.
+  const algo::GreedyLocal greedy(4);
+  Evaluator eval(greedy);
+  const auto out = choose_lemma10_colours(4, eval);
+  ASSERT_TRUE(std::holds_alternative<Lemma10Colours>(out));
+  const Lemma10Colours c = std::get<Lemma10Colours>(out);
+  EXPECT_EQ(c.c1, 1);
+  EXPECT_EQ(c.c2, 2);
+  EXPECT_EQ(c.c3, 3);
+  EXPECT_EQ(c.c4, 1);
+}
+
+TEST(Lemma10, TruncatedGreedyStillYieldsColours) {
+  // Radius-limited greedy is wrong globally but answers zero-templates the
+  // same way; Lemma 10 must go through (the refutation happens later).
+  for (int r = 0; r <= 2; ++r) {
+    const algo::TruncatedGreedy fast(4, r);
+    Evaluator eval(fast);
+    const auto out = choose_lemma10_colours(4, eval);
+    ASSERT_TRUE(std::holds_alternative<Lemma10Colours>(out)) << "r=" << r;
+    Lemma10Colours c = std::get<Lemma10Colours>(out);
+    expect_lemma10_contract(c, eval, 4);
+  }
+}
+
+/// Breaks Lemma 9 on zero-templates: answers ⊥ whenever the view is the
+/// full (k-1)-regular tree of a zero-template realisation.
+class BottomOnZero final : public local::LocalAlgorithm {
+ public:
+  explicit BottomOnZero(int k) : k_(k) {}
+  int running_time() const override { return 0; }
+  Colour evaluate(const ColourSystem& view) const override {
+    if (static_cast<int>(view.colours_at(ColourSystem::root()).size()) == k_ - 1) {
+      return local::kUnmatched;
+    }
+    return view.colours_at(ColourSystem::root()).empty()
+               ? local::kUnmatched
+               : view.colours_at(ColourSystem::root()).front();
+  }
+  std::string name() const override { return "bottom-on-zero"; }
+
+ private:
+  int k_;
+};
+
+TEST(Lemma10, Lemma9ViolationSurfacesAsCertificate) {
+  const BottomOnZero bad(4);
+  Evaluator eval(bad);
+  const auto out = choose_lemma10_colours(4, eval);
+  ASSERT_TRUE(std::holds_alternative<Certificate>(out));
+  const Certificate& cert = std::get<Certificate>(out);
+  EXPECT_EQ(cert.kind, Certificate::Kind::L9);
+  Evaluator fresh(bad);
+  EXPECT_TRUE(certificate_holds(cert, fresh));
+}
+
+TEST(Lemma10, RequiresKAtLeastThree) {
+  const algo::GreedyLocal greedy(2);
+  Evaluator eval(greedy);
+  EXPECT_THROW(choose_lemma10_colours(2, eval), std::invalid_argument);
+}
+
+TEST(Lemma10, ArbitraryAlgorithmsEitherYieldColoursOrCertificates) {
+  // Property sweep: for any M1-respecting deterministic function, Lemma 10
+  // either succeeds with the contract or pinpoints a Lemma 9 breach.
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const algo::ArbitraryLocal arb(5, 1, seed);
+    Evaluator eval(arb);
+    const auto out = choose_lemma10_colours(5, eval);
+    if (std::holds_alternative<Lemma10Colours>(out)) {
+      Lemma10Colours c = std::get<Lemma10Colours>(out);
+      expect_lemma10_contract(c, eval, 5);
+    } else {
+      Evaluator fresh(arb);
+      EXPECT_TRUE(certificate_holds(std::get<Certificate>(out), fresh)) << "seed=" << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dmm::lower

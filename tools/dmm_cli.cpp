@@ -1,0 +1,226 @@
+// dmm_cli — command-line driver for the library.
+//
+//   dmm_cli greedy     --instance <spec>
+//   dmm_cli adversary  --k <k> --algorithm <spec> [--certificate-out <path>] [--no-memo]
+//   dmm_cli lemma4     --algorithm <spec>
+//   dmm_cli check      --certificate <path> --algorithm <spec>
+//   dmm_cli export-dot --instance <spec> [--out <path>]
+//
+// Instance specs:
+//   chain:<k>            the §1.2 worst-case long path
+//   figure1              the Figure-1 style k=4 graph
+//   hypercube:<d>        Q_d with dimension colours (d = k trivial case)
+//   bipartite:<d>        K_{d,d} with perfect colour classes
+//   random:<n>:<k>:<pct>:<seed>
+//   file:<path>          dmm-graph format (see src/io/serialize.hpp)
+//
+// Algorithm specs:
+//   greedy:<k>           the real greedy algorithm (Lemma 1)
+//   truncated:<k>:<r>    radius-limited greedy (refuted when r < k-1)
+//   firstcolour:<k>      the 0-round heuristic
+//   arbitrary:<k>:<r>:<seed>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "core/dmm.hpp"
+
+namespace {
+
+using namespace dmm;
+
+[[noreturn]] void fail(const std::string& message) {
+  std::cerr << "dmm_cli: " << message << "\n";
+  std::exit(2);
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::istringstream in(text);
+  std::string part;
+  while (std::getline(in, part, sep)) parts.push_back(part);
+  return parts;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+graph::EdgeColouredGraph parse_instance(const std::string& spec) {
+  const std::vector<std::string> parts = split(spec, ':');
+  if (parts.empty()) fail("empty instance spec");
+  if (parts[0] == "chain" && parts.size() == 2) {
+    return graph::worst_case_chain(std::stoi(parts[1])).long_path;
+  }
+  if (parts[0] == "figure1") return graph::figure1_graph();
+  if (parts[0] == "hypercube" && parts.size() == 2) {
+    return graph::hypercube(std::stoi(parts[1]));
+  }
+  if (parts[0] == "bipartite" && parts.size() == 2) {
+    return graph::complete_bipartite(std::stoi(parts[1]));
+  }
+  if (parts[0] == "random" && parts.size() == 5) {
+    Rng rng(std::stoull(parts[4]));
+    return graph::random_coloured_graph(std::stoi(parts[1]), std::stoi(parts[2]),
+                                        std::stod(parts[3]) / 100.0, rng);
+  }
+  if (parts[0] == "file" && parts.size() == 2) {
+    return io::read_graph(slurp(parts[1]));
+  }
+  fail("unknown instance spec '" + spec + "'");
+}
+
+std::unique_ptr<local::LocalAlgorithm> parse_algorithm(const std::string& spec) {
+  const std::vector<std::string> parts = split(spec, ':');
+  if (parts.empty()) fail("empty algorithm spec");
+  if (parts[0] == "greedy" && parts.size() == 2) {
+    return std::make_unique<algo::GreedyLocal>(std::stoi(parts[1]));
+  }
+  if (parts[0] == "truncated" && parts.size() == 3) {
+    return std::make_unique<algo::TruncatedGreedy>(std::stoi(parts[1]), std::stoi(parts[2]));
+  }
+  if (parts[0] == "firstcolour" && parts.size() == 2) {
+    return std::make_unique<algo::FirstColourLocal>(std::stoi(parts[1]));
+  }
+  if (parts[0] == "arbitrary" && parts.size() == 4) {
+    return std::make_unique<algo::ArbitraryLocal>(std::stoi(parts[1]), std::stoi(parts[2]),
+                                                  std::stoull(parts[3]));
+  }
+  fail("unknown algorithm spec '" + spec + "'");
+}
+
+std::string option(const std::vector<std::string>& args, const std::string& name,
+                   const std::string& fallback = "") {
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == name) return args[i + 1];
+  }
+  return fallback;
+}
+
+bool flag(const std::vector<std::string>& args, const std::string& name) {
+  for (const std::string& a : args) {
+    if (a == name) return true;
+  }
+  return false;
+}
+
+int cmd_greedy(const std::vector<std::string>& args) {
+  const std::string spec = option(args, "--instance");
+  if (spec.empty()) fail("greedy: --instance required");
+  const graph::EdgeColouredGraph g = parse_instance(spec);
+  const local::RunResult run = local::run_sync(g, algo::greedy_program_factory(), g.k() + 1);
+  const verify::MatchingReport report = verify::check_outputs(g, run.outputs);
+  std::cout << "instance: " << spec << " (n=" << g.node_count() << ", k=" << g.k() << ")\n";
+  std::cout << "rounds: " << run.rounds << " (bound k-1 = " << g.k() - 1 << ")\n";
+  std::cout << "matched edges: " << verify::matched_edges(g, run.outputs).size() << "\n";
+  std::cout << "max message: " << run.max_message_bytes << " byte(s)\n";
+  std::cout << "verification: " << report.describe() << "\n";
+  return report.ok() ? 0 : 1;
+}
+
+int cmd_adversary(const std::vector<std::string>& args) {
+  const int k = std::stoi(option(args, "--k", "0"));
+  const std::string algo_spec = option(args, "--algorithm");
+  if (k < 3 || algo_spec.empty()) fail("adversary: --k (>= 3) and --algorithm required");
+  const auto algorithm = parse_algorithm(algo_spec);
+  lower::AdversaryOptions options;
+  options.memoise = !flag(args, "--no-memo");
+  options.optimistic = flag(args, "--optimistic");
+  const lower::LowerBoundResult result = lower::run_adversary(k, *algorithm, options);
+  std::cout << result.summary() << "\n";
+  if (const auto* tp = std::get_if<lower::TightPair>(&result.outcome)) {
+    const std::string pair_prefix = option(args, "--pair-out");
+    if (!pair_prefix.empty()) {
+      std::ofstream(pair_prefix + ".U.txt") << io::write_template(tp->u);
+      std::ofstream(pair_prefix + ".V.txt") << io::write_template(tp->v);
+      std::ofstream(pair_prefix + ".U.dot") << io::to_dot(tp->u, tp->d);
+      std::ofstream(pair_prefix + ".V.dot") << io::to_dot(tp->v, tp->d);
+      std::cout << "tight pair written to " << pair_prefix << ".{U,V}.{txt,dot}\n";
+    }
+  }
+  if (const auto* cert = std::get_if<lower::Certificate>(&result.outcome)) {
+    const std::string out_path = option(args, "--certificate-out");
+    if (!out_path.empty()) {
+      std::ofstream out(out_path);
+      out << io::write_certificate(*cert);
+      std::cout << "certificate written to " << out_path << "\n";
+    }
+    return 1;  // refuted: report non-zero so scripts can branch
+  }
+  return result.tight() ? 0 : 3;
+}
+
+int cmd_lemma4(const std::vector<std::string>& args) {
+  const std::string algo_spec = option(args, "--algorithm");
+  if (algo_spec.empty()) fail("lemma4: --algorithm required");
+  const auto algorithm = parse_algorithm(algo_spec);
+  const lower::Lemma4Result result = lower::run_lemma4(*algorithm);
+  std::cout << result.summary << "\n";
+  if (result.contradiction_found) {
+    std::cout << "violated instance:\n" << io::write_graph(result.instance);
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_check(const std::vector<std::string>& args) {
+  const std::string cert_path = option(args, "--certificate");
+  const std::string algo_spec = option(args, "--algorithm");
+  if (cert_path.empty() || algo_spec.empty()) fail("check: --certificate and --algorithm required");
+  const lower::Certificate cert = io::read_certificate(slurp(cert_path));
+  const auto algorithm = parse_algorithm(algo_spec);
+  lower::Evaluator eval(*algorithm);
+  const bool holds = lower::certificate_holds(cert, eval);
+  std::cout << "certificate: " << cert.describe() << "\n";
+  std::cout << "re-check against " << algorithm->name() << ": " << (holds ? "HOLDS" : "does not hold")
+            << "\n";
+  return holds ? 0 : 1;
+}
+
+int cmd_export_dot(const std::vector<std::string>& args) {
+  const std::string spec = option(args, "--instance");
+  if (spec.empty()) fail("export-dot: --instance required");
+  const graph::EdgeColouredGraph g = parse_instance(spec);
+  const std::string dot = io::to_dot(g);
+  const std::string out_path = option(args, "--out");
+  if (out_path.empty()) {
+    std::cout << dot;
+  } else {
+    std::ofstream out(out_path);
+    out << dot;
+    std::cout << "dot written to " << out_path << "\n";
+  }
+  return 0;
+}
+
+void usage() {
+  std::cout << "usage: dmm_cli <greedy|adversary|lemma4|check|export-dot> [options]\n"
+               "see the header of tools/dmm_cli.cpp for specs\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (command == "greedy") return cmd_greedy(args);
+    if (command == "adversary") return cmd_adversary(args);
+    if (command == "lemma4") return cmd_lemma4(args);
+    if (command == "check") return cmd_check(args);
+    if (command == "export-dot") return cmd_export_dot(args);
+  } catch (const std::exception& e) {
+    fail(e.what());
+  }
+  usage();
+  return 2;
+}
