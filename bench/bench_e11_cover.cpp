@@ -4,6 +4,7 @@
 
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "core/dmm.hpp"
 
 namespace {
@@ -65,8 +66,8 @@ BENCHMARK(BM_ExtensionSameObject)->Arg(6)->Arg(8)->Arg(10);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_rows();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return dmm::benchjson::Harness::run_table_experiment("e11", argc, argv, print_rows, [&] {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  });
 }

@@ -4,19 +4,42 @@
 
 #include <cstdio>
 
+#include "bench_engines.hpp"
 #include "core/dmm.hpp"
 
 namespace {
 
 using namespace dmm;
 
-void print_rows() {
+void print_rows(benchjson::Harness& harness) {
   std::printf("## E14: substrate characteristics\n");
   std::printf("%-28s %12s\n", "object", "size");
   std::printf("%-28s %12d\n", "Gamma_4[6] nodes", colsys::cayley_ball(4, 6).size());
   std::printf("%-28s %12d\n", "Gamma_5[6] nodes", colsys::cayley_ball(5, 6).size());
   std::printf("%-28s %12d\n", "3-regular k=4 depth 10", colsys::regular_system(4, 3, 10).size());
   std::printf("\n");
+
+  // The engine-throughput regression gauge (ROADMAP "Engine throughput"):
+  // one greedy run per engine at n = 100 000, recorded to BENCH_e14.json.
+  // The flat engine's whole reason to exist is this ratio (the acceptance
+  // bar is >= 5x; k = 12 at density 0.6 keeps many nodes running for all
+  // k-1 rounds, which is exactly the regime the per-round engine cost
+  // dominates).
+  std::printf("## E14b: engine throughput, greedy at n = 100000, k = 12\n");
+  std::printf("%-8s %14s %10s\n", "engine", "wall (ms)", "rounds");
+  Rng rng(41);
+  const graph::EdgeColouredGraph big = graph::random_coloured_graph(100000, 12, 0.6, rng);
+  const std::string instance = "random n=100000 k=12";
+  double sync_ns = 0;
+  double flat_ns = 0;
+  for (const local::EngineKind kind : {local::EngineKind::kSync, local::EngineKind::kFlat}) {
+    const local::RunResult run = benchjson::record_engine_run(
+        harness, instance, big, kind, algo::greedy_program_factory(), big.k() + 1);
+    const double wall = harness.records().back().wall_ns;
+    (kind == local::EngineKind::kSync ? sync_ns : flat_ns) = wall;
+    std::printf("%-8s %14.2f %10d\n", local::engine_kind_name(kind), wall / 1e6, run.rounds);
+  }
+  std::printf("flat/sync speedup: %.1fx\n\n", sync_ns / flat_ns);
 }
 
 void BM_WordMultiply(benchmark::State& state) {
@@ -85,11 +108,38 @@ void BM_EngineThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineThroughput)->Arg(1024)->Arg(8192);
 
+void BM_FlatEngineThroughput(benchmark::State& state) {
+  Rng rng(41);
+  const graph::EdgeColouredGraph g =
+      graph::random_coloured_graph(static_cast<int>(state.range(0)), 8, 0.8, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(local::run_flat(g, algo::greedy_program_factory(), 10));
+  }
+  state.SetItemsProcessed(state.iterations() * g.node_count());
+}
+BENCHMARK(BM_FlatEngineThroughput)->Arg(1024)->Arg(8192)->Arg(131072);
+
+void BM_FlatEngineThreaded(benchmark::State& state) {
+  Rng rng(41);
+  const graph::EdgeColouredGraph g = graph::random_coloured_graph(131072, 8, 0.8, rng);
+  local::FlatEngineOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        local::run_flat(g, algo::greedy_program_factory(), 10, options));
+  }
+  state.SetItemsProcessed(state.iterations() * g.node_count());
+}
+BENCHMARK(BM_FlatEngineThreaded)->Arg(1)->Arg(2)->Arg(4);
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_rows();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  dmm::benchjson::Harness harness("e14", argc, argv);
+  print_rows(harness);
+  if (!harness.smoke()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  return harness.write();
 }

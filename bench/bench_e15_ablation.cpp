@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "core/dmm.hpp"
 
 namespace {
@@ -67,8 +68,8 @@ BENCHMARK(BM_AdversaryUnmemoised)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond)
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_rows();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return dmm::benchjson::Harness::run_table_experiment("e15", argc, argv, print_rows, [&] {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  });
 }

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "core/dmm.hpp"
 
 namespace {
@@ -48,8 +49,8 @@ BENCHMARK(BM_RandomizedMatching)->Arg(64)->Arg(128);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_rows();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return dmm::benchjson::Harness::run_table_experiment("e16", argc, argv, print_rows, [&] {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  });
 }

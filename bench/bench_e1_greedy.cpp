@@ -7,16 +7,17 @@
 
 #include <cstdio>
 
+#include "bench_engines.hpp"
 #include "core/dmm.hpp"
 
 namespace {
 
 using namespace dmm;
 
-void print_rows() {
+void print_rows(benchjson::Harness& harness) {
   std::printf("## E1: greedy maximal matching (Lemma 1: rounds <= k-1)\n");
-  std::printf("%-28s %4s %8s %8s %8s %8s\n", "instance", "k", "rounds", "bound", "matched",
-              "valid");
+  std::printf("%-28s %-5s %4s %8s %8s %8s %8s\n", "instance", "eng", "k", "rounds", "bound",
+              "matched", "valid");
   struct Row {
     const char* name;
     graph::EdgeColouredGraph g;
@@ -33,11 +34,15 @@ void print_rows() {
   };
   for (const Row& row : rows) {
     const int k = row.g.k();
-    const local::RunResult run = local::run_sync(row.g, algo::greedy_program_factory(), k + 1);
-    const auto matched = verify::matched_edges(row.g, run.outputs);
-    const bool ok = verify::check_outputs(row.g, run.outputs).ok();
-    std::printf("%-28s %4d %8d %8d %8zu %8s\n", row.name, k, run.rounds, k - 1, matched.size(),
-                ok ? "yes" : "NO");
+    for (const local::EngineKind kind : {local::EngineKind::kSync, local::EngineKind::kFlat}) {
+      const local::RunResult run = benchjson::record_engine_run(
+          harness, row.name, row.g, kind, algo::greedy_program_factory(), k + 1);
+      const auto matched = verify::matched_edges(row.g, run.outputs);
+      const bool ok = verify::check_outputs(row.g, run.outputs).ok();
+      std::printf("%-28s %-5s %4d %8d %8d %8zu %8s\n", row.name,
+                  local::engine_kind_name(kind), k, run.rounds, k - 1, matched.size(),
+                  ok ? "yes" : "NO");
+    }
   }
   std::printf("\n");
 }
@@ -64,6 +69,17 @@ void BM_GreedyMessagePassing(benchmark::State& state) {
 }
 BENCHMARK(BM_GreedyMessagePassing)->Arg(256)->Arg(1024)->Arg(4096);
 
+void BM_GreedyFlatEngine(benchmark::State& state) {
+  Rng rng(3);
+  const graph::EdgeColouredGraph g =
+      graph::random_coloured_graph(static_cast<int>(state.range(0)), 6, 0.8, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(local::run_flat(g, algo::greedy_program_factory(), 8));
+  }
+  state.SetItemsProcessed(state.iterations() * g.node_count());
+}
+BENCHMARK(BM_GreedyFlatEngine)->Arg(256)->Arg(1024)->Arg(4096);
+
 void BM_GreedyViewBased(benchmark::State& state) {
   Rng rng(4);
   const int k = 6;
@@ -80,8 +96,11 @@ BENCHMARK(BM_GreedyViewBased)->Arg(256)->Arg(1024);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_rows();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  dmm::benchjson::Harness harness("e1", argc, argv);
+  print_rows(harness);
+  if (!harness.smoke()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  return harness.write();
 }

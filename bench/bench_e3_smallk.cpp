@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/dmm.hpp"
 
 namespace {
@@ -49,8 +50,8 @@ BENCHMARK(BM_Lemma4);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_rows();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return dmm::benchjson::Harness::run_table_experiment("e3", argc, argv, print_rows, [&] {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  });
 }

@@ -6,13 +6,14 @@
 
 #include <cstdio>
 
+#include "bench_engines.hpp"
 #include "core/dmm.hpp"
 
 namespace {
 
 using namespace dmm;
 
-void print_rows() {
+void print_rows(benchjson::Harness& harness) {
   std::printf("## E5: Corollary 1 — Omega(Delta) on d-regular instances (d = k-1)\n");
   std::printf("%4s %4s %12s %12s %14s\n", "k", "d", "U regular?", "V regular?",
               "greedy rounds");
@@ -25,7 +26,11 @@ void print_rows() {
     const colsys::ColourSystem chunk = tp.u.tree().ball(colsys::ColourSystem::root(),
                                                         std::min(tp.u.valid_radius(), k + 1));
     const graph::EdgeColouredGraph g = graph::to_graph(chunk);
-    const local::RunResult run = local::run_sync(g, algo::greedy_program_factory(), k + 1);
+    local::RunResult run;
+    for (const local::EngineKind kind : {local::EngineKind::kSync, local::EngineKind::kFlat}) {
+      run = benchjson::record_engine_run(harness, "tight-pair U ball k=" + std::to_string(k),
+                                         g, kind, algo::greedy_program_factory(), k + 1);
+    }
     std::printf("%4d %4d %12s %12s %14d\n", k, k - 1,
                 tp.u.tree().is_regular(k - 1) ? "yes" : "NO",
                 tp.v.tree().is_regular(k - 1) ? "yes" : "NO", run.rounds);
@@ -48,8 +53,11 @@ BENCHMARK(BM_GreedyOnRegularTree)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_rows();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  dmm::benchjson::Harness harness("e5", argc, argv);
+  print_rows(harness);
+  if (!harness.smoke()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  return harness.write();
 }

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "core/dmm.hpp"
 
 namespace {
@@ -76,8 +77,8 @@ BENCHMARK(BM_LinialReductionOnly)->Arg(64)->Arg(256);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_rows();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return dmm::benchjson::Harness::run_table_experiment("e7", argc, argv, print_rows, [&] {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  });
 }

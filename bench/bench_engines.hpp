@@ -1,0 +1,33 @@
+// Shared helper for the engine-aware benches (e1, e2, e5, e14): run a
+// NodeProgram on the chosen engine, time it, and append the BENCH_*.json
+// record with the run's own rounds/message accounting.
+#pragma once
+
+#include <string>
+
+#include "bench_json.hpp"
+#include "core/dmm.hpp"
+
+namespace dmm::benchjson {
+
+inline local::RunResult record_engine_run(Harness& harness, const std::string& instance,
+                                          const graph::EdgeColouredGraph& g,
+                                          local::EngineKind kind,
+                                          const local::NodeProgramFactory& factory,
+                                          int max_rounds) {
+  Record record;
+  record.instance = instance;
+  record.n = g.node_count();
+  record.m = g.edge_count();
+  record.k = g.k();
+  record.engine = local::engine_kind_name(kind);
+  local::RunResult run;
+  record.wall_ns =
+      Harness::time_ns([&] { run = local::run(kind, g, factory, max_rounds); });
+  record.rounds = run.rounds;
+  record.max_message_bytes = run.max_message_bytes;
+  harness.add(std::move(record));
+  return run;
+}
+
+}  // namespace dmm::benchjson

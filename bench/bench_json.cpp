@@ -1,0 +1,223 @@
+#include "bench_json.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dmm::benchjson {
+
+namespace {
+
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Minimal scanner for the writer's own output.
+class Scanner {
+ public:
+  explicit Scanner(const std::string& text) : text_(text) {}
+
+  void expect(char c) {
+    skip_space();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      throw std::invalid_argument(std::string("bench_json: expected '") + c + "' at offset " +
+                                  std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  std::string string_value() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) throw std::invalid_argument("bench_json: bad \\u");
+            c = static_cast<char>(std::stoi(text_.substr(pos_, 4), nullptr, 16));
+            pos_ += 4;
+            break;
+          }
+          default: c = esc;
+        }
+      }
+      out += c;
+    }
+    if (pos_ >= text_.size()) throw std::invalid_argument("bench_json: unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  double number_value() {
+    skip_space();
+    std::size_t used = 0;
+    const double value = std::stod(text_.substr(pos_), &used);
+    if (used == 0) throw std::invalid_argument("bench_json: expected a number");
+    pos_ += used;
+    return value;
+  }
+
+  void key(const char* name) {
+    skip_space();
+    const std::string got = string_value();
+    if (got != name) {
+      throw std::invalid_argument("bench_json: expected field '" + std::string(name) +
+                                  "', got '" + got + "'");
+    }
+    expect(':');
+  }
+
+ private:
+  void skip_space() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool known_experiment(const std::string& experiment) {
+  return std::any_of(std::begin(kExperiments), std::end(kExperiments),
+                     [&](const char* e) { return experiment == e; });
+}
+
+std::string to_json(const Record& record) {
+  if (!std::isfinite(record.wall_ns)) {
+    throw std::invalid_argument("bench_json: wall_ns must be finite (instance '" +
+                                record.instance + "')");
+  }
+  char wall[64];
+  std::snprintf(wall, sizeof wall, "%.17g", record.wall_ns);
+  std::ostringstream out;
+  out << "{\"instance\":\"" << escape(record.instance) << "\""
+      << ",\"n\":" << record.n << ",\"m\":" << record.m << ",\"k\":" << record.k
+      << ",\"rounds\":" << record.rounds << ",\"wall_ns\":" << wall << ",\"engine\":\""
+      << escape(record.engine) << "\",\"max_message_bytes\":" << record.max_message_bytes
+      << "}";
+  return out.str();
+}
+
+Record parse_record(const std::string& json) {
+  Scanner in(json);
+  Record r;
+  in.expect('{');
+  in.key("instance");
+  r.instance = in.string_value();
+  in.expect(',');
+  in.key("n");
+  r.n = static_cast<int>(in.number_value());
+  in.expect(',');
+  in.key("m");
+  r.m = static_cast<int>(in.number_value());
+  in.expect(',');
+  in.key("k");
+  r.k = static_cast<int>(in.number_value());
+  in.expect(',');
+  in.key("rounds");
+  r.rounds = static_cast<int>(in.number_value());
+  in.expect(',');
+  in.key("wall_ns");
+  r.wall_ns = in.number_value();
+  in.expect(',');
+  in.key("engine");
+  r.engine = in.string_value();
+  in.expect(',');
+  in.key("max_message_bytes");
+  r.max_message_bytes = static_cast<std::size_t>(in.number_value());
+  in.expect('}');
+  return r;
+}
+
+Harness::Harness(std::string experiment, int& argc, char** argv)
+    : experiment_(std::move(experiment)) {
+  if (!known_experiment(experiment_)) {
+    throw std::invalid_argument("bench_json: unknown experiment '" + experiment_ +
+                                "' (the set is enumerated in bench_json.hpp; e9/e10/e12 "
+                                "do not exist)");
+  }
+  if (const char* env = std::getenv("DMM_BENCH_JSON_DIR")) directory_ = env;
+  // Strip harness flags so google-benchmark's own parser never sees them.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke_ = true;
+    } else if (arg == "--json-dir" && i + 1 < argc) {
+      directory_ = argv[++i];
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+}
+
+void Harness::add(Record record) {
+  (void)to_json(record);  // validates (finite wall time) before storing
+  records_.push_back(std::move(record));
+}
+
+double Harness::time_ns(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start).count());
+}
+
+std::string Harness::path() const {
+  std::string dir = directory_.empty() ? "." : directory_;
+  if (dir.back() != '/') dir += '/';
+  return dir + "BENCH_" + experiment_ + ".json";
+}
+
+int Harness::write() const {
+  std::ofstream out(path());
+  if (!out) {
+    std::fprintf(stderr, "bench_json: cannot write %s\n", path().c_str());
+    return 2;
+  }
+  out << "{\"schema\":\"dmm-bench-1\",\"experiment\":\"" << escape(experiment_)
+      << "\",\"records\":[";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    if (i) out << ",";
+    out << "\n  " << to_json(records_[i]);
+  }
+  out << "\n]}\n";
+  out.close();
+  std::printf("bench_json: wrote %s (%zu record%s)\n", path().c_str(), records_.size(),
+              records_.size() == 1 ? "" : "s");
+  return out ? 0 : 2;
+}
+
+}  // namespace dmm::benchjson

@@ -1,0 +1,113 @@
+// Machine-readable benchmark trajectory: every bench binary emits a
+// BENCH_<exp>.json file so perf PRs can show before/after numbers.
+//
+// File format (one JSON object per file):
+//
+//   {"schema":"dmm-bench-1","experiment":"e14","records":[
+//     {"instance":"random n=100000 k=4","n":100000,"m":159862,"k":4,
+//      "rounds":3,"wall_ns":12345678.0,"engine":"flat",
+//      "max_message_bytes":1}, ...]}
+//
+// The record field names are part of the schema and locked by
+// tests/test_bench_json.cpp; wall times must be finite (NaN is a
+// measurement bug and is rejected at write time, not discovered by a
+// downstream parser).
+//
+// The experiment set is enumerated explicitly — the seed ships no e9, e10
+// or e12 (docs/benchmarks.md), so nothing may iterate "e1..e17".
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace dmm::benchjson {
+
+/// Every experiment that exists in this repository, in bench/ file order.
+inline constexpr const char* kExperiments[] = {
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8",
+    "e11", "e13", "e14", "e15", "e16", "e17",
+};
+
+bool known_experiment(const std::string& experiment);
+
+struct Record {
+  std::string instance;              // instance family / table row label
+  int n = 0;                         // nodes (0 when not graph-shaped)
+  int m = 0;                         // edges
+  int k = 0;                         // palette size
+  int rounds = 0;                    // rounds used (-1 when not applicable)
+  double wall_ns = 0.0;              // wall-clock of the measured section
+  std::string engine = "-";          // "sync", "flat", or "-"
+  std::size_t max_message_bytes = 0;
+
+  bool operator==(const Record&) const = default;
+};
+
+/// One-line JSON object with the schema's exact field order.  Throws
+/// std::invalid_argument on a non-finite wall_ns.
+std::string to_json(const Record& record);
+
+/// Exact inverse of to_json (round-trip checked in the tests).  Throws
+/// std::invalid_argument on malformed input.
+Record parse_record(const std::string& json);
+
+/// Collects records for one experiment and writes BENCH_<exp>.json.
+///
+/// The constructor strips the harness flags out of argc/argv so that
+/// google-benchmark never sees them:
+///   --smoke            only the instrumented tables run, benchmark loops
+///                      are skipped by the caller (see bench mains)
+///   --json-dir <path>  output directory (default: $DMM_BENCH_JSON_DIR,
+///                      falling back to the working directory)
+class Harness {
+ public:
+  Harness(std::string experiment, int& argc, char** argv);
+
+  bool smoke() const noexcept { return smoke_; }
+
+  /// Validates (via to_json) and stores one record.
+  void add(Record record);
+
+  /// Runs fn(), fills record.wall_ns with its wall-clock, stores it.
+  template <class F>
+  void timed(Record record, F&& fn) {
+    record.wall_ns = time_ns([&] { fn(); });
+    add(std::move(record));
+  }
+
+  /// Wall-clock of fn() in nanoseconds, for callers that patch a record
+  /// with results computed inside fn().
+  static double time_ns(const std::function<void()>& fn);
+
+  /// Writes BENCH_<experiment>.json; returns 0, or 2 on I/O failure.  Call
+  /// last in main().
+  int write() const;
+
+  const std::vector<Record>& records() const noexcept { return records_; }
+  std::string path() const;
+
+  /// Shared main() body for the table-only experiments: one whole-table
+  /// record, benchmark loops skipped in --smoke mode.  (The engine-aware
+  /// benches e1/e2/e5/e14 record per-instance rows instead.)
+  template <class Table, class Benchmarks>
+  static int run_table_experiment(const char* experiment, int& argc, char** argv,
+                                  Table&& print_table, Benchmarks&& run_benchmarks) {
+    Harness harness(experiment, argc, argv);
+    Record table;
+    table.instance = "experiment table";
+    table.rounds = -1;
+    harness.timed(std::move(table), std::forward<Table>(print_table));
+    if (!harness.smoke()) run_benchmarks();
+    return harness.write();
+  }
+
+ private:
+  std::string experiment_;
+  std::string directory_;
+  bool smoke_ = false;
+  std::vector<Record> records_;
+};
+
+}  // namespace dmm::benchjson

@@ -37,7 +37,6 @@ std::vector<Colour> greedy_outputs(const colsys::ColourSystem& system) {
 
 bool GreedyProgram::init(const std::vector<Colour>& incident) {
   incident_ = incident;
-  neighbour_matched_.assign(incident.size(), 0);
   // Step 1 needs no communication: an incident colour-1 edge matches both
   // of its endpoints immediately (a properly coloured graph has at most one
   // such edge per node, and its other endpoint reasons identically).
@@ -67,6 +66,10 @@ std::map<Colour, local::Message> GreedyProgram::send(int round) {
 }
 
 bool GreedyProgram::receive(int round, const std::map<Colour, local::Message>& inbox) {
+  // Allocated here, not in init: the flat fast path below never needs it.
+  if (neighbour_matched_.size() != incident_.size()) {
+    neighbour_matched_.assign(incident_.size(), 0);
+  }
   // After the exchange in round t we know the neighbours' status at the end
   // of step t, which decides step t+1 (edges of colour t+1).
   for (std::size_t i = 0; i < incident_.size(); ++i) {
@@ -85,6 +88,32 @@ bool GreedyProgram::receive(int round, const std::map<Colour, local::Message>& i
   if (!matched_) {
     for (std::size_t i = 0; i < incident_.size(); ++i) {
       if (incident_[i] == next && !neighbour_matched_[i]) {
+        matched_ = true;
+        output_ = next;
+      }
+    }
+  }
+  return try_finish(/*completed_step=*/round + 1);
+}
+
+void GreedyProgram::send_flat(int round, local::FlatOutbox& out) {
+  (void)round;
+  // Same one-byte status per incident colour as send(), without the map.
+  out.broadcast(matched_ ? std::string_view("M") : std::string_view("F"));
+}
+
+bool GreedyProgram::receive_flat(int round, const local::FlatInbox& in) {
+  // Only the colour-(round+1) port can change our fate, and the status
+  // decoding matches receive() byte for byte; the per-port status array is
+  // not needed because every entry is refreshed every round anyway.
+  const Colour next = static_cast<Colour>(round + 1);
+  if (!matched_) {
+    for (int i = 0; i < in.ports(); ++i) {
+      if (in.colour(i) != next) continue;
+      const std::string_view m = in.at(i);
+      const bool neighbour_matched =
+          m == "M" || (!m.empty() && m.front() == local::kHaltedPrefix && m != "!0");
+      if (!neighbour_matched) {
         matched_ = true;
         output_ = next;
       }

@@ -38,6 +38,10 @@ class GreedyProgram final : public local::NodeProgram {
   bool init(const std::vector<Colour>& incident) override;
   std::map<Colour, local::Message> send(int round) override;
   bool receive(int round, const std::map<Colour, local::Message>& inbox) override;
+  // Allocation-free fast paths for the flat engine; the equivalence suite
+  // (tests/test_flat_engine.cpp) pins them to the map-based pair above.
+  void send_flat(int round, local::FlatOutbox& out) override;
+  bool receive_flat(int round, const local::FlatInbox& in) override;
   Colour output() const override { return output_; }
 
  private:

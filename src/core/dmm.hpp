@@ -20,6 +20,7 @@
 #include "algo/edge_packing.hpp"
 #include "algo/greedy.hpp"
 #include "algo/randomized_matching.hpp"
+#include "algo/runner.hpp"
 #include "algo/truncated_greedy.hpp"
 #include "algo/two_colour.hpp"
 #include "algo/vertex_colouring.hpp"
@@ -35,6 +36,8 @@
 #include "local/algorithm.hpp"
 #include "local/ball.hpp"
 #include "local/engine.hpp"
+#include "local/flat_engine.hpp"
+#include "local/flooding.hpp"
 #include "local/view_engine.hpp"
 #include "lower/adversary.hpp"
 #include "lower/critical_pair.hpp"

@@ -12,10 +12,13 @@
 // round k-1).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "graph/edge_coloured_graph.hpp"
@@ -25,6 +28,72 @@ namespace dmm::local {
 
 /// Messages are opaque byte strings; the model allows unbounded messages.
 using Message = std::string;
+
+struct FlatPlane;  // flat_engine.cpp
+class FlatEngine;
+
+/// Running totals for the paper's message-size accounting; shared between
+/// the engines and the flat-plane writers.  Cache-line aligned: the flat
+/// engine keeps one per worker in a vector, and every send updates it —
+/// unpadded, adjacent workers would false-share a line on each message.
+struct alignas(64) MessageStats {
+  std::size_t max_bytes = 0;
+  std::size_t total_bytes = 0;
+  std::size_t sent = 0;
+};
+
+/// Write side of the flat message plane: one slot per incident colour
+/// ("port"), ports sorted by colour exactly like the std::map inbox.  A
+/// message may be set at most once per port per round.
+class FlatOutbox {
+ public:
+  int ports() const noexcept { return count_; }
+  Colour colour(int port) const noexcept { return colours_[port]; }
+
+  /// Stores `bytes` in the slot of the given port (index into the node's
+  /// sorted incident-colour list).
+  void set(int port, std::string_view bytes);
+
+  /// Routes by colour; a non-incident colour is counted in the message
+  /// accounting (matching run_sync, which counts everything a program
+  /// returns) but never delivered.
+  void set_colour(Colour c, std::string_view bytes);
+
+  /// Same bytes on every port.
+  void broadcast(std::string_view bytes);
+
+ private:
+  friend class FlatEngine;
+  FlatPlane* plane_ = nullptr;
+  std::size_t base_ = 0;             // first slot of the node's own row
+  const Colour* colours_ = nullptr;  // sorted incident colours
+  int count_ = 0;
+  std::uint16_t arena_ = 0;        // spill arena of the writing worker
+  std::uint32_t stamp_ = 0;        // current round: stamps written slots live
+  MessageStats* stats_ = nullptr;
+};
+
+/// Read side of the flat message plane.  Ports resolve lazily: a program
+/// that only cares about one colour (greedy reads just the colour-(t+1)
+/// port) pays for one slot gather, not deg(v).  at() yields a contiguous
+/// byte view — empty when the neighbour sent nothing, the halted
+/// neighbour's cached announcement (prefixed with kHaltedPrefix) once it
+/// has stopped.
+class FlatInbox {
+ public:
+  int ports() const noexcept { return count_; }
+  Colour colour(int port) const noexcept { return colours_[port]; }
+  std::string_view at(int port) const;  // flat_engine.cpp
+
+ private:
+  friend class FlatEngine;
+  const FlatEngine* engine_ = nullptr;
+  const FlatPlane* plane_ = nullptr;
+  const Colour* colours_ = nullptr;
+  std::size_t row_ = 0;  // first slot of the receiving node's row
+  int count_ = 0;
+  std::uint8_t stamp_ = 0;
+};
 
 /// Per-node state machine.  Implementations must be anonymous: the only
 /// instance information ever provided is the list of incident edge colours
@@ -49,6 +118,14 @@ class NodeProgram {
 
   /// The local output; valid once halted.
   virtual Colour output() const = 0;
+
+  // Flat-plane fast path (optional).  The defaults bridge to the map-based
+  // send/receive above, so every program runs unchanged — and bit-for-bit
+  // identically — on the flat engine.  Hot programs override these to skip
+  // the per-round std::map churn; the engine-equivalence suite
+  // (tests/test_flat_engine.cpp) pins the two paths together.
+  virtual void send_flat(int round, FlatOutbox& out);
+  virtual bool receive_flat(int round, const FlatInbox& in);
 };
 
 inline constexpr char kHaltedPrefix = '!';
@@ -72,5 +149,24 @@ struct RunResult {
 /// not halt is a bug).
 RunResult run_sync(const graph::EdgeColouredGraph& g, const NodeProgramFactory& factory,
                    int max_rounds);
+
+/// The library's simulation engines.  kSync is the reference oracle
+/// (per-round std::map inboxes, engine.cpp); kFlat is the high-throughput
+/// CSR message plane (flat_engine.cpp).  The two are required to agree on
+/// every RunResult field for every program.
+enum class EngineKind {
+  kSync,
+  kFlat,
+};
+
+/// Dispatches to run_sync or run_flat (with default options).
+RunResult run(EngineKind kind, const graph::EdgeColouredGraph& g,
+              const NodeProgramFactory& factory, int max_rounds);
+
+/// "sync" / "flat".
+const char* engine_kind_name(EngineKind kind) noexcept;
+
+/// Inverse of engine_kind_name; nullopt for anything else.
+std::optional<EngineKind> parse_engine_kind(std::string_view name) noexcept;
 
 }  // namespace dmm::local

@@ -1,0 +1,448 @@
+#include "local/flat_engine.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace dmm::local {
+
+namespace {
+
+/// Slot length value meaning "the payload spilled to the arena".
+constexpr std::uint8_t kSpillLen = 0xff;
+
+}  // namespace
+
+/// One directed-edge message slot, sender-major: node v's outgoing message
+/// on its i-th port lives at slot row[v] + i, so the send phase streams
+/// sequentially and only the receive phase gathers.  A slot is live only
+/// when its stamp equals the current round's 8-bit tag, which makes
+/// clearing the plane between rounds unnecessary (the engine wipes the
+/// plane once per 255-round tag cycle instead).  Payloads up to
+/// kFlatInlineBytes live inline — 8 slots per cache line, so even a
+/// million-edge plane stays cache-resident; longer payloads spill to the
+/// writing worker's arena, addressed by the {offset, arena} pair stored in
+/// the payload bytes.
+struct FlatSlot {
+  std::uint8_t stamp = 0;  // 0 = never written; round tags are 1..255
+  std::uint8_t len = 0;    // inline length, or kSpillLen
+  char payload[kFlatInlineBytes];
+};
+static_assert(sizeof(FlatSlot) == 8, "eight slots per cache line");
+static_assert(kFlatInlineBytes >= 6, "payload must hold a spill {offset, arena} pair");
+
+struct FlatPlane {
+  std::vector<FlatSlot> slots;
+  std::vector<std::vector<char>> arenas;  // spill for unbounded messages, per worker
+
+  void configure(std::size_t slot_count, int workers) {
+    slots.assign(slot_count, FlatSlot{});
+    arenas.resize(static_cast<std::size_t>(workers));
+  }
+
+  /// Arena capacity is kept, so steady-state rounds allocate nothing; the
+  /// slots themselves are invalidated by the round stamp, not by clearing.
+  void new_round() {
+    for (auto& arena : arenas) arena.clear();
+  }
+
+  void wipe_stamps() { std::fill(slots.begin(), slots.end(), FlatSlot{}); }
+};
+
+void FlatOutbox::set(int port, std::string_view bytes) {
+  if (port < 0 || port >= count_) {
+    throw std::out_of_range("FlatOutbox::set: port out of range");
+  }
+  stats_->max_bytes = std::max(stats_->max_bytes, bytes.size());
+  stats_->total_bytes += bytes.size();
+  ++stats_->sent;
+  FlatSlot& slot = plane_->slots[base_ + static_cast<std::size_t>(port)];
+  slot.stamp = static_cast<std::uint8_t>(stamp_);
+  if (bytes.size() <= kFlatInlineBytes) {
+    slot.len = static_cast<std::uint8_t>(bytes.size());
+    if (!bytes.empty()) std::memcpy(slot.payload, bytes.data(), bytes.size());
+  } else {
+    if (bytes.size() > 0xffffffffu) {
+      throw std::length_error("FlatOutbox::set: message too long");
+    }
+    std::vector<char>& arena = plane_->arenas[arena_];
+    const auto off = static_cast<std::uint32_t>(arena.size());
+    const auto len = static_cast<std::uint32_t>(bytes.size());
+    arena.resize(arena.size() + sizeof(len) + bytes.size());
+    std::memcpy(arena.data() + off, &len, sizeof(len));
+    std::memcpy(arena.data() + off + sizeof(len), bytes.data(), bytes.size());
+    slot.len = kSpillLen;
+    std::memcpy(slot.payload, &off, sizeof(off));
+    std::memcpy(slot.payload + sizeof(off), &arena_, sizeof(arena_));
+  }
+}
+
+void FlatOutbox::set_colour(Colour c, std::string_view bytes) {
+  const Colour* end = colours_ + count_;
+  const Colour* it = std::lower_bound(colours_, end, c);
+  if (it != end && *it == c) {
+    set(static_cast<int>(it - colours_), bytes);
+    return;
+  }
+  // Not an incident colour: nothing to deliver, but run_sync counts every
+  // message a program produces, so the accounting must match.
+  stats_->max_bytes = std::max(stats_->max_bytes, bytes.size());
+  stats_->total_bytes += bytes.size();
+  ++stats_->sent;
+}
+
+void FlatOutbox::broadcast(std::string_view bytes) {
+  if (count_ == 0) return;
+  if (bytes.size() > kFlatInlineBytes) {
+    // Spilling broadcasts are rare; the generic path handles the arena.
+    for (int port = 0; port < count_; ++port) set(port, bytes);
+    return;
+  }
+  // The hot path of constant-size protocols (greedy sends one status byte
+  // to every neighbour): one stats update and one prepared 8-byte slot
+  // store per port.
+  stats_->max_bytes = std::max(stats_->max_bytes, bytes.size());
+  stats_->total_bytes += bytes.size() * static_cast<std::size_t>(count_);
+  stats_->sent += static_cast<std::size_t>(count_);
+  FlatSlot proto;
+  proto.stamp = static_cast<std::uint8_t>(stamp_);
+  proto.len = static_cast<std::uint8_t>(bytes.size());
+  if (!bytes.empty()) std::memcpy(proto.payload, bytes.data(), bytes.size());
+  FlatSlot* row = plane_->slots.data() + base_;
+  for (int port = 0; port < count_; ++port) row[port] = proto;
+}
+
+// Default flat hooks: bridge to the map-based API, preserving run_sync's
+// semantics (and its message accounting) exactly.
+void NodeProgram::send_flat(int round, FlatOutbox& out) {
+  for (const auto& [colour, message] : send(round)) out.set_colour(colour, message);
+}
+
+bool NodeProgram::receive_flat(int round, const FlatInbox& in) {
+  std::map<Colour, Message> inbox;
+  for (int port = 0; port < in.ports(); ++port) {
+    inbox.emplace(in.colour(port), Message(in.at(port)));
+  }
+  return receive(round, inbox);
+}
+
+class FlatEngine {
+ public:
+  FlatEngine(const graph::EdgeColouredGraph& g, const NodeProgramFactory& factory,
+             int max_rounds, const FlatEngineOptions& options)
+      : g_(g), factory_(factory), max_rounds_(max_rounds) {
+    n_ = g.node_count();
+    workers_ = std::max(1, options.threads);
+    if (workers_ > n_ && n_ > 0) workers_ = n_;
+    build_csr();
+  }
+
+  RunResult run() {
+    RunResult result;
+    result.outputs.assign(static_cast<std::size_t>(n_), kUnmatched);
+    result.halt_round.assign(static_cast<std::size_t>(n_), -1);
+    halted_.assign(static_cast<std::size_t>(n_), 0);
+    announcements_.assign(static_cast<std::size_t>(n_), {});
+    programs_.clear();
+    programs_.reserve(static_cast<std::size_t>(n_));
+
+    int running = n_;
+    std::vector<Colour> incident;  // reused across nodes: one row copy each
+    for (graph::NodeIndex v = 0; v < n_; ++v) {
+      const std::size_t begin = row_[static_cast<std::size_t>(v)];
+      const std::size_t end = row_[static_cast<std::size_t>(v) + 1];
+      incident.assign(port_colour_.begin() + static_cast<std::ptrdiff_t>(begin),
+                      port_colour_.begin() + static_cast<std::ptrdiff_t>(end));
+      programs_.push_back(factory_());
+      if (programs_.back()->init(incident)) {
+        halt(result, v, /*round=*/0);
+        --running;
+      }
+    }
+
+    // Everything the rounds need is built lazily: a 0-round algorithm on a
+    // million nodes never pays for the message plane.
+    bool planes_ready = false;
+    std::vector<MessageStats> stats(static_cast<std::size_t>(workers_));
+    std::vector<std::vector<graph::NodeIndex>> newly_halted(
+        static_cast<std::size_t>(workers_));
+
+    for (int round = 1; running > 0; ++round) {
+      if (round > max_rounds_) {
+        throw std::runtime_error("run_flat: algorithm did not halt within max_rounds");
+      }
+      if (!planes_ready) {
+        plane_.configure(port_colour_.size(), workers_);
+        // Round-0 halts rendered no announcements yet; render the ones
+        // with a live audience now.
+        for (graph::NodeIndex v = 0; v < n_; ++v) {
+          if (halted_[static_cast<std::size_t>(v)]) render_announcement(result, v);
+        }
+        planes_ready = true;
+      }
+      // One contiguous plane, reused every round: the round stamp plays the
+      // role of the classic send/recv buffer swap — a slot whose stamp is
+      // not this round's tag is last round's (or older) data and reads as
+      // absent, so nothing needs clearing.  Tags cycle through 1..255; the
+      // plane is wiped when the cycle restarts so a stale stamp can never
+      // alias.
+      const auto stamp = static_cast<std::uint8_t>(1 + (round - 1) % 255);
+      if (round > 1 && stamp == 1) plane_.wipe_stamps();
+      FlatPlane& plane = plane_;
+      plane.new_round();
+
+      // Phase 1: running nodes stream this round's messages into their own
+      // slot rows.  Rows partition by node, so no two workers ever touch
+      // the same slot.
+      for_ranges([&](int worker, graph::NodeIndex begin, graph::NodeIndex end) {
+        FlatOutbox out;
+        out.plane_ = &plane;
+        out.arena_ = static_cast<std::uint16_t>(worker);
+        out.stats_ = &stats[static_cast<std::size_t>(worker)];
+        out.stamp_ = stamp;
+        for (graph::NodeIndex v = begin; v < end; ++v) {
+          if (halted_[static_cast<std::size_t>(v)]) continue;
+          out.base_ = row_[static_cast<std::size_t>(v)];
+          out.colours_ = port_colour_.data() + out.base_;
+          out.count_ = degree(v);
+          programs_[static_cast<std::size_t>(v)]->send_flat(round, out);
+        }
+      });
+
+      // Phase 2: hand each running node a lazy view over its peers' slots,
+      // reflecting the start-of-round halted state (a node halting this
+      // round must not leak its decision to same-round receivers).  New
+      // halts are collected per worker and applied after the barrier.
+      for_ranges([&](int worker, graph::NodeIndex begin, graph::NodeIndex end) {
+        for (graph::NodeIndex v = begin; v < end; ++v) {
+          if (halted_[static_cast<std::size_t>(v)]) continue;
+          const std::size_t row = row_[static_cast<std::size_t>(v)];
+          FlatInbox in;
+          in.engine_ = this;
+          in.plane_ = &plane;
+          in.colours_ = port_colour_.data() + row;
+          in.row_ = row;
+          in.count_ = degree(v);
+          in.stamp_ = stamp;
+          if (programs_[static_cast<std::size_t>(v)]->receive_flat(round, in)) {
+            newly_halted[static_cast<std::size_t>(worker)].push_back(v);
+          }
+        }
+      });
+
+      for (auto& batch : newly_halted) {
+        for (graph::NodeIndex v : batch) {
+          halt(result, v, round);
+          --running;
+        }
+      }
+      // Render after every same-round halt is marked, so the audience
+      // check sees the final halted state.
+      for (auto& batch : newly_halted) {
+        for (graph::NodeIndex v : batch) render_announcement(result, v);
+        batch.clear();
+      }
+    }
+
+    for (const MessageStats& s : stats) {
+      result.max_message_bytes = std::max(result.max_message_bytes, s.max_bytes);
+      result.total_message_bytes += s.total_bytes;
+      result.messages_sent += s.sent;
+    }
+    for (int r : result.halt_round) result.rounds = std::max(result.rounds, r);
+    return result;
+  }
+
+ private:
+  void build_csr() {
+    // Built straight from the edge list: one counting pass, one scatter
+    // pass into an interleaved scratch (one cache miss per half-edge, not
+    // two), then a sequential split + per-row insertion sort by colour.
+    // Never calls incident_colours/neighbour, which allocate per node.
+    const std::vector<graph::Edge>& edges = g_.edges();
+    row_.assign(static_cast<std::size_t>(n_) + 1, 0);
+    for (const graph::Edge& e : edges) {
+      ++row_[static_cast<std::size_t>(e.u) + 1];
+      ++row_[static_cast<std::size_t>(e.v) + 1];
+    }
+    for (std::size_t v = 0; v < static_cast<std::size_t>(n_); ++v) row_[v + 1] += row_[v];
+    const std::size_t slot_count = row_[static_cast<std::size_t>(n_)];
+    struct Half {
+      Colour colour;
+      graph::NodeIndex peer;
+    };
+    std::vector<Half> halves(slot_count);
+    {
+      std::vector<std::size_t> cursor(row_.begin(), row_.end() - 1);
+      for (const graph::Edge& e : edges) {
+        halves[cursor[static_cast<std::size_t>(e.u)]++] = {e.colour, e.v};
+        halves[cursor[static_cast<std::size_t>(e.v)]++] = {e.colour, e.u};
+      }
+    }
+    // Ports must ascend by colour within a row (that is what defines the
+    // port order seen by programs); rows have at most k entries.
+    for (graph::NodeIndex v = 0; v < n_; ++v) {
+      const std::size_t begin = row_[static_cast<std::size_t>(v)];
+      const std::size_t end = row_[static_cast<std::size_t>(v) + 1];
+      for (std::size_t i = begin + 1; i < end; ++i) {
+        const Half h = halves[i];
+        std::size_t j = i;
+        for (; j > begin && halves[j - 1].colour > h.colour; --j) halves[j] = halves[j - 1];
+        halves[j] = h;
+      }
+    }
+    port_colour_.resize(slot_count);
+    peer_node_.resize(slot_count);
+    for (std::size_t s = 0; s < slot_count; ++s) {
+      port_colour_[s] = halves[s].colour;
+      peer_node_[s] = halves[s].peer;
+    }
+  }
+
+  int degree(graph::NodeIndex v) const noexcept {
+    return static_cast<int>(row_[static_cast<std::size_t>(v) + 1] -
+                            row_[static_cast<std::size_t>(v)]);
+  }
+
+ public:
+  /// Lazy inbox resolution (FlatInbox::at): the message delivered into
+  /// receiver slot s this round.  The sender's slot is found by a binary
+  /// search of its (tiny, colour-sorted) row — programs typically read far
+  /// fewer ports than there are slots, so no in-slot table is kept.
+  std::string_view resolve(const FlatPlane& plane, std::size_t s,
+                           std::uint8_t stamp) const noexcept {
+    const graph::NodeIndex u = peer_node_[s];
+    if (halted_[static_cast<std::size_t>(u)]) {
+      return announcements_[static_cast<std::size_t>(u)];
+    }
+    const std::size_t u_row = row_[static_cast<std::size_t>(u)];
+    const std::size_t u_end = row_[static_cast<std::size_t>(u) + 1];
+    const auto begin = port_colour_.begin() + static_cast<std::ptrdiff_t>(u_row);
+    const auto end = port_colour_.begin() + static_cast<std::ptrdiff_t>(u_end);
+    const auto it = std::lower_bound(begin, end, port_colour_[s]);
+    return slot_view(plane, u_row + static_cast<std::size_t>(it - begin), stamp);
+  }
+
+ private:
+
+  std::string_view slot_view(const FlatPlane& plane, std::size_t s,
+                             std::uint8_t stamp) const noexcept {
+    const FlatSlot& slot = plane.slots[s];
+    if (slot.stamp != stamp) return {};
+    if (slot.len != kSpillLen) return {slot.payload, slot.len};
+    std::uint32_t off = 0;
+    std::uint16_t arena = 0;
+    std::memcpy(&off, slot.payload, sizeof(off));
+    std::memcpy(&arena, slot.payload + sizeof(off), sizeof(arena));
+    std::uint32_t len = 0;
+    const char* base = plane.arenas[arena].data() + off;
+    std::memcpy(&len, base, sizeof(len));
+    return {base + sizeof(len), len};
+  }
+
+  void halt(RunResult& result, graph::NodeIndex v, int round) {
+    halted_[static_cast<std::size_t>(v)] = 1;
+    result.halt_round[static_cast<std::size_t>(v)] = round;
+    result.outputs[static_cast<std::size_t>(v)] =
+        programs_[static_cast<std::size_t>(v)]->output();
+  }
+
+  /// Announcement cache: rendered once per halted node — and only for nodes
+  /// with a still-running neighbour, since nobody else ever reads the slot
+  /// (run_sync re-renders this string per edge per round).
+  void render_announcement(const RunResult& result, graph::NodeIndex v) {
+    const std::size_t begin = row_[static_cast<std::size_t>(v)];
+    const std::size_t end = row_[static_cast<std::size_t>(v) + 1];
+    bool audience = false;
+    for (std::size_t s = begin; s < end && !audience; ++s) {
+      audience = !halted_[static_cast<std::size_t>(peer_node_[s])];
+    }
+    if (!audience) return;
+    announcements_[static_cast<std::size_t>(v)] =
+        std::string(1, kHaltedPrefix) +
+        std::to_string(static_cast<int>(result.outputs[static_cast<std::size_t>(v)]));
+  }
+
+  /// Runs fn(worker, begin, end) over a balanced contiguous node partition,
+  /// in-line when workers_ == 1.  The first exception wins and is rethrown
+  /// on the calling thread, matching the serial engine's fail-fast contract.
+  template <class F>
+  void for_ranges(const F& fn) {
+    if (workers_ == 1) {
+      fn(0, 0, n_);
+      return;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers_));
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    for (int worker = 0; worker < workers_; ++worker) {
+      pool.emplace_back([&, worker] {
+        const auto begin = static_cast<graph::NodeIndex>(
+            static_cast<long long>(n_) * worker / workers_);
+        const auto end = static_cast<graph::NodeIndex>(
+            static_cast<long long>(n_) * (worker + 1) / workers_);
+        try {
+          fn(worker, begin, end);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!error) error = std::current_exception();
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    if (error) std::rethrow_exception(error);
+  }
+
+  const graph::EdgeColouredGraph& g_;
+  const NodeProgramFactory& factory_;
+  int max_rounds_;
+  int n_ = 0;
+  int workers_ = 1;
+
+  std::vector<std::size_t> row_;             // n+1 offsets, sender-major CSR
+  std::vector<Colour> port_colour_;          // per slot
+  std::vector<graph::NodeIndex> peer_node_;  // per slot: the port's neighbour
+
+  std::vector<std::unique_ptr<NodeProgram>> programs_;
+  std::vector<char> halted_;
+  std::vector<std::string> announcements_;
+  FlatPlane plane_;
+};
+
+std::string_view FlatInbox::at(int port) const {
+  if (port < 0 || port >= count_) {
+    throw std::out_of_range("FlatInbox::at: port out of range");
+  }
+  return engine_->resolve(*plane_, row_ + static_cast<std::size_t>(port), stamp_);
+}
+
+RunResult run_flat(const graph::EdgeColouredGraph& g, const NodeProgramFactory& factory,
+                   int max_rounds, const FlatEngineOptions& options) {
+  return FlatEngine(g, factory, max_rounds, options).run();
+}
+
+RunResult run(EngineKind kind, const graph::EdgeColouredGraph& g,
+              const NodeProgramFactory& factory, int max_rounds) {
+  switch (kind) {
+    case EngineKind::kFlat:
+      return run_flat(g, factory, max_rounds);
+    case EngineKind::kSync:
+      break;
+  }
+  return run_sync(g, factory, max_rounds);
+}
+
+const char* engine_kind_name(EngineKind kind) noexcept {
+  return kind == EngineKind::kFlat ? "flat" : "sync";
+}
+
+std::optional<EngineKind> parse_engine_kind(std::string_view name) noexcept {
+  if (name == "sync") return EngineKind::kSync;
+  if (name == "flat") return EngineKind::kFlat;
+  return std::nullopt;
+}
+
+}  // namespace dmm::local

@@ -1,0 +1,46 @@
+// High-throughput simulation engine over a flat CSR message plane.
+//
+// run_flat simulates the same synchronous model as run_sync (engine.hpp)
+// but replaces the per-round std::map inboxes with per-edge message slots
+// in one contiguous, round-stamped buffer (the stamp subsumes the classic
+// send/recv double-buffer swap: last round's slots read as absent):
+//
+//   * one 8-byte slot per directed edge, laid out sender-major so the send
+//     phase streams sequentially and the plane stays cache-resident even
+//     at millions of edges;
+//   * messages up to kFlatInlineBytes live inline in the slot, the
+//     unbounded tail spills to a per-worker side arena (the model allows
+//     unbounded messages — flooding programs exercise this path);
+//   * inboxes resolve lazily (FlatInbox::at), so a program that reads one
+//     port pays for one gather, not deg(v);
+//   * a halted node's announcement is rendered once, when it halts — and
+//     only if a still-running neighbour can read it — then served from
+//     that cache in every later round;
+//   * the send and receive phases optionally run on a row-partitioned
+//     thread pool (options.threads > 1) — writes are per-slot disjoint,
+//     so the partition needs no locks.
+//
+// run_sync stays the reference oracle: tests/test_flat_engine.cpp checks
+// the two engines produce identical RunResult fields (outputs, halt
+// rounds, message accounting) for every algorithm in the library.
+#pragma once
+
+#include "local/engine.hpp"
+
+namespace dmm::local {
+
+/// Messages at most this long are stored inline in the slot buffer (slots
+/// are 8 bytes, so the whole plane stays cache-resident even at a million
+/// edges); longer ones spill to the arena.
+inline constexpr std::size_t kFlatInlineBytes = 6;
+
+struct FlatEngineOptions {
+  /// Workers for the send/receive phases; 1 (the default) runs in-line on
+  /// the calling thread.  Results are identical for every value.
+  int threads = 1;
+};
+
+RunResult run_flat(const graph::EdgeColouredGraph& g, const NodeProgramFactory& factory,
+                   int max_rounds, const FlatEngineOptions& options = {});
+
+}  // namespace dmm::local

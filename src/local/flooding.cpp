@@ -1,0 +1,74 @@
+#include "local/flooding.hpp"
+
+#include <deque>
+#include <utility>
+
+#include "io/serialize.hpp"
+
+namespace dmm::local {
+
+namespace {
+
+/// Copies `src` (rooted at its root) below `dst_parent`, preserving child
+/// colours; the source root itself is identified with dst_parent.
+void graft_below(const colsys::ColourSystem& src, colsys::ColourSystem& dst,
+                 colsys::NodeId dst_parent) {
+  std::deque<std::pair<colsys::NodeId, colsys::NodeId>> queue{{src.root(), dst_parent}};
+  while (!queue.empty()) {
+    const auto [from, to] = queue.front();
+    queue.pop_front();
+    for (Colour c = 1; c <= src.k(); ++c) {
+      const colsys::NodeId child = src.child(from, c);
+      if (child != colsys::kNullNode) queue.push_back({child, dst.add_child(to, c)});
+    }
+  }
+}
+
+}  // namespace
+
+FloodingProgram::FloodingProgram(std::shared_ptr<const LocalAlgorithm> algorithm, int k)
+    : algorithm_(std::move(algorithm)), k_(k), view_(k, /*valid_radius=*/1) {
+  running_time_ = algorithm_->running_time();
+}
+
+bool FloodingProgram::init(const std::vector<Colour>& incident) {
+  incident_ = incident;
+  // The radius-1 view: the root plus one child per incident colour.
+  view_ = colsys::ColourSystem(k_, /*valid_radius=*/1);
+  for (Colour c : incident_) view_.add_child(view_.root(), c);
+  if (running_time_ == 0) {
+    output_ = algorithm_->evaluate(view_);
+    return true;
+  }
+  return false;
+}
+
+std::map<Colour, Message> FloodingProgram::send(int round) {
+  (void)round;
+  std::map<Colour, Message> out;
+  // The neighbour across colour c gets everything except the branch it
+  // contributed itself — walks towards it must not backtrack.
+  for (Colour c : incident_) out[c] = io::write_system(view_.pruned(c));
+  return out;
+}
+
+bool FloodingProgram::receive(int round, const std::map<Colour, Message>& inbox) {
+  colsys::ColourSystem next(k_, view_.valid_radius() + 1);
+  for (Colour c : incident_) {
+    const colsys::ColourSystem part = io::read_system(inbox.at(c));
+    graft_below(part, next, next.add_child(next.root(), c));
+  }
+  view_ = std::move(next);
+  if (round == running_time_) {
+    output_ = algorithm_->evaluate(view_);
+    return true;
+  }
+  return false;
+}
+
+NodeProgramFactory flooding_program_factory(std::shared_ptr<const LocalAlgorithm> algorithm,
+                                            int k) {
+  return [algorithm, k] { return std::make_unique<FloodingProgram>(algorithm, k); };
+}
+
+}  // namespace dmm::local

@@ -1,0 +1,58 @@
+// Scale smoke test (tier-1): greedy on a 100 000-node instance must be
+// routine for the flat engine.  This is the suite that catches a
+// throughput regression — the reference run_sync engine is deliberately
+// not exercised at this size (it is orders of magnitude slower), so a
+// slowdown in the flat path shows up directly as a ctest timeout.
+#include "local/flat_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algo/greedy.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+#include "verify/matching.hpp"
+
+namespace dmm {
+namespace {
+
+constexpr int kNodes = 100000;
+constexpr int kPalette = 4;
+
+graph::EdgeColouredGraph big_instance() {
+  Rng rng(20120716);  // PODC'12
+  return graph::random_coloured_graph(kNodes, kPalette, 0.8, rng);
+}
+
+TEST(EngineScale, GreedyHundredThousandNodes) {
+  const graph::EdgeColouredGraph g = big_instance();
+  ASSERT_EQ(g.node_count(), kNodes);
+  const local::RunResult run =
+      local::run_flat(g, algo::greedy_program_factory(), kPalette + 1);
+  // Lemma 1 at scale: everyone halts by round k-1, and at this size some
+  // node needs every round.
+  EXPECT_EQ(run.rounds, kPalette - 1);
+  // Constant-size messages (remark after Theorem 2).
+  EXPECT_EQ(run.max_message_bytes, 1u);
+  // The outputs are the greedy matching, exactly.
+  EXPECT_EQ(run.outputs, algo::greedy_outputs(g));
+  EXPECT_TRUE(verify::check_outputs(g, run.outputs).ok());
+}
+
+TEST(EngineScale, ThreadedRunIsIdentical) {
+  const graph::EdgeColouredGraph g = big_instance();
+  const local::RunResult serial =
+      local::run_flat(g, algo::greedy_program_factory(), kPalette + 1);
+  local::FlatEngineOptions options;
+  options.threads = 4;
+  const local::RunResult threaded =
+      local::run_flat(g, algo::greedy_program_factory(), kPalette + 1, options);
+  EXPECT_EQ(serial.outputs, threaded.outputs);
+  EXPECT_EQ(serial.halt_round, threaded.halt_round);
+  EXPECT_EQ(serial.rounds, threaded.rounds);
+  EXPECT_EQ(serial.max_message_bytes, threaded.max_message_bytes);
+  EXPECT_EQ(serial.total_message_bytes, threaded.total_message_bytes);
+  EXPECT_EQ(serial.messages_sent, threaded.messages_sent);
+}
+
+}  // namespace
+}  // namespace dmm

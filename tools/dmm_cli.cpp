@@ -1,6 +1,6 @@
 // dmm_cli — command-line driver for the library.
 //
-//   dmm_cli greedy     --instance <spec>
+//   dmm_cli greedy     --instance <spec> [--engine <sync|flat>] [--threads <n>]
 //   dmm_cli adversary  --k <k> --algorithm <spec> [--certificate-out <path>] [--no-memo]
 //   dmm_cli lemma4     --algorithm <spec>
 //   dmm_cli check      --certificate <path> --algorithm <spec>
@@ -112,10 +112,25 @@ bool flag(const std::vector<std::string>& args, const std::string& name) {
 int cmd_greedy(const std::vector<std::string>& args) {
   const std::string spec = option(args, "--instance");
   if (spec.empty()) fail("greedy: --instance required");
+  const std::string engine_spec = option(args, "--engine", "sync");
+  const auto engine = local::parse_engine_kind(engine_spec);
+  if (!engine) fail("greedy: unknown engine '" + engine_spec + "' (sync|flat)");
+  const int threads = std::stoi(option(args, "--threads", "1"));
+  if (threads > 1 && *engine != local::EngineKind::kFlat) {
+    fail("greedy: --threads requires --engine flat");
+  }
   const graph::EdgeColouredGraph g = parse_instance(spec);
-  const local::RunResult run = local::run_sync(g, algo::greedy_program_factory(), g.k() + 1);
+  local::RunResult run;
+  if (*engine == local::EngineKind::kFlat) {
+    run = local::run_flat(g, algo::greedy_program_factory(), g.k() + 1, {.threads = threads});
+  } else {
+    run = local::run_sync(g, algo::greedy_program_factory(), g.k() + 1);
+  }
   const verify::MatchingReport report = verify::check_outputs(g, run.outputs);
   std::cout << "instance: " << spec << " (n=" << g.node_count() << ", k=" << g.k() << ")\n";
+  std::cout << "engine: " << local::engine_kind_name(*engine);
+  if (threads > 1) std::cout << " (threads=" << threads << ")";
+  std::cout << "\n";
   std::cout << "rounds: " << run.rounds << " (bound k-1 = " << g.k() - 1 << ")\n";
   std::cout << "matched edges: " << verify::matched_edges(g, run.outputs).size() << "\n";
   std::cout << "max message: " << run.max_message_bytes << " byte(s)\n";

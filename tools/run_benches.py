@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Run every bench binary and validate the BENCH_*.json trajectory files.
+
+The experiment set is enumerated explicitly (the seed ships no e9, e10 or
+e12 — see docs/benchmarks.md), mirroring bench/bench_json.hpp; a new bench
+binary must be added to both lists, which this script cross-checks against
+the binaries it actually finds.
+
+Usage:
+  tools/run_benches.py --bin-dir build [--out-dir build/bench-json] [--smoke]
+
+--smoke passes --smoke to each binary (tables + JSON only, no
+google-benchmark loops); without it the full benchmark suites run too.
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+# Keep in sync with kExperiments in bench/bench_json.hpp.
+EXPERIMENTS = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8",
+    "e11", "e13", "e14", "e15", "e16", "e17",
+]
+
+RECORD_FIELDS = {
+    "instance": str,
+    "n": int,
+    "m": int,
+    "k": int,
+    "rounds": int,
+    "wall_ns": (int, float),
+    "engine": str,
+    "max_message_bytes": int,
+}
+
+
+def find_binary(bin_dir: pathlib.Path, experiment: str) -> pathlib.Path:
+    matches = sorted(bin_dir.glob(f"bench_{experiment}_*"))
+    matches = [m for m in matches if m.is_file() and m.stat().st_mode & 0o111]
+    if len(matches) != 1:
+        raise SystemExit(
+            f"error: expected exactly one bench_{experiment}_* binary in {bin_dir}, "
+            f"found {len(matches)}"
+        )
+    return matches[0]
+
+
+def validate(path: pathlib.Path, experiment: str) -> int:
+    with path.open() as fh:
+        data = json.load(fh)
+    if data.get("schema") != "dmm-bench-1":
+        raise SystemExit(f"error: {path}: bad schema {data.get('schema')!r}")
+    if data.get("experiment") != experiment:
+        raise SystemExit(f"error: {path}: experiment mismatch {data.get('experiment')!r}")
+    records = data.get("records")
+    if not isinstance(records, list) or not records:
+        raise SystemExit(f"error: {path}: no records")
+    for record in records:
+        for field, kind in RECORD_FIELDS.items():
+            if field not in record:
+                raise SystemExit(f"error: {path}: record missing field {field!r}: {record}")
+            if not isinstance(record[field], kind):
+                raise SystemExit(f"error: {path}: field {field!r} has wrong type: {record}")
+        if record["wall_ns"] != record["wall_ns"]:  # NaN guard; writer rejects these too
+            raise SystemExit(f"error: {path}: NaN wall_ns: {record}")
+    return len(records)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bin-dir", required=True, type=pathlib.Path)
+    parser.add_argument("--out-dir", type=pathlib.Path, default=pathlib.Path("bench-json"))
+    parser.add_argument("--smoke", action="store_true")
+    args = parser.parse_args()
+
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    total = 0
+    for experiment in EXPERIMENTS:
+        binary = find_binary(args.bin_dir, experiment)
+        cmd = [str(binary), "--json-dir", str(args.out_dir)]
+        if args.smoke:
+            cmd.append("--smoke")
+        print(f"== {binary.name} {'(smoke)' if args.smoke else ''}", flush=True)
+        subprocess.run(cmd, check=True)
+        total += validate(args.out_dir / f"BENCH_{experiment}.json", experiment)
+
+    print(f"ok: {len(EXPERIMENTS)} experiments, {total} records in {args.out_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
