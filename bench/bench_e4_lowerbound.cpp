@@ -16,10 +16,23 @@ namespace {
 
 using namespace dmm;
 
-void print_rows() {
+void record_run(benchjson::Harness& harness, const std::string& label, int k,
+                const lower::LowerBoundResult& result, double wall_ns) {
+  benchjson::Record record;
+  record.instance = label;
+  record.k = k;
+  record.rounds = -1;
+  record.wall_ns = wall_ns;
+  record.views = static_cast<long long>(result.stats.evaluations);
+  record.memo_hits = static_cast<long long>(result.stats.memo_hits);
+  record.threads = result.stats.threads;
+  harness.add(std::move(record));
+}
+
+void print_rows(benchjson::Harness& harness) {
   std::printf("## E4: the Theorem 5 adversary\n");
-  std::printf("%-30s %3s %3s %-10s %10s %10s %12s\n", "algorithm", "k", "r", "outcome",
-              "views", "max|X|", "U[d]=V[d]");
+  std::printf("%-30s %3s %3s %-10s %10s %10s %10s %12s\n", "algorithm", "k", "r", "outcome",
+              "views", "memo", "max|X|", "U[d]=V[d]");
   // k = 6 is the current practical frontier (hours, ~10^7-node templates);
   // the table stops at k = 5, which the optimistic schedule solves in
   // milliseconds.
@@ -29,24 +42,32 @@ void print_rows() {
     // optimistic scan-cap schedule (same outcomes, far smaller trees).
     const lower::AdversaryOptions options{
         .memoise = true, .optimistic = k >= 5, .max_template_nodes = 2e7};
-    const lower::LowerBoundResult result = lower::run_adversary(k, greedy, options);
+    lower::LowerBoundResult result;
+    const double wall_ns = benchjson::Harness::time_ns(
+        [&] { result = lower::run_adversary(k, greedy, options); });
     const auto* tp = std::get_if<lower::TightPair>(&result.outcome);
-    std::printf("%-30s %3d %3d %-10s %10llu %10d %12s\n", greedy.name().c_str(), k,
+    std::printf("%-30s %3d %3d %-10s %10llu %10llu %10d %12s\n", greedy.name().c_str(), k,
                 greedy.running_time(), result.tight() ? "tight" : "other",
                 static_cast<unsigned long long>(result.stats.evaluations),
+                static_cast<unsigned long long>(result.stats.memo_hits),
                 result.stats.max_template_nodes,
                 tp && colsys::ColourSystem::equal_to_radius(tp->u.tree(), tp->v.tree(), tp->d)
                     ? "yes"
                     : "-");
+    record_run(harness, "adversary vs " + greedy.name(), k, result, wall_ns);
   }
   for (int k = 3; k <= 4; ++k) {
     for (int r = 0; r < k - 1; ++r) {
       const algo::TruncatedGreedy fast(k, r);
-      const lower::LowerBoundResult result = lower::run_adversary(k, fast);
-      std::printf("%-30s %3d %3d %-10s %10llu %10d %12s\n", fast.name().c_str(), k, r,
+      lower::LowerBoundResult result;
+      const double wall_ns =
+          benchjson::Harness::time_ns([&] { result = lower::run_adversary(k, fast); });
+      std::printf("%-30s %3d %3d %-10s %10llu %10llu %10d %12s\n", fast.name().c_str(), k, r,
                   result.refuted() ? "refuted" : "other",
                   static_cast<unsigned long long>(result.stats.evaluations),
+                  static_cast<unsigned long long>(result.stats.memo_hits),
                   result.stats.max_template_nodes, "-");
+      record_run(harness, "adversary vs " + fast.name(), k, result, wall_ns);
     }
   }
   {
@@ -54,11 +75,15 @@ void print_rows() {
     // at 10 on 4-regular trees); the full greedy at k = 5 would need
     // ~10^13-node trees — that cliff is the h^depth growth, reported here.
     const algo::TruncatedGreedy fast(5, 0);
-    const lower::LowerBoundResult result = lower::run_adversary(5, fast);
-    std::printf("%-30s %3d %3d %-10s %10llu %10d %12s\n", fast.name().c_str(), 5, 0,
+    lower::LowerBoundResult result;
+    const double wall_ns =
+        benchjson::Harness::time_ns([&] { result = lower::run_adversary(5, fast); });
+    std::printf("%-30s %3d %3d %-10s %10llu %10llu %10d %12s\n", fast.name().c_str(), 5, 0,
                 result.refuted() ? "refuted" : "other",
                 static_cast<unsigned long long>(result.stats.evaluations),
+                static_cast<unsigned long long>(result.stats.memo_hits),
                 result.stats.max_template_nodes, "-");
+    record_run(harness, "adversary vs " + fast.name(), 5, result, wall_ns);
   }
   std::printf("\n");
 }
@@ -84,8 +109,11 @@ BENCHMARK(BM_AdversaryVsTruncated)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond
 }  // namespace
 
 int main(int argc, char** argv) {
-  return dmm::benchjson::Harness::run_table_experiment("e4", argc, argv, print_rows, [&] {
+  dmm::benchjson::Harness harness("e4", argc, argv);
+  print_rows(harness);
+  if (!harness.smoke()) {
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
-  });
+  }
+  return harness.write();
 }

@@ -124,7 +124,9 @@ std::string to_json(const Record& record) {
       << ",\"n\":" << record.n << ",\"m\":" << record.m << ",\"k\":" << record.k
       << ",\"rounds\":" << record.rounds << ",\"wall_ns\":" << wall << ",\"engine\":\""
       << escape(record.engine) << "\",\"max_message_bytes\":" << record.max_message_bytes
-      << "}";
+      << ",\"views\":" << record.views << ",\"pairs\":" << record.pairs
+      << ",\"csp_nodes\":" << record.csp_nodes << ",\"memo_hits\":" << record.memo_hits
+      << ",\"threads\":" << record.threads << "}";
   return out.str();
 }
 
@@ -155,6 +157,21 @@ Record parse_record(const std::string& json) {
   in.expect(',');
   in.key("max_message_bytes");
   r.max_message_bytes = static_cast<std::size_t>(in.number_value());
+  in.expect(',');
+  in.key("views");
+  r.views = static_cast<long long>(in.number_value());
+  in.expect(',');
+  in.key("pairs");
+  r.pairs = static_cast<long long>(in.number_value());
+  in.expect(',');
+  in.key("csp_nodes");
+  r.csp_nodes = static_cast<long long>(in.number_value());
+  in.expect(',');
+  in.key("memo_hits");
+  r.memo_hits = static_cast<long long>(in.number_value());
+  in.expect(',');
+  in.key("threads");
+  r.threads = static_cast<int>(in.number_value());
   in.expect('}');
   return r;
 }
@@ -207,7 +224,7 @@ int Harness::write() const {
     std::fprintf(stderr, "bench_json: cannot write %s\n", path().c_str());
     return 2;
   }
-  out << "{\"schema\":\"dmm-bench-1\",\"experiment\":\"" << escape(experiment_)
+  out << "{\"schema\":\"dmm-bench-2\",\"experiment\":\"" << escape(experiment_)
       << "\",\"records\":[";
   for (std::size_t i = 0; i < records_.size(); ++i) {
     if (i) out << ",";

@@ -3,10 +3,16 @@
 //
 // File format (one JSON object per file):
 //
-//   {"schema":"dmm-bench-1","experiment":"e14","records":[
+//   {"schema":"dmm-bench-2","experiment":"e14","records":[
 //     {"instance":"random n=100000 k=4","n":100000,"m":159862,"k":4,
 //      "rounds":3,"wall_ns":12345678.0,"engine":"flat",
-//      "max_message_bytes":1}, ...]}
+//      "max_message_bytes":1,"views":0,"pairs":0,"csp_nodes":0,
+//      "memo_hits":0,"threads":1}, ...]}
+//
+// Schema history: dmm-bench-2 (this PR) appends the lower-bound pipeline
+// stats — views, pairs, csp_nodes, memo_hits, threads — to every record
+// (zero / 1 where not applicable), so the E17/E4 trajectory captures the
+// canonical-form speedups the way e14 captured the flat engine's.
 //
 // The record field names are part of the schema and locked by
 // tests/test_bench_json.cpp; wall times must be finite (NaN is a
@@ -41,6 +47,12 @@ struct Record {
   double wall_ns = 0.0;              // wall-clock of the measured section
   std::string engine = "-";          // "sync", "flat", or "-"
   std::size_t max_message_bytes = 0;
+  // Lower-bound pipeline stats (dmm-bench-2); zero where not applicable.
+  long long views = 0;               // view catalogue size
+  long long pairs = 0;               // compatible pairs
+  long long csp_nodes = 0;           // CSP search nodes explored
+  long long memo_hits = 0;           // evaluator memo hits
+  int threads = 1;                   // worker threads used by the run
 
   bool operator==(const Record&) const = default;
 };

@@ -1,0 +1,53 @@
+#include "colsys/canon.hpp"
+
+#include <stdexcept>
+
+namespace dmm::colsys {
+
+std::size_t CanonicalStore::BytesHash::operator()(
+    const std::vector<std::uint8_t>& bytes) const noexcept {
+  // FNV-1a: the serialisations are short (tens to hundreds of bytes) and
+  // already high-entropy, so a simple streaming hash beats fancier mixing.
+  std::size_t h = 1469598103934665603ull;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+ViewId CanonicalStore::intern(const std::vector<std::uint8_t>& bytes) {
+  const auto [it, inserted] = index_.try_emplace(bytes, static_cast<ViewId>(keys_.size()));
+  if (inserted) {
+    keys_.push_back(&it->first);
+    key_bytes_ += bytes.size();
+  }
+  return it->second;
+}
+
+ViewId CanonicalStore::intern(const ColourSystem& view, int radius) {
+  scratch_.clear();
+  view.serialize_into(radius, scratch_);
+  return intern(scratch_);
+}
+
+ViewId CanonicalStore::find(const std::vector<std::uint8_t>& bytes) const {
+  const auto it = index_.find(bytes);
+  return it == index_.end() ? kNullView : it->second;
+}
+
+const std::vector<std::uint8_t>& CanonicalStore::bytes(ViewId id) const {
+  if (id < 0 || id >= size()) throw std::out_of_range("CanonicalStore::bytes: bad id");
+  return *keys_[static_cast<std::size_t>(id)];
+}
+
+std::size_t CanonicalStore::resident_bytes() const noexcept {
+  // Keys + per-node map overhead (key vector header, id, next pointer) +
+  // bucket array + the id→key pointer table.  An estimate, not an audit.
+  constexpr std::size_t kNodeOverhead =
+      sizeof(std::vector<std::uint8_t>) + sizeof(ViewId) + 2 * sizeof(void*);
+  return key_bytes_ + keys_.size() * (kNodeOverhead + sizeof(void*)) +
+         index_.bucket_count() * sizeof(void*);
+}
+
+}  // namespace dmm::colsys

@@ -1,0 +1,99 @@
+// Hash-consed canonical forms for rooted coloured trees.
+//
+// Everything on the lower-bound side of the library (the Remark-2 view
+// catalogues, the compatible-pair index, the §3 adversary's evaluator memo)
+// keys work on the canonical byte serialisation of some rooted tree.  The
+// seed implementation re-serialised and copied those byte vectors at every
+// lookup; a CanonicalStore interns each distinct serialisation exactly once
+// and hands out a dense ViewId, so equality of trees becomes equality of
+// 32-bit integers and memo tables become flat vectors indexed by id.
+//
+// A TransformCache is the companion structure for the root surgeries the
+// neighbourhood pipeline performs per (view, colour) — "the subtree across
+// the root's c-edge" and "the view minus its c-branch" — expressed as
+// dense (ViewId, Colour) → ViewId maps instead of repeated
+// rerooted/pruned/restricted tree copies.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "colsys/colour_system.hpp"
+
+namespace dmm::colsys {
+
+/// Dense id of an interned canonical serialisation.  Ids are assigned in
+/// interning order starting at 0, so stores whose interning order mirrors a
+/// catalogue's view order have ViewId == view index.
+using ViewId = std::int32_t;
+
+inline constexpr ViewId kNullView = -1;
+
+class CanonicalStore {
+ public:
+  /// Interns `bytes`, returning the existing id when the serialisation has
+  /// been seen before (the bytes are copied only on first sight).
+  ViewId intern(const std::vector<std::uint8_t>& bytes);
+
+  /// Serialises view[radius] into an internal scratch buffer and interns it.
+  ViewId intern(const ColourSystem& view, int radius);
+
+  /// Id of a previously interned serialisation, or kNullView.
+  ViewId find(const std::vector<std::uint8_t>& bytes) const;
+
+  /// The interned bytes of an id (valid for the store's lifetime).
+  const std::vector<std::uint8_t>& bytes(ViewId id) const;
+
+  std::int32_t size() const noexcept { return static_cast<std::int32_t>(keys_.size()); }
+
+  /// Approximate heap footprint: interned key bytes plus index/bucket
+  /// overhead.  Reported by AdversaryStats so memo growth is observable.
+  std::size_t resident_bytes() const noexcept;
+
+ private:
+  struct BytesHash {
+    std::size_t operator()(const std::vector<std::uint8_t>& bytes) const noexcept;
+  };
+
+  // Keys live in the node-based map; keys_ holds stable pointers to them in
+  // id order, so each serialisation is stored exactly once.
+  std::unordered_map<std::vector<std::uint8_t>, ViewId, BytesHash> index_;
+  std::vector<const std::vector<std::uint8_t>*> keys_;
+  std::size_t key_bytes_ = 0;
+  std::vector<std::uint8_t> scratch_;
+};
+
+/// Dense (ViewId, Colour) → ViewId memo for per-colour root transforms.
+/// Entries default to kUncachedView; kNullView is a legal cached value
+/// (meaning "the transform does not exist for this colour").
+inline constexpr ViewId kUncachedView = -2;
+
+class TransformCache {
+ public:
+  explicit TransformCache(int k) : k_(k) {}
+
+  ViewId get(ViewId id, Colour c) const {
+    const std::size_t slot = index(id, c);
+    return slot < entries_.size() ? entries_[slot] : kUncachedView;
+  }
+
+  void put(ViewId id, Colour c, ViewId value) {
+    const std::size_t slot = index(id, c);
+    if (slot >= entries_.size()) entries_.resize(slot + 1, kUncachedView);
+    entries_[slot] = value;
+  }
+
+  std::size_t resident_bytes() const noexcept { return entries_.size() * sizeof(ViewId); }
+
+ private:
+  std::size_t index(ViewId id, Colour c) const {
+    return static_cast<std::size_t>(id) * static_cast<std::size_t>(k_) +
+           static_cast<std::size_t>(c - 1);
+  }
+
+  int k_;
+  std::vector<ViewId> entries_;
+};
+
+}  // namespace dmm::colsys

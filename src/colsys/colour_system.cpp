@@ -278,8 +278,23 @@ ColourSystem ColourSystem::ball(NodeId v, int radius) const {
 }
 
 std::vector<std::uint8_t> ColourSystem::serialize(int radius) const {
-  require_within(radius, "serialize");
   std::vector<std::uint8_t> out;
+  serialize_into(radius, out);
+  return out;
+}
+
+void ColourSystem::serialize_into(int radius, std::vector<std::uint8_t>& out) const {
+  require_within(radius, "serialize");
+  serialize_subtree_into(root(), gk::kNoColour, radius, out);
+}
+
+void ColourSystem::serialize_subtree_into(NodeId top, Colour dropped, int radius,
+                                          std::vector<std::uint8_t>& out) const {
+  check(top);
+  if (valid_radius_ != kExactRadius && nodes_[top].depth + radius > valid_radius_) {
+    throw std::logic_error(
+        "ColourSystem: serialize_subtree_into reads beyond the faithful truncation radius");
+  }
   out.push_back(static_cast<std::uint8_t>(k_));
   // Pre-order DFS with children in colour order; depth-limited.  Each node
   // emits the sorted list of child colours present, then recurses.  Because
@@ -288,7 +303,7 @@ std::vector<std::uint8_t> ColourSystem::serialize(int radius) const {
     NodeId v;
     int depth;
   };
-  std::vector<Frame> stack{{root(), 0}};
+  std::vector<Frame> stack{{top, 0}};
   while (!stack.empty()) {
     const Frame f = stack.back();
     stack.pop_back();
@@ -296,25 +311,25 @@ std::vector<std::uint8_t> ColourSystem::serialize(int radius) const {
       out.push_back(0xff);  // leaf-by-truncation marker
       continue;
     }
+    const Colour omitted = f.v == top ? dropped : gk::kNoColour;
     std::uint8_t mask_count = 0;
     for (Colour c = 1; c <= k_; ++c) {
-      if (nodes_[f.v].children[c - 1] != kNullNode) ++mask_count;
+      if (c != omitted && nodes_[f.v].children[c - 1] != kNullNode) ++mask_count;
     }
     out.push_back(mask_count);
     // Push in reverse colour order so DFS visits ascending colours.
     for (Colour c = k_; c >= 1; --c) {
       const NodeId u = nodes_[f.v].children[c - 1];
-      if (u != kNullNode) {
+      if (c != omitted && u != kNullNode) {
         // Emitting the colour here (before the subtree) keeps the encoding
         // prefix-free per node.
         stack.push_back({u, f.depth + 1});
       }
     }
     for (Colour c = 1; c <= k_; ++c) {
-      if (nodes_[f.v].children[c - 1] != kNullNode) out.push_back(c);
+      if (c != omitted && nodes_[f.v].children[c - 1] != kNullNode) out.push_back(c);
     }
   }
-  return out;
 }
 
 bool ColourSystem::equal_to_radius(const ColourSystem& a, const ColourSystem& b, int h) {

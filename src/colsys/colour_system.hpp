@@ -120,6 +120,21 @@ class ColourSystem {
   /// Requires radius ≤ valid_radius.
   std::vector<std::uint8_t> serialize(int radius) const;
 
+  /// Appends the bytes of serialize(radius) to `out`; reusing one buffer
+  /// across calls avoids the per-call allocation of serialize.
+  void serialize_into(int radius, std::vector<std::uint8_t>& out) const;
+
+  /// Appends the canonical serialisation of the subtree hanging at `top`
+  /// (the edge towards top's parent removed), cut `radius` levels below
+  /// `top`; `dropped`, when not kNoColour, names one child colour of `top`
+  /// to omit.  The bytes equal what
+  ///   rerooted(top).pruned(tail)…restricted(radius).serialize(radius)
+  /// produced in the seed pipeline, but no intermediate trees are built —
+  /// this is what makes the compatible-pair index allocation-free per
+  /// lookup.  Requires depth(top) + radius ≤ valid_radius.
+  void serialize_subtree_into(NodeId top, Colour dropped, int radius,
+                              std::vector<std::uint8_t>& out) const;
+
   /// Structural equality of U[h] and V[h] (paper's U[h] = V[h]).
   static bool equal_to_radius(const ColourSystem& a, const ColourSystem& b, int h);
 

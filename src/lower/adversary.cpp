@@ -28,7 +28,10 @@ std::string LowerBoundResult::summary() const {
     out += "inconclusive — " + std::get<Inconclusive>(outcome).reason;
   }
   out += " [" + std::to_string(stats.evaluations) + " evaluations, " +
-         std::to_string(stats.memo_hits) + " memo hits]";
+         std::to_string(stats.memo_hits) + " memo hits, " + std::to_string(stats.memo_entries) +
+         " memo entries, " + std::to_string(stats.memo_bytes / 1024) + " KiB resident";
+  if (stats.threads > 1) out += ", " + std::to_string(stats.threads) + " threads";
+  out += "]";
   return out;
 }
 
@@ -38,6 +41,9 @@ std::optional<Certificate> hunt_violation(const Template& tmpl, Evaluator& eval,
   if (!tmpl.tree().is_exact()) {
     norm_limit = std::min(norm_limit, tmpl.valid_radius() - (r + 2));
   }
+  // Warm the memo in parallel; the serial sweep below still takes every
+  // decision (and finds the same first breach, since answers are pure).
+  eval.prefetch(tmpl, tmpl.tree().nodes_up_to(norm_limit));
   for (NodeId v : tmpl.tree().nodes_up_to(norm_limit)) {
     CheckedOutput co = evaluate_checked(eval, tmpl, v);
     if (co.violation) return co.violation;
@@ -104,11 +110,14 @@ LowerBoundResult run_adversary(int k, const local::LocalAlgorithm& algorithm,
   result.k = k;
   result.algorithm = algorithm.name();
 
-  Evaluator eval(algorithm, options.memoise);
+  Evaluator eval(algorithm, options.memoise, options.threads);
   auto finish = [&](std::variant<TightPair, Certificate, Inconclusive> outcome) {
     result.outcome = std::move(outcome);
     result.stats.evaluations = eval.evaluations();
     result.stats.memo_hits = eval.memo_hits();
+    result.stats.memo_entries = eval.memo_entries();
+    result.stats.memo_bytes = eval.memo_bytes();
+    result.stats.threads = eval.threads();
     return result;
   };
 

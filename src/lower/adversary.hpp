@@ -48,6 +48,9 @@ struct TightPair {
 struct AdversaryStats {
   std::uint64_t evaluations = 0;  // distinct views handed to A
   std::uint64_t memo_hits = 0;
+  std::uint64_t memo_entries = 0;  // distinct canonical views interned
+  std::size_t memo_bytes = 0;      // approximate resident size of the memo
+  int threads = 1;                 // evaluator worker pool size used
   int max_template_nodes = 0;
   std::vector<StepTrace> steps;
 };
@@ -76,6 +79,12 @@ struct AdversaryOptions {
   /// Safety valve: skip any attempt whose estimated largest template would
   /// exceed this many nodes.
   double max_template_nodes = 5e6;
+  /// Worker threads for the picker / Lemma-12 evaluation sweeps.  Outcomes
+  /// are identical to the serial run (the sweeps only pre-warm the
+  /// evaluator memo; every decision is still taken by the serial merge),
+  /// but requires the algorithm's evaluate() to tolerate concurrent const
+  /// calls.
+  int threads = 1;
 };
 
 /// Runs the §3 construction.  Requires k ≥ 3; see run_lemma4 for k = 2.

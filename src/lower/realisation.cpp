@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <thread>
 
 namespace dmm::lower {
 
@@ -35,23 +36,116 @@ ColourSystem realisation_ball(const Template& tmpl, NodeId t, int radius) {
   return out;
 }
 
+void serialize_realisation_into(const Template& tmpl, NodeId t, int radius,
+                                std::vector<std::uint8_t>& out) {
+  const ColourSystem& T = tmpl.tree();
+  if (!T.is_exact() && T.depth(t) + radius > T.valid_radius()) {
+    throw std::logic_error("serialize_realisation_into: template truncation too shallow");
+  }
+  const int k = T.k();
+  out.push_back(static_cast<std::uint8_t>(k));
+  // Mirrors ColourSystem::serialize on the virtual ball: pre-order DFS,
+  // children in colour order, 0xff at the truncation radius.  A virtual
+  // node is (p-label, arrival colour); its child colours are
+  // [k] − {τ(label), arrived}, each leading to the label's tree neighbour
+  // or (free colour) to the label itself.
+  struct Frame {
+    NodeId label;
+    Colour arrived;
+    int depth;
+  };
+  std::vector<Frame> stack{{t, gk::kNoColour, 0}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    if (f.depth == radius) {
+      out.push_back(0xff);
+      continue;
+    }
+    const Colour forbidden = tmpl.tau(f.label);
+    const std::uint8_t count =
+        static_cast<std::uint8_t>(k - 1 - (f.arrived != gk::kNoColour ? 1 : 0));
+    out.push_back(count);
+    // Push in reverse colour order so DFS visits ascending colours.
+    for (Colour c = static_cast<Colour>(k); c >= 1; --c) {
+      if (c == forbidden || c == f.arrived) continue;
+      const NodeId tree_next = T.neighbour(f.label, c);
+      stack.push_back({tree_next != colsys::kNullNode ? tree_next : f.label, c, f.depth + 1});
+    }
+    for (Colour c = 1; c <= k; ++c) {
+      if (c != forbidden && c != f.arrived) out.push_back(c);
+    }
+  }
+}
+
+Colour Evaluator::evaluate_interned(const Template& tmpl, NodeId t,
+                                    std::vector<std::uint8_t>& buf) {
+  buf.clear();
+  serialize_realisation_into(tmpl, t, radius(), buf);
+  const bool locking = threads_ > 1;
+  colsys::ViewId id;
+  {
+    std::unique_lock<std::mutex> lock(*mutex_, std::defer_lock);
+    if (locking) lock.lock();
+    id = store_.intern(buf);
+    if (static_cast<std::size_t>(id) >= memo_.size()) {
+      memo_.resize(static_cast<std::size_t>(store_.size()), kUnknownOutput);
+    }
+    if (memo_[static_cast<std::size_t>(id)] != kUnknownOutput) {
+      ++memo_hits_;
+      return memo_[static_cast<std::size_t>(id)];
+    }
+  }
+  // Miss: materialise the ball and consult the algorithm outside the lock
+  // (two threads may race on the same view; both compute the same answer).
+  const Colour out = algorithm_.evaluate(realisation_ball(tmpl, t, radius()));
+  {
+    std::unique_lock<std::mutex> lock(*mutex_, std::defer_lock);
+    if (locking) lock.lock();
+    // Count each distinct view once even when racing workers both computed
+    // it — evaluations_ means "distinct views handed to A".
+    if (memo_[static_cast<std::size_t>(id)] == kUnknownOutput) {
+      ++evaluations_;
+      memo_[static_cast<std::size_t>(id)] = out;
+    }
+  }
+  return out;
+}
+
 Colour Evaluator::operator()(const Template& tmpl, NodeId t) {
-  const ColourSystem view = realisation_ball(tmpl, t, radius());
   if (!memoise_) {
     ++evaluations_;
-    return algorithm_.evaluate(view);
+    return algorithm_.evaluate(realisation_ball(tmpl, t, radius()));
   }
-  const std::vector<std::uint8_t> canon = view.serialize(radius());
-  std::string key(canon.begin(), canon.end());
-  const auto it = memo_.find(key);
-  if (it != memo_.end()) {
-    ++memo_hits_;
-    return it->second;
+  return evaluate_interned(tmpl, t, buf_);
+}
+
+void Evaluator::prefetch(const Template& tmpl, const std::vector<NodeId>& nodes) {
+  if (!memoise_ || threads_ <= 1 || nodes.size() < 2) return;
+  const int workers = std::min<int>(threads_, static_cast<int>(nodes.size()));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  // An algorithm under test may throw on some view; capture the first
+  // exception and rethrow after the join so errors surface exactly as the
+  // serial sweep would surface them (not via std::terminate).
+  std::exception_ptr failure;
+  std::mutex failure_mutex;
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([this, &tmpl, &nodes, &failure, &failure_mutex, w, workers] {
+      std::vector<std::uint8_t> buf;
+      try {
+        for (std::size_t i = static_cast<std::size_t>(w); i < nodes.size();
+             i += static_cast<std::size_t>(workers)) {
+          evaluate_interned(tmpl, nodes[i], buf);
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> guard(failure_mutex);
+        if (!failure) failure = std::current_exception();
+      }
+    });
   }
-  ++evaluations_;
-  const Colour out = algorithm_.evaluate(view);
-  memo_.emplace(std::move(key), out);
-  return out;
+  for (std::thread& t : pool) t.join();
+  if (failure) std::rethrow_exception(failure);
 }
 
 std::string Certificate::describe() const {

@@ -14,18 +14,24 @@
 // is thereby built into the data structure: the view genuinely depends only
 // on p-labels.
 //
-// Evaluator memoises A's answers by the canonical view serialisation, and
-// checks (M1) on every answer; any breach is packaged as a Certificate — a
-// finite, re-checkable witness that A is not a correct maximal-matching
-// algorithm (§2.4).
+// Evaluator memoises A's answers by interned canonical view id: the
+// radius-(r+1) serialisation is emitted straight off the template (no ball
+// tree is materialised on a memo hit), hash-consed into a dense
+// colsys::ViewId by a CanonicalStore, and the memo itself is a flat
+// vector indexed by id.  Every answer is (M1)-checked; any breach is
+// packaged as a Certificate — a finite, re-checkable witness that A is not
+// a correct maximal-matching algorithm (§2.4).
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
+#include "colsys/canon.hpp"
 #include "local/algorithm.hpp"
 #include "lower/template.hpp"
 
@@ -35,6 +41,13 @@ namespace dmm::lower {
 /// real(T, τ), as a rooted colour system.  Requires
 /// depth(t) + radius ≤ valid_radius of the template's tree.
 ColourSystem realisation_ball(const Template& tmpl, NodeId t, int radius);
+
+/// Appends the canonical serialisation of realisation_ball(tmpl, t, radius)
+/// to `out` without materialising the ball: the bytes are identical to
+/// realisation_ball(...).serialize(radius), but memo lookups pay only for
+/// the byte emission.
+void serialize_realisation_into(const Template& tmpl, NodeId t, int radius,
+                                std::vector<std::uint8_t>& out);
 
 /// A finite witness that the algorithm under test violates one of the
 /// §2.4 properties on a concrete d-regular instance (the realisation of
@@ -63,22 +76,54 @@ class Evaluator {
  public:
   /// `memoise = false` disables the canonical-view cache (ablation E15);
   /// results are identical, only the evaluation count and time change.
-  explicit Evaluator(const local::LocalAlgorithm& algorithm, bool memoise = true)
-      : algorithm_(algorithm), memoise_(memoise) {}
+  /// `threads > 1` makes the evaluator thread-safe (the memo is guarded by
+  /// a mutex) and sizes prefetch()'s worker pool; it requires the
+  /// algorithm's evaluate() to be safe for concurrent const calls.
+  explicit Evaluator(const local::LocalAlgorithm& algorithm, bool memoise = true,
+                     int threads = 1)
+      : algorithm_(algorithm), memoise_(memoise), threads_(threads < 1 ? 1 : threads) {}
 
   /// A(T, τ, t): evaluates the algorithm on the realisation view of t.
   Colour operator()(const Template& tmpl, NodeId t);
 
+  /// Warms the memo with A(T, τ, t) for every listed node, sharded across
+  /// the worker pool.  Outcome-neutral: it only changes which thread first
+  /// computes each canonical view, so serial code that later reads the
+  /// answers behaves exactly as without the prefetch.  No-op unless
+  /// memoising with threads > 1.
+  void prefetch(const Template& tmpl, const std::vector<NodeId>& nodes);
+
   const local::LocalAlgorithm& algorithm() const noexcept { return algorithm_; }
   int radius() const { return algorithm_.running_time() + 1; }
+  int threads() const noexcept { return threads_; }
 
   std::uint64_t evaluations() const noexcept { return evaluations_; }
   std::uint64_t memo_hits() const noexcept { return memo_hits_; }
+  /// Distinct canonical views in the memo.
+  std::uint64_t memo_entries() const noexcept {
+    return static_cast<std::uint64_t>(store_.size());
+  }
+  /// Approximate heap footprint of the memo (interned keys + tables).
+  std::size_t memo_bytes() const noexcept {
+    return store_.resident_bytes() + memo_.capacity() * sizeof(Colour);
+  }
 
  private:
+  /// memo_ entry value meaning "not evaluated yet" (legal outputs are
+  /// ⊥ = 0 and colours 1..k ≤ 30).
+  static constexpr Colour kUnknownOutput = 0xff;
+
+  Colour evaluate_interned(const Template& tmpl, NodeId t, std::vector<std::uint8_t>& buf);
+
   const local::LocalAlgorithm& algorithm_;
   bool memoise_ = true;
-  std::unordered_map<std::string, Colour> memo_;
+  int threads_ = 1;
+  colsys::CanonicalStore store_;
+  std::vector<Colour> memo_;  // by ViewId; kUnknownOutput = pending
+  // Guards store_/memo_/counters when threads_ > 1; owned indirectly so
+  // the evaluator stays movable.
+  std::unique_ptr<std::mutex> mutex_ = std::make_unique<std::mutex>();
+  std::vector<std::uint8_t> buf_;  // serial-path scratch
   std::uint64_t evaluations_ = 0;
   std::uint64_t memo_hits_ = 0;
 };

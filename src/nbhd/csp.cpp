@@ -1,17 +1,16 @@
 #include "nbhd/csp.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
+#include <deque>
+#include <queue>
 #include <stdexcept>
+#include <thread>
 
 namespace dmm::nbhd {
 
 namespace {
-
-struct Problem {
-  const ViewCatalogue& catalogue;
-  std::vector<std::vector<Colour>> domains;           // per view
-  std::vector<std::vector<CompatiblePair>> incident;  // pairs touching each view
-};
 
 bool consistent(const CompatiblePair& pair, Colour out_a, Colour out_b) {
   // (M2): matched along the shared edge iff both say so.
@@ -21,127 +20,352 @@ bool consistent(const CompatiblePair& pair, Colour out_a, Colour out_b) {
   return true;
 }
 
-/// One backtracking level: the chosen variable, which of its domain values
-/// have been tried, and the domain prunes to undo on the way back.
-struct Frame {
-  int variable = -1;
-  std::size_t next_value = 0;
-  std::vector<std::pair<int, std::vector<Colour>>> saved;
+/// Domains as bitsets: bit 0 is ⊥, bit c is colour c.  d+1 values at most,
+/// so every domain operation is a handful of mask instructions.
+using Mask = std::uint32_t;
+
+inline int domain_size(Mask m) { return std::popcount(m); }
+
+/// One arc of the constraint graph in CSR form: the far endpoint and the
+/// shared edge colour of a compatible pair.
+struct Arc {
+  std::int32_t other;
+  Colour colour;
 };
 
-/// Iterative backtracking with MRV + forward checking (the catalogue can
-/// have tens of thousands of variables, far past safe recursion depth).
-bool search(Problem& problem, std::vector<Colour>& assignment, std::vector<char>& assigned,
-            std::uint64_t& explored) {
-  const int n = problem.catalogue.size();
-  auto pick_variable = [&]() {
-    int best = -1;
-    std::size_t best_size = SIZE_MAX;
-    for (int v = 0; v < n; ++v) {
-      if (!assigned[static_cast<std::size_t>(v)] &&
-          problem.domains[static_cast<std::size_t>(v)].size() < best_size) {
-        best = v;
-        best_size = problem.domains[static_cast<std::size_t>(v)].size();
+/// The shared, read-only half of the problem: domains after the initial
+/// arc-consistency pass, plus the CSR arc lists.
+struct Problem {
+  int n = 0;
+  std::vector<Mask> base_domains;
+  std::vector<std::size_t> row;  // n+1 offsets into arcs
+  std::vector<Arc> arcs;
+  bool wiped_out = false;  // arc consistency emptied a domain: UNSAT, no search
+};
+
+/// Values of dom(x) supported by some value of dom(y) across a c-arc:
+///   * c is supported iff c ∈ dom(y);
+///   * a colour v ∉ {c, ⊥} is supported iff dom(y) has any value ≠ c;
+///   * ⊥ is supported iff dom(y) has any value ∉ {c, ⊥}  (M3).
+inline Mask support(Mask dom_y, Colour c, Mask all_colours) {
+  const Mask cbit = Mask{1} << c;
+  Mask s = 0;
+  if (dom_y & cbit) s |= cbit;
+  if (dom_y & ~cbit) s |= all_colours & ~cbit;
+  if (dom_y & ~(cbit | Mask{1})) s |= Mask{1};
+  return s;
+}
+
+/// AC-3 over the pair constraints.  Returns false on a domain wipe-out
+/// (the instance is UNSAT with zero search nodes).
+bool arc_consistency(Problem& problem, Mask all_colours) {
+  std::vector<char> queued(static_cast<std::size_t>(problem.n), 1);
+  std::deque<std::int32_t> queue;
+  for (std::int32_t v = 0; v < problem.n; ++v) queue.push_back(v);
+  while (!queue.empty()) {
+    const std::int32_t x = queue.front();
+    queue.pop_front();
+    queued[static_cast<std::size_t>(x)] = 0;
+    Mask dom = problem.base_domains[static_cast<std::size_t>(x)];
+    const Mask before = dom;
+    for (std::size_t i = problem.row[static_cast<std::size_t>(x)];
+         i < problem.row[static_cast<std::size_t>(x) + 1] && dom != 0; ++i) {
+      const Arc& arc = problem.arcs[i];
+      dom &= support(problem.base_domains[static_cast<std::size_t>(arc.other)], arc.colour,
+                     all_colours);
+    }
+    if (dom == before) continue;
+    problem.base_domains[static_cast<std::size_t>(x)] = dom;
+    if (dom == 0) return false;
+    for (std::size_t i = problem.row[static_cast<std::size_t>(x)];
+         i < problem.row[static_cast<std::size_t>(x) + 1]; ++i) {
+      const std::int32_t y = problem.arcs[i].other;
+      if (!queued[static_cast<std::size_t>(y)]) {
+        queued[static_cast<std::size_t>(y)] = 1;
+        queue.push_back(y);
       }
     }
-    return best;
-  };
+  }
+  return true;
+}
+
+/// Backtracking search state.  MRV is served by a lazy min-heap of
+/// (domain size, variable) entries: every domain change pushes a fresh
+/// entry, and stale ones are discarded on pop — O(log n) per pick instead
+/// of the seed's O(n) scan per node (the dominant cost at 78k variables).
+struct SearchState {
+  std::vector<Mask> domains;
+  std::vector<Colour> assignment;
+  std::vector<char> assigned;
+  std::priority_queue<std::pair<int, std::int32_t>, std::vector<std::pair<int, std::int32_t>>,
+                      std::greater<>>
+      mrv;
+  std::uint64_t explored = 0;
+
+  explicit SearchState(const Problem& problem)
+      : domains(problem.base_domains),
+        assignment(static_cast<std::size_t>(problem.n), gk::kNoColour),
+        assigned(static_cast<std::size_t>(problem.n), 0) {
+    for (std::int32_t v = 0; v < problem.n; ++v) {
+      mrv.emplace(domain_size(domains[static_cast<std::size_t>(v)]), v);
+    }
+  }
+
+  void touch(std::int32_t v) { mrv.emplace(domain_size(domains[static_cast<std::size_t>(v)]), v); }
+
+  /// Smallest-domain unassigned variable (ties by index), or -1.
+  std::int32_t pick() {
+    while (!mrv.empty()) {
+      const auto [size, v] = mrv.top();
+      if (!assigned[static_cast<std::size_t>(v)] &&
+          domain_size(domains[static_cast<std::size_t>(v)]) == size) {
+        mrv.pop();
+        return v;
+      }
+      mrv.pop();
+    }
+    // The heap invariant (every unassigned variable has a live entry)
+    // should make this scan dead code; it is a cheap safety net that runs
+    // at most once per solution.
+    for (std::int32_t v = 0; v < static_cast<std::int32_t>(domains.size()); ++v) {
+      if (!assigned[static_cast<std::size_t>(v)]) {
+        touch(v);
+        return v;
+      }
+    }
+    return -1;
+  }
+};
+
+struct Frame {
+  std::int32_t variable;
+  Mask values;  // values of the variable's domain not yet tried
+  std::vector<std::pair<std::int32_t, Mask>> saved;
+};
+
+/// Serial backtracking from a prepared state.  `first_value_mask`, when
+/// non-zero, restricts the root frame to a subset of its domain (the unit
+/// of parallel branch decomposition).  `cancel` aborts the search with an
+/// indeterminate result (only ever observed by branches that lost the
+/// deterministic merge).
+bool search(const Problem& problem, SearchState& state, Mask first_value_mask,
+            const std::atomic<bool>* cancel) {
+  std::vector<Frame> stack;
+  const std::int32_t first = state.pick();
+  if (first < 0) return true;  // no variables at all
+  stack.push_back({first,
+                   first_value_mask ? first_value_mask & state.domains[static_cast<std::size_t>(first)]
+                                    : state.domains[static_cast<std::size_t>(first)],
+                   {}});
+
   auto undo = [&](Frame& frame) {
-    for (auto& [other, dom] : frame.saved) {
-      problem.domains[static_cast<std::size_t>(other)] = std::move(dom);
+    for (auto& [other, mask] : frame.saved) {
+      state.domains[static_cast<std::size_t>(other)] = mask;
+      state.touch(other);
     }
     frame.saved.clear();
-    assigned[static_cast<std::size_t>(frame.variable)] = 0;
+    state.assigned[static_cast<std::size_t>(frame.variable)] = 0;
   };
 
-  std::vector<Frame> stack;
-  stack.push_back({pick_variable(), 0, {}});
-  if (stack.back().variable < 0) return true;  // no variables at all
-
   while (!stack.empty()) {
+    if (cancel && (state.explored & 1023u) == 0 &&
+        cancel->load(std::memory_order_relaxed)) {
+      return false;
+    }
     Frame& frame = stack.back();
-    const int var = frame.variable;
-    const std::vector<Colour>& domain = problem.domains[static_cast<std::size_t>(var)];
-    if (frame.next_value >= domain.size()) {
+    const std::int32_t var = frame.variable;
+    if (frame.values == 0) {
+      state.touch(var);  // its pick-time heap entry was consumed
       stack.pop_back();
       if (!stack.empty()) undo(stack.back());
       continue;
     }
-    const Colour value = domain[frame.next_value++];
-    ++explored;
-    assignment[static_cast<std::size_t>(var)] = value;
-    assigned[static_cast<std::size_t>(var)] = 1;
+    // Try ⊥ first, then colours ascending (bit order == the seed's domain
+    // vector order).
+    const Mask value_bit = frame.values & (~frame.values + 1);
+    frame.values &= ~value_bit;
+    const Colour value = static_cast<Colour>(std::countr_zero(value_bit));
+    ++state.explored;
+    state.assignment[static_cast<std::size_t>(var)] = value;
+    state.assigned[static_cast<std::size_t>(var)] = 1;
 
     bool dead = false;
-    for (const CompatiblePair& pair : problem.incident[static_cast<std::size_t>(var)]) {
-      const int other = pair.a == var ? pair.b : pair.a;
-      if (other == var) {
-        if (!consistent(pair, value, value)) dead = true;
+    for (std::size_t i = problem.row[static_cast<std::size_t>(var)];
+         i < problem.row[static_cast<std::size_t>(var) + 1]; ++i) {
+      const Arc& arc = problem.arcs[i];
+      const std::int32_t other = arc.other;
+      if (state.assigned[static_cast<std::size_t>(other)]) {
+        const Colour other_value = state.assignment[static_cast<std::size_t>(other)];
+        if ((value == arc.colour) != (other_value == arc.colour) ||
+            (value == gk::kNoColour && other_value == gk::kNoColour)) {
+          dead = true;
+          break;
+        }
         continue;
       }
-      if (assigned[static_cast<std::size_t>(other)]) {
-        const Colour other_value = assignment[static_cast<std::size_t>(other)];
-        const bool ok = pair.a == var ? consistent(pair, value, other_value)
-                                      : consistent(pair, other_value, value);
-        if (!ok) dead = true;
-        continue;
+      // Forward check: value == c forces the partner to c; otherwise the
+      // partner cannot be c, and if value is ⊥ it cannot be ⊥ either (M3).
+      const Mask cbit = Mask{1} << arc.colour;
+      Mask allowed;
+      if (value == arc.colour) {
+        allowed = cbit;
+      } else {
+        allowed = ~cbit;
+        if (value == gk::kNoColour) allowed &= ~Mask{1};
       }
-      std::vector<Colour>& dom = problem.domains[static_cast<std::size_t>(other)];
-      std::vector<Colour> kept;
-      bool shrank = false;
-      for (Colour candidate : dom) {
-        const bool ok = pair.a == var ? consistent(pair, value, candidate)
-                                      : consistent(pair, candidate, value);
-        if (ok) {
-          kept.push_back(candidate);
-        } else {
-          shrank = true;
+      Mask& dom = state.domains[static_cast<std::size_t>(other)];
+      const Mask pruned = dom & allowed;
+      if (pruned != dom) {
+        frame.saved.emplace_back(other, dom);
+        dom = pruned;
+        state.touch(other);
+        if (pruned == 0) {
+          dead = true;
+          break;
         }
       }
-      if (shrank) {
-        frame.saved.emplace_back(other, std::move(dom));
-        dom = std::move(kept);
-        if (dom.empty()) dead = true;
-      }
-      if (dead) break;
     }
     if (dead) {
       // Roll back this value's prunes; the frame then tries its next value.
       undo(frame);
       continue;
     }
-    const int next = pick_variable();
+    const std::int32_t next = state.pick();
     if (next < 0) return true;  // complete assignment
-    stack.push_back({next, 0, {}});
+    stack.push_back({next, state.domains[static_cast<std::size_t>(next)], {}});
   }
   return false;
 }
 
-}  // namespace
-
-CspResult solve(const ViewCatalogue& catalogue) {
-  Problem problem{catalogue, {}, {}};
-  problem.domains.resize(static_cast<std::size_t>(catalogue.size()));
-  for (int v = 0; v < catalogue.size(); ++v) {
+Problem build_problem(const ViewCatalogue& catalogue, const std::vector<CompatiblePair>& pairs) {
+  Problem problem;
+  problem.n = catalogue.size();
+  problem.base_domains.resize(static_cast<std::size_t>(problem.n));
+  for (int v = 0; v < problem.n; ++v) {
     // (M1) domain: ⊥ plus the root's incident colours.
-    problem.domains[static_cast<std::size_t>(v)].push_back(gk::kNoColour);
+    Mask dom = Mask{1};
     for (Colour c : catalogue.views[static_cast<std::size_t>(v)].colours_at(
              colsys::ColourSystem::root())) {
-      problem.domains[static_cast<std::size_t>(v)].push_back(c);
+      dom |= Mask{1} << c;
     }
+    problem.base_domains[static_cast<std::size_t>(v)] = dom;
   }
-  problem.incident.resize(static_cast<std::size_t>(catalogue.size()));
-  for (const CompatiblePair& pair : compatible_pairs(catalogue)) {
-    problem.incident[static_cast<std::size_t>(pair.a)].push_back(pair);
-    if (pair.b != pair.a) problem.incident[static_cast<std::size_t>(pair.b)].push_back(pair);
+  // CSR arc lists.  Self pairs (a view compatible with itself along c) are
+  // a unary constraint — (M3) bans ⊥ — applied to the domain directly.
+  std::vector<std::size_t> degree(static_cast<std::size_t>(problem.n), 0);
+  for (const CompatiblePair& pair : pairs) {
+    if (pair.a == pair.b) {
+      problem.base_domains[static_cast<std::size_t>(pair.a)] &= ~Mask{1};
+      continue;
+    }
+    ++degree[static_cast<std::size_t>(pair.a)];
+    ++degree[static_cast<std::size_t>(pair.b)];
+  }
+  problem.row.assign(static_cast<std::size_t>(problem.n) + 1, 0);
+  for (int v = 0; v < problem.n; ++v) {
+    problem.row[static_cast<std::size_t>(v) + 1] =
+        problem.row[static_cast<std::size_t>(v)] + degree[static_cast<std::size_t>(v)];
+  }
+  problem.arcs.resize(problem.row.back());
+  std::vector<std::size_t> fill(problem.row.begin(), problem.row.end() - 1);
+  for (const CompatiblePair& pair : pairs) {
+    if (pair.a == pair.b) continue;
+    problem.arcs[fill[static_cast<std::size_t>(pair.a)]++] = {pair.b, pair.colour};
+    problem.arcs[fill[static_cast<std::size_t>(pair.b)]++] = {pair.a, pair.colour};
   }
 
+  Mask all_colours = 0;
+  for (Colour c = 1; c <= catalogue.k; ++c) all_colours |= Mask{1} << c;
+  problem.wiped_out = !arc_consistency(problem, all_colours);
+  return problem;
+}
+
+}  // namespace
+
+CspResult solve(const ViewCatalogue& catalogue, const std::vector<CompatiblePair>& pairs,
+                const CspOptions& options) {
+  if (catalogue.k + 1 >= 32) throw std::invalid_argument("solve: k too large for mask domains");
+  Problem problem = build_problem(catalogue, pairs);
   CspResult result;
-  std::vector<Colour> assignment(static_cast<std::size_t>(catalogue.size()), gk::kNoColour);
-  std::vector<char> assigned(static_cast<std::size_t>(catalogue.size()), 0);
-  result.satisfiable = search(problem, assignment, assigned, result.nodes_explored);
-  if (result.satisfiable) result.labelling = std::move(assignment);
+  if (problem.wiped_out) return result;  // UNSAT by propagation alone
+
+  const int threads = std::max(1, options.threads);
+  if (threads == 1 || problem.n == 0) {
+    SearchState state(problem);
+    result.satisfiable = search(problem, state, 0, nullptr);
+    result.nodes_explored = state.explored;
+    if (result.satisfiable) result.labelling = std::move(state.assignment);
+    return result;
+  }
+
+  // Parallel exploration of the root variable's branchings.  Branch i may
+  // only be cancelled once a branch j < i has proven SAT, so the smallest
+  // SAT branch always completes — its labelling is exactly what the serial
+  // search (which tries branch values in the same ⊥-then-ascending order)
+  // would have returned.
+  SearchState root_probe(problem);
+  const std::int32_t root_var = root_probe.pick();
+  if (root_var < 0) {
+    result.satisfiable = true;
+    result.labelling.assign(static_cast<std::size_t>(problem.n), gk::kNoColour);
+    return result;
+  }
+  std::vector<Mask> branch_bits;
+  Mask dom = problem.base_domains[static_cast<std::size_t>(root_var)];
+  while (dom != 0) {
+    const Mask bit = dom & (~dom + 1);
+    branch_bits.push_back(bit);
+    dom &= ~bit;
+  }
+  const int branch_count = static_cast<int>(branch_bits.size());
+  std::vector<char> found(static_cast<std::size_t>(branch_count), 0);
+  std::vector<std::vector<Colour>> labellings(static_cast<std::size_t>(branch_count));
+  std::vector<std::uint64_t> explored(static_cast<std::size_t>(branch_count), 0);
+  std::atomic<int> best{branch_count};
+  std::vector<std::atomic<bool>> cancel(static_cast<std::size_t>(branch_count));
+  for (auto& flag : cancel) flag.store(false, std::memory_order_relaxed);
+  std::atomic<int> next_branch{0};
+
+  auto worker = [&]() {
+    while (true) {
+      const int i = next_branch.fetch_add(1, std::memory_order_relaxed);
+      if (i >= branch_count) return;
+      if (best.load(std::memory_order_acquire) < i) continue;
+      SearchState state(problem);
+      const bool sat = search(problem, state, branch_bits[static_cast<std::size_t>(i)],
+                              &cancel[static_cast<std::size_t>(i)]);
+      explored[static_cast<std::size_t>(i)] = state.explored;
+      if (sat) {
+        found[static_cast<std::size_t>(i)] = 1;
+        labellings[static_cast<std::size_t>(i)] = std::move(state.assignment);
+        int expected = best.load(std::memory_order_acquire);
+        while (i < expected &&
+               !best.compare_exchange_weak(expected, i, std::memory_order_acq_rel)) {
+        }
+        // Cancel every higher-indexed branch.
+        for (int j = i + 1; j < branch_count; ++j) {
+          cancel[static_cast<std::size_t>(j)].store(true, std::memory_order_relaxed);
+        }
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  const int workers = std::min(threads, branch_count);
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+
+  for (std::uint64_t count : explored) result.nodes_explored += count;
+  const int winner = best.load(std::memory_order_acquire);
+  if (winner < branch_count) {
+    result.satisfiable = true;
+    result.labelling = std::move(labellings[static_cast<std::size_t>(winner)]);
+  }
   return result;
+}
+
+CspResult solve(const ViewCatalogue& catalogue, const CspOptions& options) {
+  return solve(catalogue, compatible_pairs(catalogue), options);
 }
 
 std::vector<Colour> induced_labelling(const ViewCatalogue& catalogue,

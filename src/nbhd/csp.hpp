@@ -31,9 +31,25 @@ struct CspResult {
   std::uint64_t nodes_explored = 0;
 };
 
-/// Decides whether a valid labelling of the catalogue exists (backtracking
-/// with forward checking; domains have at most d+1 values).
-CspResult solve(const ViewCatalogue& catalogue);
+struct CspOptions {
+  /// Worker threads exploring the root variable's branchings in parallel.
+  /// The verdict and (for SAT instances) the labelling are identical to the
+  /// serial search — a branch may only be cancelled by a SAT result in a
+  /// lower-indexed branch, so the winning branch always runs to completion.
+  /// nodes_explored is deterministic only at threads == 1 (cancelled
+  /// branches stop at a race-dependent point).
+  int threads = 1;
+};
+
+/// Decides whether a valid labelling of the catalogue exists (bitset
+/// domains, arc-consistency preprocessing, then backtracking with MRV and
+/// forward checking; domains have at most d+1 values).
+CspResult solve(const ViewCatalogue& catalogue, const CspOptions& options = {});
+
+/// Same, reusing an already-computed compatible_pairs(catalogue) result —
+/// the pair index is the expensive half of large instances.
+CspResult solve(const ViewCatalogue& catalogue, const std::vector<CompatiblePair>& pairs,
+                const CspOptions& options = {});
 
 /// The labelling induced by a concrete algorithm (evaluating it on every
 /// view).  The algorithm's running time must be rho-1.

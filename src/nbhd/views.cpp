@@ -1,15 +1,20 @@
 #include "nbhd/views.hpp"
 
 #include <algorithm>
-#include <set>
+#include <cmath>
+#include <deque>
 #include <stdexcept>
+#include <unordered_map>
+
+#include "colsys/canon.hpp"
 
 namespace dmm::nbhd {
 
 namespace {
 
 /// All size-`count` subsets of [k] that contain `forced` (or any subsets
-/// if forced == kNoColour).
+/// if forced == kNoColour), in the canonical enumeration order the view
+/// catalogue is defined by (lexicographic over the ascending colour pool).
 void subsets(int k, int count, Colour forced, std::vector<std::vector<Colour>>& out) {
   std::vector<Colour> pool;
   for (Colour c = 1; c <= k; ++c) {
@@ -40,61 +45,6 @@ void subsets(int k, int count, Colour forced, std::vector<std::vector<Colour>>& 
   }
 }
 
-/// Recursively grows every completion of the partial view below `node`.
-void expand(std::vector<ColourSystem>& frontier, int k, int d, int rho, int max_views) {
-  // Work queue of (tree, node to expand) is implicit: we expand trees
-  // breadth-first by depth level.
-  for (int depth = 0; depth < rho; ++depth) {
-    std::vector<ColourSystem> next;
-    for (const ColourSystem& tree : frontier) {
-      // Nodes at this depth, each picks its child colour set; the cross
-      // product of choices per node.
-      std::vector<colsys::NodeId> level;
-      for (colsys::NodeId v : tree.nodes_up_to(depth)) {
-        if (tree.depth(v) == depth) level.push_back(v);
-      }
-      // Choices per node: subsets of child colours.
-      std::vector<std::vector<std::vector<Colour>>> options(level.size());
-      for (std::size_t i = 0; i < level.size(); ++i) {
-        const Colour parent_colour = tree.parent_colour(level[i]);
-        std::vector<std::vector<Colour>> sets;
-        if (depth == 0) {
-          subsets(k, d, gk::kNoColour, sets);
-        } else {
-          // d-1 children: any (d-1)-subset of [k] - parent colour.
-          std::vector<std::vector<Colour>> with;
-          subsets(k, d, parent_colour, with);
-          for (auto& s : with) {
-            s.erase(std::remove(s.begin(), s.end(), parent_colour), s.end());
-            sets.push_back(std::move(s));
-          }
-        }
-        options[i] = std::move(sets);
-      }
-      // Cross product.
-      std::vector<std::size_t> pick(level.size(), 0);
-      while (true) {
-        ColourSystem grown = tree;
-        for (std::size_t i = 0; i < level.size(); ++i) {
-          for (Colour c : options[i][pick[i]]) grown.add_child(level[i], c);
-        }
-        next.push_back(std::move(grown));
-        if (static_cast<int>(next.size()) > max_views) {
-          throw std::runtime_error("enumerate_views: catalogue exceeds max_views");
-        }
-        // Advance the mixed-radix counter.
-        std::size_t i = 0;
-        while (i < level.size() && ++pick[i] == options[i].size()) {
-          pick[i] = 0;
-          ++i;
-        }
-        if (i == level.size()) break;
-      }
-    }
-    frontier = std::move(next);
-  }
-}
-
 }  // namespace
 
 ViewCatalogue enumerate_views(int k, int d, int rho, int max_views) {
@@ -105,13 +55,95 @@ ViewCatalogue enumerate_views(int k, int d, int rho, int max_views) {
   catalogue.d = d;
   catalogue.rho = rho;
 
-  std::vector<ColourSystem> frontier{ColourSystem(k, colsys::kExactRadius)};
-  expand(frontier, k, d, rho, max_views);
+  // The choice structure of a complete d-regular depth-rho view: the root
+  // picks one of C(k, d) colour sets; every deeper internal node picks one
+  // of C(k-1, d-1) extension sets given its parent colour.  All views share
+  // one skeleton (level t has d·(d-1)^(t-1) nodes), so the catalogue is the
+  // mixed-radix space of per-node choices — counted in closed form first,
+  // which turns the blow-up guard into arithmetic instead of an out-of-
+  // memory march (the seed built trees for up to max_views partials before
+  // throwing).
+  std::vector<std::vector<Colour>> root_options;
+  subsets(k, d, gk::kNoColour, root_options);
+  // Child option lists per parent colour, with the parent colour removed
+  // (it names the upward edge): the remaining d-1 downward colours.
+  std::vector<std::vector<std::vector<Colour>>> child_options(static_cast<std::size_t>(k) + 1);
+  for (Colour p = 1; p <= k; ++p) {
+    std::vector<std::vector<Colour>> with;
+    subsets(k, d, p, with);
+    for (auto& s : with) {
+      s.erase(std::remove(s.begin(), s.end(), p), s.end());
+      child_options[p].push_back(std::move(s));
+    }
+  }
+  const std::size_t root_radix = root_options.size();
+  const std::size_t child_radix = child_options[1].size();
 
-  // Canonical dedup (choice order is canonical already, but be safe).
-  std::set<std::vector<std::uint8_t>> seen;
-  for (ColourSystem& view : frontier) {
-    if (seen.insert(view.serialize(rho)).second) {
+  // Level sizes and the total count, with overflow saturation.
+  std::vector<std::size_t> level_nodes{1};
+  double total = static_cast<double>(root_radix);
+  if (total > static_cast<double>(max_views)) {
+    throw std::runtime_error("enumerate_views: catalogue exceeds max_views");
+  }
+  std::size_t internal_nodes = 1;
+  for (int t = 1; t < rho; ++t) {
+    // d·(d-1)^(t-1) nodes at level t.
+    std::size_t m = static_cast<std::size_t>(d);
+    for (int i = 1; i < t; ++i) m *= static_cast<std::size_t>(d - 1);
+    level_nodes.push_back(m);
+    internal_nodes += m;
+    total *= std::pow(static_cast<double>(child_radix), static_cast<double>(m));
+    if (total > static_cast<double>(max_views)) {
+      throw std::runtime_error("enumerate_views: catalogue exceeds max_views");
+    }
+  }
+  const std::size_t count = static_cast<std::size_t>(total);
+
+  // Replay every choice vector into a tree, in the canonical order: the
+  // root digit is most significant; within a level, lower BFS indices cycle
+  // faster; deeper levels cycle faster than shallower ones.
+  colsys::CanonicalStore store;
+  std::vector<std::size_t> choices(internal_nodes, 0);  // BFS layout, root first
+  std::vector<std::size_t> level_offset(static_cast<std::size_t>(rho), 0);
+  for (int t = 1; t < rho; ++t) {
+    level_offset[static_cast<std::size_t>(t)] =
+        level_offset[static_cast<std::size_t>(t - 1)] + level_nodes[static_cast<std::size_t>(t - 1)];
+  }
+  struct Slot {
+    colsys::NodeId v;
+    Colour pc;
+    int depth;
+  };
+  std::deque<Slot> queue;
+  catalogue.views.reserve(count);
+  for (std::size_t n = 0; n < count; ++n) {
+    std::size_t rem = n;
+    for (int t = rho - 1; t >= 1; --t) {
+      const std::size_t off = level_offset[static_cast<std::size_t>(t)];
+      for (std::size_t i = 0; i < level_nodes[static_cast<std::size_t>(t)]; ++i) {
+        choices[off + i] = rem % child_radix;
+        rem /= child_radix;
+      }
+    }
+    choices[0] = rem;
+
+    ColourSystem view(k, colsys::kExactRadius);
+    queue.clear();
+    queue.push_back({ColourSystem::root(), gk::kNoColour, 0});
+    std::size_t next_choice = 0;
+    while (!queue.empty()) {
+      const Slot slot = queue.front();
+      queue.pop_front();
+      if (slot.depth == rho) continue;
+      const auto& options = slot.depth == 0 ? root_options : child_options[slot.pc];
+      for (Colour c : options[choices[next_choice]]) {
+        queue.push_back({view.add_child(slot.v, c), c, slot.depth + 1});
+      }
+      ++next_choice;
+    }
+    // Canonical dedup (choice vectors are canonical already, but be safe):
+    // the interner keeps the first occurrence, so ViewId == view index.
+    if (store.intern(view, rho) == static_cast<colsys::ViewId>(catalogue.views.size())) {
       catalogue.views.push_back(std::move(view));
     }
   }
@@ -122,53 +154,66 @@ bool c_compatible(const ColourSystem& a, const ColourSystem& b, Colour c, int rh
   const colsys::NodeId ac = a.child(ColourSystem::root(), c);
   const colsys::NodeId bc = b.child(ColourSystem::root(), c);
   if (ac == colsys::kNullNode || bc == colsys::kNullNode) return false;
-  // A's half across c, to depth rho-1: re-root at the c-child and drop the
-  // branch leading back (colour c from the new root).
-  const ColourSystem a_across = a.rerooted(ac).pruned(c).restricted(rho - 1);
-  const ColourSystem b_remainder = b.pruned(c).restricted(rho - 1);
-  if (!ColourSystem::equal_to_radius(a_across, b_remainder, rho - 1)) return false;
-  const ColourSystem b_across = b.rerooted(bc).pruned(c).restricted(rho - 1);
-  const ColourSystem a_remainder = a.pruned(c).restricted(rho - 1);
-  return ColourSystem::equal_to_radius(b_across, a_remainder, rho - 1);
+  // A's half across c, to depth rho-1 (the subtree at its c-child), must
+  // equal B without its own c-branch, to depth rho-1 — and vice versa.
+  std::vector<std::uint8_t> lhs, rhs;
+  a.serialize_subtree_into(ac, gk::kNoColour, rho - 1, lhs);
+  b.serialize_subtree_into(ColourSystem::root(), c, rho - 1, rhs);
+  if (lhs != rhs) return false;
+  lhs.clear();
+  rhs.clear();
+  b.serialize_subtree_into(bc, gk::kNoColour, rho - 1, lhs);
+  a.serialize_subtree_into(ColourSystem::root(), c, rho - 1, rhs);
+  return lhs == rhs;
 }
 
 std::vector<CompatiblePair> compatible_pairs(const ViewCatalogue& catalogue) {
-  // Hash the two "halves" of every (view, colour): (A, B, c) is compatible
-  // iff across(A, c) == remainder(B, c) and across(B, c) == remainder(A, c),
-  // so bucketing by remainder keys turns the quadratic scan into lookups.
+  // (A, B, c) is compatible iff across(A, c) == remainder(B, c) and
+  // across(B, c) == remainder(A, c), so bucketing by remainder keys turns
+  // the quadratic scan into lookups.  Both halves are interned into dense
+  // ids: the per-view work is two direct subtree serialisations (no
+  // rerooted/pruned/restricted tree copies), and the match test is integer
+  // equality.
   const int rho = catalogue.rho;
-  struct Halves {
-    std::vector<std::uint8_t> across;     // behind the c-edge, depth rho-1
-    std::vector<std::uint8_t> remainder;  // view minus its c-branch, depth rho-1
-    bool has_colour = false;
+  const int k = catalogue.k;
+  const int n = catalogue.size();
+  colsys::CanonicalStore store;
+  // The two per-(view, colour) root transforms as dense id→id maps, keyed
+  // by the view's catalogue index (== its ViewId in enumeration order).
+  colsys::TransformCache across(k), remainder(k);
+  // Bucket key: (remainder id, colour) packed into 64 bits.
+  const auto key = [](colsys::ViewId id, Colour c) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(id)) << 8) |
+           static_cast<std::uint64_t>(c);
   };
-  std::vector<std::vector<Halves>> halves(static_cast<std::size_t>(catalogue.size()));
-  std::map<std::pair<Colour, std::vector<std::uint8_t>>, std::vector<int>> by_remainder;
-  for (int a = 0; a < catalogue.size(); ++a) {
-    auto& mine = halves[static_cast<std::size_t>(a)];
-    mine.resize(static_cast<std::size_t>(catalogue.k) + 1);
+  std::unordered_map<std::uint64_t, std::vector<int>> by_remainder;
+  std::vector<std::uint8_t> buf;
+  for (int a = 0; a < n; ++a) {
     const ColourSystem& view = catalogue.views[static_cast<std::size_t>(a)];
-    for (Colour c = 1; c <= catalogue.k; ++c) {
+    for (Colour c = 1; c <= k; ++c) {
       const colsys::NodeId child = view.child(ColourSystem::root(), c);
       if (child == colsys::kNullNode) continue;
-      Halves& h = mine[c];
-      h.has_colour = true;
-      h.across = view.rerooted(child).pruned(c).restricted(rho - 1).serialize(rho - 1);
-      h.remainder = view.pruned(c).restricted(rho - 1).serialize(rho - 1);
-      by_remainder[{c, h.remainder}].push_back(a);
+      buf.clear();
+      view.serialize_subtree_into(child, gk::kNoColour, rho - 1, buf);
+      across.put(a, c, store.intern(buf));
+      buf.clear();
+      view.serialize_subtree_into(ColourSystem::root(), c, rho - 1, buf);
+      const colsys::ViewId rem = store.intern(buf);
+      remainder.put(a, c, rem);
+      by_remainder[key(rem, c)].push_back(a);
     }
   }
   std::vector<CompatiblePair> out;
-  for (int a = 0; a < catalogue.size(); ++a) {
-    for (Colour c = 1; c <= catalogue.k; ++c) {
-      const Halves& ha = halves[static_cast<std::size_t>(a)][c];
-      if (!ha.has_colour) continue;
-      const auto it = by_remainder.find({c, ha.across});
+  for (int a = 0; a < n; ++a) {
+    for (Colour c = 1; c <= k; ++c) {
+      const colsys::ViewId ha = across.get(a, c);
+      if (ha == colsys::kUncachedView) continue;
+      const auto it = by_remainder.find(key(ha, c));
       if (it == by_remainder.end()) continue;
+      const colsys::ViewId want = remainder.get(a, c);
       for (int b : it->second) {
         if (b < a) continue;  // emit each unordered pair once
-        const Halves& hb = halves[static_cast<std::size_t>(b)][c];
-        if (hb.across == ha.remainder) out.push_back({a, b, c});
+        if (across.get(b, c) == want) out.push_back({a, b, c});
       }
     }
   }

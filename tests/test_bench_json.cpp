@@ -25,6 +25,11 @@ Record sample() {
   r.wall_ns = 1234567.25;
   r.engine = "flat";
   r.max_message_bytes = 1;
+  r.views = 78732;
+  r.pairs = 9570312;
+  r.csp_nodes = 135864;
+  r.memo_hits = 11;
+  r.threads = 2;
   return r;
 }
 
@@ -33,7 +38,19 @@ TEST(BenchJson, StableFieldNamesAndOrder) {
   EXPECT_EQ(to_json(sample()),
             "{\"instance\":\"random n=256 k=4\",\"n\":256,\"m\":380,\"k\":4,"
             "\"rounds\":3,\"wall_ns\":1234567.25,\"engine\":\"flat\","
-            "\"max_message_bytes\":1}");
+            "\"max_message_bytes\":1,\"views\":78732,\"pairs\":9570312,"
+            "\"csp_nodes\":135864,\"memo_hits\":11,\"threads\":2}");
+}
+
+TEST(BenchJson, PipelineStatsDefaultToInert) {
+  // Records from benches that predate the lower-bound pipeline carry the
+  // neutral values, so one validator covers every experiment.
+  const Record r;
+  EXPECT_EQ(r.views, 0);
+  EXPECT_EQ(r.pairs, 0);
+  EXPECT_EQ(r.csp_nodes, 0);
+  EXPECT_EQ(r.memo_hits, 0);
+  EXPECT_EQ(r.threads, 1);
 }
 
 TEST(BenchJson, RoundTripsExactly) {
@@ -112,7 +129,7 @@ TEST(BenchJson, HarnessStripsItsFlagsAndWrites) {
   std::stringstream content;
   content << in.rdbuf();
   const std::string text = content.str();
-  EXPECT_NE(text.find("\"schema\":\"dmm-bench-1\""), std::string::npos);
+  EXPECT_NE(text.find("\"schema\":\"dmm-bench-2\""), std::string::npos);
   EXPECT_NE(text.find("\"experiment\":\"e1\""), std::string::npos);
   // Each stored record is embedded verbatim, so the file parses record by
   // record with the same parser the round-trip test uses.

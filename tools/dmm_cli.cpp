@@ -2,9 +2,15 @@
 //
 //   dmm_cli greedy     --instance <spec> [--engine <sync|flat>] [--threads <n>]
 //   dmm_cli adversary  --k <k> --algorithm <spec> [--certificate-out <path>] [--no-memo]
+//                      [--optimistic] [--threads <n>]
+//   dmm_cli views      <k> <d> <rho> [--threads <n>] [--json] [--max-views <n>]
 //   dmm_cli lemma4     --algorithm <spec>
 //   dmm_cli check      --certificate <path> --algorithm <spec>
 //   dmm_cli export-dot --instance <spec> [--out <path>]
+//
+// `views` runs the Remark-2 / Linial pipeline end to end — catalogue size,
+// compatible-pair count, CSP verdict — so the UNSAT frontier is
+// reproducible without building the bench binaries.
 //
 // Instance specs:
 //   chain:<k>            the §1.2 worst-case long path
@@ -146,6 +152,7 @@ int cmd_adversary(const std::vector<std::string>& args) {
   lower::AdversaryOptions options;
   options.memoise = !flag(args, "--no-memo");
   options.optimistic = flag(args, "--optimistic");
+  options.threads = std::stoi(option(args, "--threads", "1"));
   const lower::LowerBoundResult result = lower::run_adversary(k, *algorithm, options);
   std::cout << result.summary() << "\n";
   if (const auto* tp = std::get_if<lower::TightPair>(&result.outcome)) {
@@ -168,6 +175,45 @@ int cmd_adversary(const std::vector<std::string>& args) {
     return 1;  // refuted: report non-zero so scripts can branch
   }
   return result.tight() ? 0 : 3;
+}
+
+int cmd_views(const std::vector<std::string>& args) {
+  // Positional k d rho, then flags.
+  std::vector<int> positional;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i].rfind("--", 0) == 0) {
+      if (args[i] != "--json") ++i;  // skip the flag's value
+      continue;
+    }
+    positional.push_back(std::stoi(args[i]));
+  }
+  if (positional.size() != 3) fail("views: usage: views <k> <d> <rho> [--threads N] [--json]");
+  const int k = positional[0], d = positional[1], rho = positional[2];
+  const int threads = std::stoi(option(args, "--threads", "1"));
+  const int max_views = std::stoi(option(args, "--max-views", "2000000"));
+  const bool json = flag(args, "--json");
+
+  const nbhd::ViewCatalogue cat = nbhd::enumerate_views(k, d, rho, max_views);
+  const std::vector<nbhd::CompatiblePair> pairs = nbhd::compatible_pairs(cat);
+  const nbhd::CspResult result = nbhd::solve(cat, pairs, {.threads = threads});
+  if (json) {
+    std::cout << "{\"k\":" << k << ",\"d\":" << d << ",\"rho\":" << rho
+              << ",\"views\":" << cat.size() << ",\"pairs\":" << pairs.size()
+              << ",\"satisfiable\":" << (result.satisfiable ? "true" : "false")
+              << ",\"csp_nodes\":" << result.nodes_explored << ",\"threads\":" << threads
+              << "}\n";
+  } else {
+    std::cout << "catalogue: k=" << k << " d=" << d << " rho=" << rho << "\n";
+    std::cout << "views: " << cat.size() << "\n";
+    std::cout << "compatible pairs: " << pairs.size() << "\n";
+    std::cout << "labelling CSP: " << (result.satisfiable ? "SAT" : "UNSAT") << " ("
+              << result.nodes_explored << " search nodes";
+    if (threads > 1) std::cout << ", " << threads << " threads";
+    std::cout << ")\n";
+    std::cout << "meaning: " << (result.satisfiable ? "some" : "no") << " (rho-1) = "
+              << rho - 1 << "-round algorithm exists on d-regular k-coloured instances\n";
+  }
+  return result.satisfiable ? 0 : 1;
 }
 
 int cmd_lemma4(const std::vector<std::string>& args) {
@@ -214,7 +260,7 @@ int cmd_export_dot(const std::vector<std::string>& args) {
 }
 
 void usage() {
-  std::cout << "usage: dmm_cli <greedy|adversary|lemma4|check|export-dot> [options]\n"
+  std::cout << "usage: dmm_cli <greedy|adversary|views|lemma4|check|export-dot> [options]\n"
                "see the header of tools/dmm_cli.cpp for specs\n";
 }
 
@@ -230,6 +276,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "greedy") return cmd_greedy(args);
     if (command == "adversary") return cmd_adversary(args);
+    if (command == "views") return cmd_views(args);
     if (command == "lemma4") return cmd_lemma4(args);
     if (command == "check") return cmd_check(args);
     if (command == "export-dot") return cmd_export_dot(args);

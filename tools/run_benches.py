@@ -34,6 +34,12 @@ RECORD_FIELDS = {
     "wall_ns": (int, float),
     "engine": str,
     "max_message_bytes": int,
+    # dmm-bench-2: lower-bound pipeline stats (zero / 1 where not applicable).
+    "views": int,
+    "pairs": int,
+    "csp_nodes": int,
+    "memo_hits": int,
+    "threads": int,
 }
 
 
@@ -51,7 +57,7 @@ def find_binary(bin_dir: pathlib.Path, experiment: str) -> pathlib.Path:
 def validate(path: pathlib.Path, experiment: str) -> int:
     with path.open() as fh:
         data = json.load(fh)
-    if data.get("schema") != "dmm-bench-1":
+    if data.get("schema") != "dmm-bench-2":
         raise SystemExit(f"error: {path}: bad schema {data.get('schema')!r}")
     if data.get("experiment") != experiment:
         raise SystemExit(f"error: {path}: experiment mismatch {data.get('experiment')!r}")
