@@ -40,6 +40,27 @@ void print_rows(benchjson::Harness& harness) {
     std::printf("%-8s %14.2f %10d\n", local::engine_kind_name(kind), wall / 1e6, run.rounds);
   }
   std::printf("flat/sync speedup: %.1fx\n\n", sync_ns / flat_ns);
+
+  // E14c (opt-in: --scale, the nightly bench_scale leg): greedy at
+  // n = 10⁷ on the flat engine — the row ISSUE 4 opens.  The acceptance
+  // gauge is the init share: with arena-pooled programs the setup phase
+  // (construction + init) must no longer dominate the run.  Only the flat
+  // engine is exercised; run_sync at this size is hours, not seconds.
+  if (harness.scale()) {
+    std::printf("## E14c: scale row, greedy at n = 10000000, k = 4 (flat engine)\n");
+    Rng scale_rng(43);
+    const graph::EdgeColouredGraph huge =
+        graph::random_coloured_graph(10'000'000, 4, 0.5, scale_rng);
+    const local::RunResult run = benchjson::record_engine_run(
+        harness, "random n=10000000 k=4", huge, local::EngineKind::kFlat,
+        algo::greedy_program_factory(), huge.k() + 1);
+    const benchjson::Record& rec = harness.records().back();
+    std::printf("%-8s %14.2f %10d   init %.2f ms (%.0f%% of wall)  rss %.1f GiB\n",
+                "flat", rec.wall_ns / 1e6, run.rounds, rec.init_ms,
+                100.0 * rec.init_ms / (rec.wall_ns / 1e6),
+                static_cast<double>(rec.rss_bytes) / (1024.0 * 1024.0 * 1024.0));
+    std::printf("\n");
+  }
 }
 
 void BM_WordMultiply(benchmark::State& state) {

@@ -13,7 +13,7 @@ namespace dmm::benchjson {
 inline local::RunResult record_engine_run(Harness& harness, const std::string& instance,
                                           const graph::EdgeColouredGraph& g,
                                           local::EngineKind kind,
-                                          const local::NodeProgramFactory& factory,
+                                          const local::ProgramSource& source,
                                           int max_rounds) {
   Record record;
   record.instance = instance;
@@ -23,9 +23,13 @@ inline local::RunResult record_engine_run(Harness& harness, const std::string& i
   record.engine = local::engine_kind_name(kind);
   local::RunResult run;
   record.wall_ns =
-      Harness::time_ns([&] { run = local::run(kind, g, factory, max_rounds); });
+      Harness::time_ns([&] { run = local::run(kind, g, source, max_rounds); });
   record.rounds = run.rounds;
   record.max_message_bytes = run.max_message_bytes;
+  // dmm-bench-3: how much of the wall clock was setup (program
+  // construction + init), and where the process RSS peaked.
+  record.init_ms = run.init_ns / 1e6;
+  record.rss_bytes = peak_rss_bytes();
   harness.add(std::move(record));
   return run;
 }

@@ -10,6 +10,10 @@
 #include <sstream>
 #include <stdexcept>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace dmm::benchjson {
 
 namespace {
@@ -117,8 +121,14 @@ std::string to_json(const Record& record) {
     throw std::invalid_argument("bench_json: wall_ns must be finite (instance '" +
                                 record.instance + "')");
   }
+  if (!std::isfinite(record.init_ms)) {
+    throw std::invalid_argument("bench_json: init_ms must be finite (instance '" +
+                                record.instance + "')");
+  }
   char wall[64];
   std::snprintf(wall, sizeof wall, "%.17g", record.wall_ns);
+  char init[64];
+  std::snprintf(init, sizeof init, "%.17g", record.init_ms);
   std::ostringstream out;
   out << "{\"instance\":\"" << escape(record.instance) << "\""
       << ",\"n\":" << record.n << ",\"m\":" << record.m << ",\"k\":" << record.k
@@ -126,7 +136,8 @@ std::string to_json(const Record& record) {
       << escape(record.engine) << "\",\"max_message_bytes\":" << record.max_message_bytes
       << ",\"views\":" << record.views << ",\"pairs\":" << record.pairs
       << ",\"csp_nodes\":" << record.csp_nodes << ",\"memo_hits\":" << record.memo_hits
-      << ",\"threads\":" << record.threads << "}";
+      << ",\"threads\":" << record.threads << ",\"init_ms\":" << init
+      << ",\"rss_bytes\":" << record.rss_bytes << "}";
   return out.str();
 }
 
@@ -172,6 +183,12 @@ Record parse_record(const std::string& json) {
   in.expect(',');
   in.key("threads");
   r.threads = static_cast<int>(in.number_value());
+  in.expect(',');
+  in.key("init_ms");
+  r.init_ms = in.number_value();
+  in.expect(',');
+  in.key("rss_bytes");
+  r.rss_bytes = static_cast<long long>(in.number_value());
   in.expect('}');
   return r;
 }
@@ -190,6 +207,8 @@ Harness::Harness(std::string experiment, int& argc, char** argv)
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       smoke_ = true;
+    } else if (arg == "--scale") {
+      scale_ = true;
     } else if (arg == "--json-dir" && i + 1 < argc) {
       directory_ = argv[++i];
     } else {
@@ -197,6 +216,21 @@ Harness::Harness(std::string experiment, int& argc, char** argv)
     }
   }
   argc = kept;
+}
+
+long long peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // ru_maxrss is KiB on Linux, bytes on macOS.
+#if defined(__APPLE__)
+  return static_cast<long long>(usage.ru_maxrss);
+#else
+  return static_cast<long long>(usage.ru_maxrss) * 1024;
+#endif
+#else
+  return 0;
+#endif
 }
 
 void Harness::add(Record record) {
@@ -224,7 +258,7 @@ int Harness::write() const {
     std::fprintf(stderr, "bench_json: cannot write %s\n", path().c_str());
     return 2;
   }
-  out << "{\"schema\":\"dmm-bench-2\",\"experiment\":\"" << escape(experiment_)
+  out << "{\"schema\":\"dmm-bench-3\",\"experiment\":\"" << escape(experiment_)
       << "\",\"records\":[";
   for (std::size_t i = 0; i < records_.size(); ++i) {
     if (i) out << ",";

@@ -3,16 +3,19 @@
 //
 // File format (one JSON object per file):
 //
-//   {"schema":"dmm-bench-2","experiment":"e14","records":[
+//   {"schema":"dmm-bench-3","experiment":"e14","records":[
 //     {"instance":"random n=100000 k=4","n":100000,"m":159862,"k":4,
 //      "rounds":3,"wall_ns":12345678.0,"engine":"flat",
 //      "max_message_bytes":1,"views":0,"pairs":0,"csp_nodes":0,
-//      "memo_hits":0,"threads":1}, ...]}
+//      "memo_hits":0,"threads":1,"init_ms":1.25,"rss_bytes":104857600}, ...]}
 //
-// Schema history: dmm-bench-2 (this PR) appends the lower-bound pipeline
-// stats — views, pairs, csp_nodes, memo_hits, threads — to every record
-// (zero / 1 where not applicable), so the E17/E4 trajectory captures the
-// canonical-form speedups the way e14 captured the flat engine's.
+// Schema history: dmm-bench-2 appended the lower-bound pipeline stats —
+// views, pairs, csp_nodes, memo_hits, threads — to every record (zero / 1
+// where not applicable).  dmm-bench-3 (this PR) appends the memory-model
+// stats: init_ms (engine setup wall-clock — the phase the pooled program
+// arena shrinks; 0 where no engine runs) and rss_bytes (peak process RSS
+// after the measured section; 0 on platforms without getrusage), so the
+// n = 10⁷ scale rows capture whether init still dominates.
 //
 // The record field names are part of the schema and locked by
 // tests/test_bench_json.cpp; wall times must be finite (NaN is a
@@ -53,9 +56,16 @@ struct Record {
   long long csp_nodes = 0;           // CSP search nodes explored
   long long memo_hits = 0;           // evaluator memo hits
   int threads = 1;                   // worker threads used by the run
+  // Memory-model stats (dmm-bench-3); zero where not applicable.
+  double init_ms = 0.0;              // engine setup (programs + init) wall-clock
+  long long rss_bytes = 0;           // peak process RSS when recorded
 
   bool operator==(const Record&) const = default;
 };
+
+/// Peak resident set size of this process in bytes (getrusage); 0 where
+/// the platform has no such counter.
+long long peak_rss_bytes();
 
 /// One-line JSON object with the schema's exact field order.  Throws
 /// std::invalid_argument on a non-finite wall_ns.
@@ -71,6 +81,9 @@ Record parse_record(const std::string& json);
 /// google-benchmark never sees them:
 ///   --smoke            only the instrumented tables run, benchmark loops
 ///                      are skipped by the caller (see bench mains)
+///   --scale            opt-in n = 10⁷ scale rows (the `bench_scale`
+///                      nightly leg; only e14 reacts, every binary accepts
+///                      the flag so run_benches.py can pass it uniformly)
 ///   --json-dir <path>  output directory (default: $DMM_BENCH_JSON_DIR,
 ///                      falling back to the working directory)
 class Harness {
@@ -78,6 +91,7 @@ class Harness {
   Harness(std::string experiment, int& argc, char** argv);
 
   bool smoke() const noexcept { return smoke_; }
+  bool scale() const noexcept { return scale_; }
 
   /// Validates (via to_json) and stores one record.
   void add(Record record);
@@ -119,6 +133,7 @@ class Harness {
   std::string experiment_;
   std::string directory_;
   bool smoke_ = false;
+  bool scale_ = false;
   std::vector<Record> records_;
 };
 

@@ -1,6 +1,9 @@
 #include "algo/greedy.hpp"
 
 #include <algorithm>
+#include <memory>
+
+#include "local/program_pool.hpp"
 
 namespace dmm::algo {
 
@@ -36,11 +39,25 @@ std::vector<Colour> greedy_outputs(const colsys::ColourSystem& system) {
 }
 
 bool GreedyProgram::init(const std::vector<Colour>& incident) {
+  // Map-engine path: the caller's vector is a temporary, so take a copy.
+  owned_ = incident;
+  incident_ = owned_.data();
+  degree_ = static_cast<int>(owned_.size());
+  return start();
+}
+
+bool GreedyProgram::init_flat(const Colour* incident, int degree) {
+  // Flat-engine path: the CSR colour row outlives the run — borrow it.
   incident_ = incident;
+  degree_ = degree;
+  return start();
+}
+
+bool GreedyProgram::start() {
   // Step 1 needs no communication: an incident colour-1 edge matches both
   // of its endpoints immediately (a properly coloured graph has at most one
   // such edge per node, and its other endpoint reasons identically).
-  if (!incident_.empty() && incident_.front() == 1) {
+  if (degree_ > 0 && incident_[0] == 1) {
     matched_ = true;
     output_ = 1;
   }
@@ -50,7 +67,7 @@ bool GreedyProgram::init(const std::vector<Colour>& incident) {
 bool GreedyProgram::try_finish(int completed_step) {
   if (matched_) return true;
   // An unmatched node may stop once every incident colour has been decided.
-  const Colour largest = incident_.empty() ? 0 : incident_.back();
+  const Colour largest = degree_ == 0 ? 0 : incident_[degree_ - 1];
   if (completed_step >= largest) {
     output_ = local::kUnmatched;
     return true;
@@ -61,18 +78,18 @@ bool GreedyProgram::try_finish(int completed_step) {
 std::map<Colour, local::Message> GreedyProgram::send(int round) {
   (void)round;
   std::map<Colour, local::Message> out;
-  for (Colour c : incident_) out[c] = matched_ ? "M" : "F";
+  for (int i = 0; i < degree_; ++i) out[incident_[i]] = matched_ ? "M" : "F";
   return out;
 }
 
 bool GreedyProgram::receive(int round, const std::map<Colour, local::Message>& inbox) {
   // Allocated here, not in init: the flat fast path below never needs it.
-  if (neighbour_matched_.size() != incident_.size()) {
-    neighbour_matched_.assign(incident_.size(), 0);
+  if (static_cast<int>(neighbour_matched_.size()) != degree_) {
+    neighbour_matched_.assign(static_cast<std::size_t>(degree_), 0);
   }
   // After the exchange in round t we know the neighbours' status at the end
   // of step t, which decides step t+1 (edges of colour t+1).
-  for (std::size_t i = 0; i < incident_.size(); ++i) {
+  for (int i = 0; i < degree_; ++i) {
     const auto it = inbox.find(incident_[i]);
     if (it == inbox.end()) continue;
     const local::Message& m = it->second;
@@ -82,12 +99,12 @@ bool GreedyProgram::receive(int round, const std::map<Colour, local::Message>& i
     // halted only after its last chance passed), so treat it as free.
     const bool neighbour_matched =
         m == "M" || (!m.empty() && m.front() == local::kHaltedPrefix && m != "!0");
-    neighbour_matched_[i] = neighbour_matched ? 1 : 0;
+    neighbour_matched_[static_cast<std::size_t>(i)] = neighbour_matched ? 1 : 0;
   }
   const Colour next = static_cast<Colour>(round + 1);
   if (!matched_) {
-    for (std::size_t i = 0; i < incident_.size(); ++i) {
-      if (incident_[i] == next && !neighbour_matched_[i]) {
+    for (int i = 0; i < degree_; ++i) {
+      if (incident_[i] == next && !neighbour_matched_[static_cast<std::size_t>(i)]) {
         matched_ = true;
         output_ = next;
       }
@@ -122,8 +139,18 @@ bool GreedyProgram::receive_flat(int round, const local::FlatInbox& in) {
   return try_finish(/*completed_step=*/round + 1);
 }
 
-local::NodeProgramFactory greedy_program_factory() {
-  return [] { return std::make_unique<GreedyProgram>(); };
+void GreedyProgramFactory::make_programs(std::size_t count, local::ProgramPool& pool) const {
+  // The tuned batched path: all n programs in one contiguous arena block,
+  // so the engines' per-node walk is a sequential sweep.
+  pool.emplace_batch<GreedyProgram>(count);
+}
+
+local::NodeProgram* GreedyProgramFactory::make_one(local::ProgramPool& pool) const {
+  return pool.emplace<GreedyProgram>();
+}
+
+local::ProgramSource greedy_program_factory() {
+  return local::ProgramSource(std::make_shared<const GreedyProgramFactory>());
 }
 
 Colour GreedyLocal::evaluate(const colsys::ColourSystem& view) const {

@@ -39,21 +39,40 @@ class GreedyProgram final : public local::NodeProgram {
   std::map<Colour, local::Message> send(int round) override;
   bool receive(int round, const std::map<Colour, local::Message>& inbox) override;
   // Allocation-free fast paths for the flat engine; the equivalence suite
-  // (tests/test_flat_engine.cpp) pins them to the map-based pair above.
+  // (tests/test_flat_engine.cpp) pins them to the map-based trio above.
+  // init_flat keeps a span over the engine's CSR colour row instead of
+  // copying it, so a pooled greedy run performs no per-node allocation at
+  // all — this is what opens n = 10⁷ (ISSUE 4 / test_engine_scale).
+  bool init_flat(const Colour* incident, int degree) override;
   void send_flat(int round, local::FlatOutbox& out) override;
   bool receive_flat(int round, const local::FlatInbox& in) override;
   Colour output() const override { return output_; }
 
  private:
+  bool start();
   bool try_finish(int completed_step);
 
-  std::vector<Colour> incident_;
+  // The node's sorted incident colours: a borrowed engine row on the flat
+  // path, a private copy (owned_) on the map path.
+  const Colour* incident_ = nullptr;
+  int degree_ = 0;
+  std::vector<Colour> owned_;
   std::vector<char> neighbour_matched_;  // indexed by incident position
   Colour output_ = local::kUnmatched;
   bool matched_ = false;
 };
 
-local::NodeProgramFactory greedy_program_factory();
+/// Pooled factory for GreedyProgram with the tuned batched path: one
+/// contiguous arena block for all n programs.
+class GreedyProgramFactory final : public local::ProgramFactory {
+ public:
+  void make_programs(std::size_t count, local::ProgramPool& pool) const override;
+  local::NodeProgram* make_one(local::ProgramPool& pool) const override;
+};
+
+/// The pooled greedy source (accepted directly by local::run/run_sync/
+/// run_flat).
+local::ProgramSource greedy_program_factory();
 
 /// Functional greedy (running time k-1): simulates the greedy process on
 /// the radius-k view and reports the root's fate, which the locality

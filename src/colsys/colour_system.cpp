@@ -19,9 +19,8 @@ int shrink_radius(int valid_radius, int delta) {
 ColourSystem::ColourSystem(int k, int valid_radius) : k_(k), valid_radius_(valid_radius) {
   if (k < 1) throw std::invalid_argument("ColourSystem: k must be >= 1");
   if (valid_radius < 0) throw std::invalid_argument("ColourSystem: negative valid_radius");
-  Node root_node;
-  root_node.children.assign(static_cast<std::size_t>(k_), kNullNode);
-  nodes_.push_back(std::move(root_node));
+  nodes_.push_back(Node{});
+  children_.assign(static_cast<std::size_t>(k_), kNullNode);
 }
 
 NodeId ColourSystem::check(NodeId v) const {
@@ -40,7 +39,7 @@ void ColourSystem::require_within(int radius, const char* what) const {
 NodeId ColourSystem::child(NodeId v, Colour c) const {
   check(v);
   if (c < 1 || c > k_) throw std::invalid_argument("ColourSystem::child: colour out of range");
-  return nodes_[v].children[c - 1];
+  return children_[child_slot(v, c)];
 }
 
 NodeId ColourSystem::neighbour(NodeId v, Colour c) const {
@@ -55,17 +54,17 @@ NodeId ColourSystem::add_child(NodeId v, Colour c) {
   if (nodes_[v].pcolour == c) {
     throw std::logic_error("ColourSystem::add_child: colour equals parent colour (word not reduced)");
   }
-  if (nodes_[v].children[c - 1] != kNullNode) {
+  if (children_[child_slot(v, c)] != kNullNode) {
     throw std::logic_error("ColourSystem::add_child: child slot already taken");
   }
   Node n;
   n.parent = v;
   n.pcolour = c;
   n.depth = nodes_[v].depth + 1;
-  n.children.assign(static_cast<std::size_t>(k_), kNullNode);
   const NodeId id = static_cast<NodeId>(nodes_.size());
-  nodes_.push_back(std::move(n));
-  nodes_[v].children[c - 1] = id;
+  nodes_.push_back(n);
+  children_.resize(children_.size() + static_cast<std::size_t>(k_), kNullNode);
+  children_[child_slot(v, c)] = id;
   return id;
 }
 
@@ -73,7 +72,7 @@ std::vector<Colour> ColourSystem::colours_at(NodeId v) const {
   check(v);
   std::vector<Colour> out;
   for (Colour c = 1; c <= k_; ++c) {
-    if (nodes_[v].pcolour == c || nodes_[v].children[c - 1] != kNullNode) out.push_back(c);
+    if (nodes_[v].pcolour == c || children_[child_slot(v, c)] != kNullNode) out.push_back(c);
   }
   return out;
 }
@@ -81,8 +80,8 @@ std::vector<Colour> ColourSystem::colours_at(NodeId v) const {
 int ColourSystem::degree(NodeId v) const {
   check(v);
   int d = nodes_[v].pcolour != gk::kNoColour ? 1 : 0;
-  for (NodeId c : nodes_[v].children) {
-    if (c != kNullNode) ++d;
+  for (Colour c = 1; c <= k_; ++c) {
+    if (children_[child_slot(v, c)] != kNullNode) ++d;
   }
   return d;
 }
@@ -90,7 +89,7 @@ int ColourSystem::degree(NodeId v) const {
 NodeId ColourSystem::find(const gk::Word& w) const {
   NodeId v = root();
   for (Colour c : w.letters()) {
-    v = nodes_[v].children[c - 1];
+    v = children_[child_slot(v, c)];
     if (v == kNullNode) return kNullNode;
   }
   return v;
@@ -112,8 +111,9 @@ std::vector<NodeId> ColourSystem::nodes_up_to(int h) const {
     queue.pop_front();
     if (nodes_[v].depth > h) continue;
     out.push_back(v);
-    for (NodeId c : nodes_[v].children) {
-      if (c != kNullNode) queue.push_back(c);
+    for (Colour c = 1; c <= k_; ++c) {
+      const NodeId u = children_[child_slot(v, c)];
+      if (u != kNullNode) queue.push_back(u);
     }
   }
   return out;
@@ -163,7 +163,7 @@ ColourSystem ColourSystem::rerooted(NodeId y, std::vector<NodeId>* old_to_new) c
       queue.push_back(u);
     };
     if (nodes_[v].parent != kNullNode) visit(nodes_[v].parent, nodes_[v].pcolour);
-    for (Colour c = 1; c <= k_; ++c) visit(nodes_[v].children[c - 1], c);
+    for (Colour c = 1; c <= k_; ++c) visit(children_[child_slot(v, c)], c);
   }
   if (old_to_new) *old_to_new = std::move(map);
   return out;
@@ -178,7 +178,7 @@ ColourSystem ColourSystem::pruned(Colour c, std::vector<NodeId>* old_to_new) con
   map[root()] = out.root();
   std::deque<NodeId> queue;
   for (Colour cc = 1; cc <= k_; ++cc) {
-    const NodeId u = nodes_[root()].children[cc - 1];
+    const NodeId u = children_[child_slot(root(), cc)];
     if (u != kNullNode && cc != c) {
       map[u] = out.add_child(out.root(), cc);
       queue.push_back(u);
@@ -188,7 +188,7 @@ ColourSystem ColourSystem::pruned(Colour c, std::vector<NodeId>* old_to_new) con
     const NodeId v = queue.front();
     queue.pop_front();
     for (Colour cc = 1; cc <= k_; ++cc) {
-      const NodeId u = nodes_[v].children[cc - 1];
+      const NodeId u = children_[child_slot(v, cc)];
       if (u != kNullNode) {
         map[u] = out.add_child(map[v], cc);
         queue.push_back(u);
@@ -213,7 +213,7 @@ ColourSystem ColourSystem::grafted(Colour c, const ColourSystem& other,
   self_map[root()] = out.root();
   std::deque<NodeId> queue;
   for (Colour cc = 1; cc <= k_; ++cc) {
-    const NodeId u = nodes_[root()].children[cc - 1];
+    const NodeId u = children_[child_slot(root(), cc)];
     if (u != kNullNode && cc != c) {
       self_map[u] = out.add_child(out.root(), cc);
       queue.push_back(u);
@@ -223,7 +223,7 @@ ColourSystem ColourSystem::grafted(Colour c, const ColourSystem& other,
     const NodeId v = queue.front();
     queue.pop_front();
     for (Colour cc = 1; cc <= k_; ++cc) {
-      const NodeId u = nodes_[v].children[cc - 1];
+      const NodeId u = children_[child_slot(v, cc)];
       if (u != kNullNode) {
         self_map[u] = out.add_child(self_map[v], cc);
         queue.push_back(u);
@@ -239,7 +239,7 @@ ColourSystem ColourSystem::grafted(Colour c, const ColourSystem& other,
     const NodeId v = queue.front();
     queue.pop_front();
     for (Colour cc = 1; cc <= k_; ++cc) {
-      const NodeId u = other.nodes_[v].children[cc - 1];
+      const NodeId u = other.children_[child_slot(v, cc)];
       if (u != kNullNode) {
         other_map[u] = out.add_child(other_map[v], cc);
         queue.push_back(u);
@@ -270,7 +270,7 @@ ColourSystem ColourSystem::ball(NodeId v, int radius) const {
         next.emplace_back(u, out.add_child(dst, edge_colour));
       };
       if (nodes_[src].parent != kNullNode) visit(nodes_[src].parent, nodes_[src].pcolour);
-      for (Colour c = 1; c <= k_; ++c) visit(nodes_[src].children[c - 1], c);
+      for (Colour c = 1; c <= k_; ++c) visit(children_[child_slot(src, c)], c);
     }
     frontier.swap(next);
   }
@@ -314,12 +314,12 @@ void ColourSystem::serialize_subtree_into(NodeId top, Colour dropped, int radius
     const Colour omitted = f.v == top ? dropped : gk::kNoColour;
     std::uint8_t mask_count = 0;
     for (Colour c = 1; c <= k_; ++c) {
-      if (c != omitted && nodes_[f.v].children[c - 1] != kNullNode) ++mask_count;
+      if (c != omitted && children_[child_slot(f.v, c)] != kNullNode) ++mask_count;
     }
     out.push_back(mask_count);
     // Push in reverse colour order so DFS visits ascending colours.
     for (Colour c = k_; c >= 1; --c) {
-      const NodeId u = nodes_[f.v].children[c - 1];
+      const NodeId u = children_[child_slot(f.v, c)];
       if (c != omitted && u != kNullNode) {
         // Emitting the colour here (before the subtree) keeps the encoding
         // prefix-free per node.
@@ -327,7 +327,7 @@ void ColourSystem::serialize_subtree_into(NodeId top, Colour dropped, int radius
       }
     }
     for (Colour c = 1; c <= k_; ++c) {
-      if (c != omitted && nodes_[f.v].children[c - 1] != kNullNode) out.push_back(c);
+      if (c != omitted && children_[child_slot(f.v, c)] != kNullNode) out.push_back(c);
     }
   }
 }
@@ -356,7 +356,7 @@ std::string ColourSystem::str(int max_depth) const {
     out += "\n";
     if (nodes_[f.v].depth >= max_depth) continue;
     for (Colour c = k_; c >= 1; --c) {
-      const NodeId u = nodes_[f.v].children[c - 1];
+      const NodeId u = children_[child_slot(f.v, c)];
       if (u != kNullNode) stack.push_back({u, f.indent + 1});
     }
   }

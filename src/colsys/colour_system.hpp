@@ -146,16 +146,27 @@ class ColourSystem {
     NodeId parent = kNullNode;
     Colour pcolour = gk::kNoColour;
     std::int32_t depth = 0;
-    // Child per colour; index c-1.  kNullNode when absent.
-    std::vector<NodeId> children;
   };
 
   NodeId check(NodeId v) const;
   void require_within(int radius, const char* what) const;
 
+  /// Index into the flat children slab; computed in std::size_t *before*
+  /// the multiply so a 10⁷-node k = 6 tree (6·10⁷ slots) can never wrap a
+  /// 32-bit intermediate.
+  std::size_t child_slot(NodeId v, Colour c) const noexcept {
+    return static_cast<std::size_t>(v) * static_cast<std::size_t>(k_) +
+           static_cast<std::size_t>(c) - 1;
+  }
+
   int k_ = 0;
   int valid_radius_ = kExactRadius;
   std::vector<Node> nodes_;
+  // Child per (node, colour), k_ slots per node in one contiguous slab
+  // (kNullNode when absent).  Keeping this out of Node removes the
+  // per-node heap allocation that dominated building the adversary's
+  // ~10⁷-node k = 6 template trees.
+  std::vector<NodeId> children_;
 };
 
 /// Builds the truncation Γ_k[depth] of the full Cayley graph (k-regular).

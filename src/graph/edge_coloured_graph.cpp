@@ -1,6 +1,7 @@
 #include "graph/edge_coloured_graph.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace dmm::graph {
@@ -26,6 +27,11 @@ void EdgeColouredGraph::add_edge(NodeIndex u, NodeIndex v, Colour colour) {
   }
   for (const Half& h : adjacency_[v]) {
     if (h.colour == colour) throw std::logic_error("EdgeColouredGraph: colour already used at v");
+  }
+  // edge_count() narrows to int; refuse the edge that would wrap it rather
+  // than let a 10⁷-scale generator corrupt the count silently.
+  if (edges_.size() >= static_cast<std::size_t>(std::numeric_limits<int>::max())) {
+    throw std::length_error("EdgeColouredGraph: edge count would exceed 32 bits");
   }
   adjacency_[u].push_back({v, colour});
   adjacency_[v].push_back({u, colour});

@@ -1,13 +1,55 @@
 #include "graph/generators.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 
 namespace dmm::graph {
 
+namespace {
+
+/// Validates an (already 64-bit) node count against the NodeIndex range and
+/// narrows it.  Centralised so every generator fails the same way instead
+/// of wrapping: at 10⁷-scale the products below are legitimate, it is the
+/// silent truncation to 32 bits that was the latent bug.
+NodeIndex checked_node_count(std::int64_t n, const char* who) {
+  if (n < 0 || n > static_cast<std::int64_t>(std::numeric_limits<NodeIndex>::max())) {
+    throw std::invalid_argument(std::string(who) +
+                                ": node count does not fit a 32-bit NodeIndex (got " +
+                                std::to_string(n) + ")");
+  }
+  return static_cast<NodeIndex>(n);
+}
+
+/// Same guard for edge counts (edges_ is indexed through int edge_count()).
+void check_edge_count(std::int64_t m, const char* who) {
+  if (m < 0 || m > static_cast<std::int64_t>(std::numeric_limits<int>::max())) {
+    throw std::invalid_argument(std::string(who) +
+                                ": edge count does not fit 32 bits (got " +
+                                std::to_string(m) + ")");
+  }
+}
+
+/// Bounds one factor of a node/edge-count product to the NodeIndex range
+/// *before* the multiply: two factors ≤ 2³¹ multiply to ≤ 2⁶² < INT64_MAX,
+/// so the subsequent int64 product can never itself overflow (signed
+/// overflow is UB — the guard must not commit the crime it polices).
+std::int64_t checked_dimension(std::int64_t value, const char* who) {
+  if (value < 0 || value > static_cast<std::int64_t>(std::numeric_limits<NodeIndex>::max())) {
+    throw std::invalid_argument(std::string(who) + ": dimension out of range (got " +
+                                std::to_string(value) + ")");
+  }
+  return value;
+}
+
+}  // namespace
+
 EdgeColouredGraph path_graph(int k, const std::vector<Colour>& colours) {
-  EdgeColouredGraph g(static_cast<int>(colours.size()) + 1, k);
+  const NodeIndex n =
+      checked_node_count(static_cast<std::int64_t>(colours.size()) + 1, "path_graph");
+  EdgeColouredGraph g(n, k);
   for (std::size_t i = 0; i < colours.size(); ++i) {
     g.add_edge(static_cast<NodeIndex>(i), static_cast<NodeIndex>(i + 1), colours[i]);
   }
@@ -48,16 +90,18 @@ EdgeColouredGraph figure1_graph() {
   return g;
 }
 
-EdgeColouredGraph random_coloured_graph(int n, int k, double density, Rng& rng) {
+EdgeColouredGraph random_coloured_graph(std::int64_t n, int k, double density, Rng& rng) {
   if (density < 0.0 || density > 1.0) {
     throw std::invalid_argument("random_coloured_graph: density must be in [0,1]");
   }
-  EdgeColouredGraph g(n, k);
-  std::vector<NodeIndex> order(static_cast<std::size_t>(n));
+  const NodeIndex nodes = checked_node_count(n, "random_coloured_graph");
+  check_edge_count(static_cast<std::int64_t>(k) * (n / 2), "random_coloured_graph");
+  EdgeColouredGraph g(nodes, k);
+  std::vector<NodeIndex> order(static_cast<std::size_t>(nodes));
   std::iota(order.begin(), order.end(), 0);
   for (Colour c = 1; c <= k; ++c) {
     std::shuffle(order.begin(), order.end(), rng.engine());
-    for (int i = 0; i + 1 < n; i += 2) {
+    for (std::int64_t i = 0; i + 1 < n; i += 2) {
       // Two colour classes may randomly propose the same pair; simple
       // graphs take it once.
       if (rng.chance(density) && !g.has_edge(order[static_cast<std::size_t>(i)],
@@ -84,36 +128,51 @@ EdgeColouredGraph hypercube(int dimensions) {
   return g;
 }
 
-EdgeColouredGraph complete_bipartite(int d) {
+EdgeColouredGraph complete_bipartite(std::int64_t d) {
   if (d < 1) throw std::invalid_argument("complete_bipartite: d must be >= 1");
-  EdgeColouredGraph g(2 * d, d);
-  for (int i = 0; i < d; ++i) {
-    for (int j = 0; j < d; ++j) {
-      g.add_edge(i, d + j, static_cast<Colour>((i + j) % d + 1));
+  checked_dimension(d, "complete_bipartite");  // 2d and d² now fit int64
+  const NodeIndex nodes = checked_node_count(2 * d, "complete_bipartite");
+  check_edge_count(d * d, "complete_bipartite");  // d² edges: 64-bit product
+  EdgeColouredGraph g(nodes, static_cast<int>(d));
+  for (std::int64_t i = 0; i < d; ++i) {
+    for (std::int64_t j = 0; j < d; ++j) {
+      g.add_edge(static_cast<NodeIndex>(i), static_cast<NodeIndex>(d + j),
+                 static_cast<Colour>((i + j) % d + 1));
     }
   }
   return g;
 }
 
-EdgeColouredGraph alternating_cycle(int k, int m, Colour c1, Colour c2) {
+EdgeColouredGraph alternating_cycle(int k, std::int64_t m, Colour c1, Colour c2) {
   if (m < 2) throw std::invalid_argument("alternating_cycle: need length >= 4");
   if (c1 == c2) throw std::invalid_argument("alternating_cycle: colours must differ");
-  EdgeColouredGraph g(2 * m, k);
-  for (int i = 0; i < 2 * m; ++i) {
-    g.add_edge(i, (i + 1) % (2 * m), i % 2 == 0 ? c1 : c2);
+  checked_dimension(m, "alternating_cycle");  // 2m now fits int64
+  const NodeIndex nodes = checked_node_count(2 * m, "alternating_cycle");
+  EdgeColouredGraph g(nodes, k);
+  for (NodeIndex i = 0; i < nodes; ++i) {
+    g.add_edge(i, static_cast<NodeIndex>((i + 1) % nodes), i % 2 == 0 ? c1 : c2);
   }
   return g;
 }
 
-EdgeColouredGraph grid_graph(int width, int height, bool wrap) {
+EdgeColouredGraph grid_graph(std::int64_t width, std::int64_t height, bool wrap) {
   if (width < 2 || height < 1) throw std::invalid_argument("grid_graph: too small");
   if (wrap && (width % 2 != 0 || height % 2 != 0 || height < 2)) {
     throw std::invalid_argument("grid_graph: torus needs even width and height");
   }
-  EdgeColouredGraph g(width * height, 4);
-  const auto id = [width](int x, int y) { return static_cast<NodeIndex>(y * width + x); };
-  for (int y = 0; y < height; ++y) {
-    for (int x = 0; x < width; ++x) {
+  // width·height in 64 bits *before* any narrowing: grid_graph(65536, 65536)
+  // used to be a silent int overflow, now it throws.  Each factor is
+  // bounded first so the int64 product itself cannot overflow.
+  checked_dimension(width, "grid_graph");
+  checked_dimension(height, "grid_graph");
+  const NodeIndex nodes = checked_node_count(width * height, "grid_graph");
+  check_edge_count(2 * static_cast<std::int64_t>(nodes), "grid_graph");  // ≤ 2 edges/node
+  EdgeColouredGraph g(nodes, 4);
+  const auto id = [width](std::int64_t x, std::int64_t y) {
+    return static_cast<NodeIndex>(y * width + x);  // 64-bit product, then narrow
+  };
+  for (std::int64_t y = 0; y < height; ++y) {
+    for (std::int64_t x = 0; x < width; ++x) {
       // Horizontal edge to the right: colour 1 when x is even, else 2.
       if (x + 1 < width) {
         g.add_edge(id(x, y), id(x + 1, y), static_cast<Colour>(x % 2 == 0 ? 1 : 2));

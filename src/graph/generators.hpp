@@ -2,8 +2,15 @@
 //
 // Every generator returns a properly edge-coloured graph (checked by
 // construction through EdgeColouredGraph::add_edge).
+//
+// 64-bit audit (ISSUE 4): every size parameter that participates in a
+// product (grid width·height, bipartite d², cycle 2m, random-graph n) is
+// taken as std::int64_t and validated against the NodeIndex range before
+// any arithmetic that could narrow — generators either build the instance
+// or throw std::invalid_argument, never silently wrap at 10⁷-scale.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "colsys/colour_system.hpp"
@@ -40,7 +47,7 @@ EdgeColouredGraph figure1_graph();
 /// Random properly k-edge-coloured graph on n nodes: every colour class is
 /// an independent random partial matching; `density` in [0,1] controls how
 /// complete each class is.
-EdgeColouredGraph random_coloured_graph(int n, int k, double density, Rng& rng);
+EdgeColouredGraph random_coloured_graph(std::int64_t n, int k, double density, Rng& rng);
 
 /// The d-dimensional hypercube, edges coloured by dimension (1-based):
 /// d-regular, properly d-edge-coloured; colour class 1 is a perfect
@@ -49,17 +56,18 @@ EdgeColouredGraph hypercube(int dimensions);
 
 /// Complete bipartite K_{d,d} with the canonical d-colouring
 /// colour(L_i, R_j) = ((i + j) mod d) + 1: d-regular, every class perfect.
-EdgeColouredGraph complete_bipartite(int d);
+EdgeColouredGraph complete_bipartite(std::int64_t d);
 
 /// An even cycle of length 2m alternating colours c1, c2.
-EdgeColouredGraph alternating_cycle(int k, int m, Colour c1, Colour c2);
+EdgeColouredGraph alternating_cycle(int k, std::int64_t m, Colour c1, Colour c2);
 
 /// A width x height grid, 4-edge-coloured: horizontal edges alternate
 /// colours 1/2 with the x parity, vertical edges alternate 3/4 with the y
 /// parity.  With wrap = true (requires even width and height) this is the
 /// 4-regular torus, whose colour class 1 is a perfect matching — another
-/// d = k instance family (§1.3).
-EdgeColouredGraph grid_graph(int width, int height, bool wrap);
+/// d = k instance family (§1.3).  The width·height product is computed and
+/// validated in 64 bits (grid_graph(65536, 65536) throws, it does not wrap).
+EdgeColouredGraph grid_graph(std::int64_t width, std::int64_t height, bool wrap);
 
 /// Converts a finite colour system (or a truncation) into a concrete graph;
 /// node 0 corresponds to the root e.

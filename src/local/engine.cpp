@@ -1,29 +1,38 @@
 #include "local/engine.hpp"
 
+#include <chrono>
 #include <stdexcept>
+
+#include "local/program_pool.hpp"
 
 namespace dmm::local {
 
-RunResult run_sync(const graph::EdgeColouredGraph& g, const NodeProgramFactory& factory,
+RunResult run_sync(const graph::EdgeColouredGraph& g, const ProgramSource& source,
                    int max_rounds) {
   const int n = g.node_count();
-  std::vector<std::unique_ptr<NodeProgram>> programs;
-  programs.reserve(static_cast<std::size_t>(n));
   RunResult result;
   result.outputs.assign(static_cast<std::size_t>(n), kUnmatched);
   result.halt_round.assign(static_cast<std::size_t>(n), -1);
 
   std::vector<char> halted(static_cast<std::size_t>(n), 0);
   int running = n;
+  // Setup phase (timed into init_ns): batch-construct the programs into
+  // the pool, then deliver each node its initial knowledge.
+  ProgramPool pool;
+  const auto init_start = std::chrono::steady_clock::now();
+  pool.reserve(static_cast<std::size_t>(n));
+  source.build(static_cast<std::size_t>(n), pool);
   for (graph::NodeIndex v = 0; v < n; ++v) {
-    programs.push_back(factory());
-    if (programs.back()->init(g.incident_colours(v))) {
+    if (pool[static_cast<std::size_t>(v)]->init(g.incident_colours(v))) {
       halted[static_cast<std::size_t>(v)] = 1;
       result.halt_round[static_cast<std::size_t>(v)] = 0;
-      result.outputs[static_cast<std::size_t>(v)] = programs.back()->output();
+      result.outputs[static_cast<std::size_t>(v)] = pool[static_cast<std::size_t>(v)]->output();
       --running;
     }
   }
+  result.init_ns = static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                           std::chrono::steady_clock::now() - init_start)
+                                           .count());
 
   for (int round = 1; running > 0; ++round) {
     if (round > max_rounds) {
@@ -34,7 +43,7 @@ RunResult run_sync(const graph::EdgeColouredGraph& g, const NodeProgramFactory& 
     std::vector<std::map<Colour, Message>> outgoing(static_cast<std::size_t>(n));
     for (graph::NodeIndex v = 0; v < n; ++v) {
       if (halted[static_cast<std::size_t>(v)]) continue;
-      outgoing[static_cast<std::size_t>(v)] = programs[static_cast<std::size_t>(v)]->send(round);
+      outgoing[static_cast<std::size_t>(v)] = pool[static_cast<std::size_t>(v)]->send(round);
       for (const auto& [colour, message] : outgoing[static_cast<std::size_t>(v)]) {
         result.max_message_bytes = std::max(result.max_message_bytes, message.size());
         result.total_message_bytes += message.size();
@@ -62,10 +71,10 @@ RunResult run_sync(const graph::EdgeColouredGraph& g, const NodeProgramFactory& 
     }
     for (graph::NodeIndex v = 0; v < n; ++v) {
       if (halted[static_cast<std::size_t>(v)]) continue;
-      if (programs[static_cast<std::size_t>(v)]->receive(round, inboxes[static_cast<std::size_t>(v)])) {
+      if (pool[static_cast<std::size_t>(v)]->receive(round, inboxes[static_cast<std::size_t>(v)])) {
         halted[static_cast<std::size_t>(v)] = 1;
         result.halt_round[static_cast<std::size_t>(v)] = round;
-        result.outputs[static_cast<std::size_t>(v)] = programs[static_cast<std::size_t>(v)]->output();
+        result.outputs[static_cast<std::size_t>(v)] = pool[static_cast<std::size_t>(v)]->output();
         --running;
       }
     }

@@ -19,6 +19,8 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "graph/edge_coloured_graph.hpp"
@@ -68,7 +70,7 @@ class FlatOutbox {
   std::size_t base_ = 0;             // first slot of the node's own row
   const Colour* colours_ = nullptr;  // sorted incident colours
   int count_ = 0;
-  std::uint16_t arena_ = 0;        // spill arena of the writing worker
+  std::uint8_t arena_ = 0;         // spill arena of the writing worker (≤ 256 workers)
   std::uint32_t stamp_ = 0;        // current round: stamps written slots live
   MessageStats* stats_ = nullptr;
 };
@@ -107,6 +109,13 @@ class NodeProgram {
   /// halt immediately (return true) — that is a running time of 0.
   virtual bool init(const std::vector<Colour>& incident) = 0;
 
+  /// Flat-engine init fast path: `incident` points directly at the
+  /// engine's sorted CSR colour row (`degree` entries), which stays valid
+  /// for the whole run.  The default copies into a vector and bridges to
+  /// init(); allocation-free programs (greedy) override this and keep the
+  /// span, which is what makes pooled init at n = 10⁷ cheap.
+  virtual bool init_flat(const Colour* incident, int degree);
+
   /// Produces this round's outgoing message per incident colour.  Only
   /// called while the node is running.
   virtual std::map<Colour, Message> send(int round) = 0;
@@ -130,7 +139,56 @@ class NodeProgram {
 
 inline constexpr char kHaltedPrefix = '!';
 
+/// Legacy per-node factory: one heap allocation per node.  Still accepted
+/// everywhere (tests build throwaway programs this way), but the pooled
+/// ProgramFactory path below is what the engines are tuned for.
 using NodeProgramFactory = std::function<std::unique_ptr<NodeProgram>()>;
+
+class ProgramPool;  // program_pool.hpp: arena-backed type-erased storage
+
+/// Batched program construction: the engines hand the factory the whole
+/// node range at once and it constructs every program in place inside the
+/// pool's slab arena.  The per-node default bridges to make_one, so a
+/// factory only has to implement the batch path when it is hot (greedy and
+/// flooding override make_programs; see algo/greedy.hpp).
+class ProgramFactory {
+ public:
+  virtual ~ProgramFactory() = default;
+
+  /// Appends programs for `count` nodes to the pool, in node order.  The
+  /// default performs `count` make_one calls.
+  virtual void make_programs(std::size_t count, ProgramPool& pool) const;
+
+  /// Constructs a single program into the pool.
+  virtual NodeProgram* make_one(ProgramPool& pool) const = 0;
+};
+
+/// What the engines actually accept: either a pooled ProgramFactory or any
+/// legacy callable returning std::unique_ptr<NodeProgram>.  Both engine
+/// paths must produce bit-identical RunResults — pinned by
+/// tests/test_program_pool.cpp.
+class ProgramSource {
+ public:
+  ProgramSource() = default;
+
+  template <class F,
+            std::enable_if_t<std::is_invocable_r_v<std::unique_ptr<NodeProgram>, F&>, int> = 0>
+  ProgramSource(F factory) : legacy_(std::move(factory)) {}  // NOLINT(google-explicit-constructor)
+
+  ProgramSource(std::shared_ptr<const ProgramFactory> factory)  // NOLINT(google-explicit-constructor)
+      : factory_(std::move(factory)) {}
+
+  /// Fills `pool` with programs for `count` nodes (program_pool.cpp).
+  /// Throws std::logic_error when the source is empty.
+  void build(std::size_t count, ProgramPool& pool) const;
+
+  /// True when programs construct in the pool's arena (no per-node heap).
+  bool pooled() const noexcept { return factory_ != nullptr; }
+
+ private:
+  NodeProgramFactory legacy_;
+  std::shared_ptr<const ProgramFactory> factory_;
+};
 
 struct RunResult {
   std::vector<Colour> outputs;    // per node; kUnmatched = ⊥
@@ -142,12 +200,16 @@ struct RunResult {
   std::size_t max_message_bytes = 0;
   std::size_t total_message_bytes = 0;
   std::size_t messages_sent = 0;
+  // Wall-clock of the setup phase (program construction + init calls), the
+  // part the pooled allocator exists to shrink; surfaced as `init_ms` in
+  // the BENCH_*.json schema.  Not part of engine equivalence.
+  double init_ns = 0.0;
 };
 
 /// Runs one copy of the program on every node until all have halted or
 /// max_rounds is exceeded (which throws — a distributed algorithm that does
 /// not halt is a bug).
-RunResult run_sync(const graph::EdgeColouredGraph& g, const NodeProgramFactory& factory,
+RunResult run_sync(const graph::EdgeColouredGraph& g, const ProgramSource& source,
                    int max_rounds);
 
 /// The library's simulation engines.  kSync is the reference oracle
@@ -161,7 +223,7 @@ enum class EngineKind {
 
 /// Dispatches to run_sync or run_flat (with default options).
 RunResult run(EngineKind kind, const graph::EdgeColouredGraph& g,
-              const NodeProgramFactory& factory, int max_rounds);
+              const ProgramSource& source, int max_rounds);
 
 /// "sync" / "flat".
 const char* engine_kind_name(EngineKind kind) noexcept;

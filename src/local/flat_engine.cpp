@@ -1,10 +1,13 @@
 #include "local/flat_engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+
+#include "local/program_pool.hpp"
 
 namespace dmm::local {
 
@@ -58,7 +61,7 @@ void FlatOutbox::set(int port, std::string_view bytes) {
   stats_->max_bytes = std::max(stats_->max_bytes, bytes.size());
   stats_->total_bytes += bytes.size();
   ++stats_->sent;
-  FlatSlot& slot = plane_->slots[base_ + static_cast<std::size_t>(port)];
+  FlatSlot& slot = plane_->slots[flat_slot(base_, port)];
   slot.stamp = static_cast<std::uint8_t>(stamp_);
   if (bytes.size() <= kFlatInlineBytes) {
     slot.len = static_cast<std::uint8_t>(bytes.size());
@@ -68,14 +71,20 @@ void FlatOutbox::set(int port, std::string_view bytes) {
       throw std::length_error("FlatOutbox::set: message too long");
     }
     std::vector<char>& arena = plane_->arenas[arena_];
-    const auto off = static_cast<std::uint32_t>(arena.size());
+    const std::uint64_t off = arena.size();  // byte cursor: always 64-bit
+    if (off > kMaxSpillOffset) {
+      throw std::length_error("FlatOutbox::set: spill arena exceeds the 40-bit offset space");
+    }
     const auto len = static_cast<std::uint32_t>(bytes.size());
     arena.resize(arena.size() + sizeof(len) + bytes.size());
     std::memcpy(arena.data() + off, &len, sizeof(len));
     std::memcpy(arena.data() + off + sizeof(len), bytes.data(), bytes.size());
     slot.len = kSpillLen;
-    std::memcpy(slot.payload, &off, sizeof(off));
-    std::memcpy(slot.payload + sizeof(off), &arena_, sizeof(arena_));
+    // {offset:40, arena:8} packed little-endian byte by byte (portable).
+    for (int i = 0; i < 5; ++i) {
+      slot.payload[i] = static_cast<char>((off >> (8 * i)) & 0xff);
+    }
+    slot.payload[5] = static_cast<char>(arena_);
   }
 }
 
@@ -116,6 +125,10 @@ void FlatOutbox::broadcast(std::string_view bytes) {
 
 // Default flat hooks: bridge to the map-based API, preserving run_sync's
 // semantics (and its message accounting) exactly.
+bool NodeProgram::init_flat(const Colour* incident, int degree) {
+  return init(std::vector<Colour>(incident, incident + degree));
+}
+
 void NodeProgram::send_flat(int round, FlatOutbox& out) {
   for (const auto& [colour, message] : send(round)) out.set_colour(colour, message);
 }
@@ -130,12 +143,16 @@ bool NodeProgram::receive_flat(int round, const FlatInbox& in) {
 
 class FlatEngine {
  public:
-  FlatEngine(const graph::EdgeColouredGraph& g, const NodeProgramFactory& factory,
+  FlatEngine(const graph::EdgeColouredGraph& g, const ProgramSource& source,
              int max_rounds, const FlatEngineOptions& options)
-      : g_(g), factory_(factory), max_rounds_(max_rounds) {
+      : g_(g), source_(source), max_rounds_(max_rounds) {
     n_ = g.node_count();
-    workers_ = std::max(1, options.threads);
-    if (workers_ > n_ && n_ > 0) workers_ = n_;
+    // Worker clamp: never more workers than nodes (an empty partition buys
+    // nothing and the n = 0 / threads = 8 edge used to depend on every
+    // phase tolerating it), never more than the one-byte spill-arena index
+    // can address, and never fewer than one.
+    workers_ = std::max(1, std::min(options.threads, kMaxFlatWorkers));
+    if (workers_ > n_) workers_ = std::max(1, n_);
     build_csr();
   }
 
@@ -145,22 +162,27 @@ class FlatEngine {
     result.halt_round.assign(static_cast<std::size_t>(n_), -1);
     halted_.assign(static_cast<std::size_t>(n_), 0);
     announcements_.assign(static_cast<std::size_t>(n_), {});
-    programs_.clear();
-    programs_.reserve(static_cast<std::size_t>(n_));
+    pool_.clear();
+    pool_.reserve(static_cast<std::size_t>(n_));
 
+    // Setup phase (timed into init_ns): batch-construct every program in
+    // the pool's arena, then hand each node a pointer straight into its
+    // CSR colour row — no per-node vector is materialised.
+    const auto init_start = std::chrono::steady_clock::now();
+    source_.build(static_cast<std::size_t>(n_), pool_);
     int running = n_;
-    std::vector<Colour> incident;  // reused across nodes: one row copy each
     for (graph::NodeIndex v = 0; v < n_; ++v) {
       const std::size_t begin = row_[static_cast<std::size_t>(v)];
-      const std::size_t end = row_[static_cast<std::size_t>(v) + 1];
-      incident.assign(port_colour_.begin() + static_cast<std::ptrdiff_t>(begin),
-                      port_colour_.begin() + static_cast<std::ptrdiff_t>(end));
-      programs_.push_back(factory_());
-      if (programs_.back()->init(incident)) {
+      if (pool_[static_cast<std::size_t>(v)]->init_flat(port_colour_.data() + begin,
+                                                        degree(v))) {
         halt(result, v, /*round=*/0);
         --running;
       }
     }
+    result.init_ns =
+        static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now() - init_start)
+                                .count());
 
     // Everything the rounds need is built lazily: a 0-round algorithm on a
     // million nodes never pays for the message plane.
@@ -199,7 +221,7 @@ class FlatEngine {
       for_ranges([&](int worker, graph::NodeIndex begin, graph::NodeIndex end) {
         FlatOutbox out;
         out.plane_ = &plane;
-        out.arena_ = static_cast<std::uint16_t>(worker);
+        out.arena_ = static_cast<std::uint8_t>(worker);
         out.stats_ = &stats[static_cast<std::size_t>(worker)];
         out.stamp_ = stamp;
         for (graph::NodeIndex v = begin; v < end; ++v) {
@@ -207,7 +229,7 @@ class FlatEngine {
           out.base_ = row_[static_cast<std::size_t>(v)];
           out.colours_ = port_colour_.data() + out.base_;
           out.count_ = degree(v);
-          programs_[static_cast<std::size_t>(v)]->send_flat(round, out);
+          pool_[static_cast<std::size_t>(v)]->send_flat(round, out);
         }
       });
 
@@ -226,7 +248,7 @@ class FlatEngine {
           in.row_ = row;
           in.count_ = degree(v);
           in.stamp_ = stamp;
-          if (programs_[static_cast<std::size_t>(v)]->receive_flat(round, in)) {
+          if (pool_[static_cast<std::size_t>(v)]->receive_flat(round, in)) {
             newly_halted[static_cast<std::size_t>(worker)].push_back(v);
           }
         }
@@ -262,12 +284,12 @@ class FlatEngine {
     // two), then a sequential split + per-row insertion sort by colour.
     // Never calls incident_colours/neighbour, which allocate per node.
     const std::vector<graph::Edge>& edges = g_.edges();
-    row_.assign(static_cast<std::size_t>(n_) + 1, 0);
+    std::vector<int> degrees(static_cast<std::size_t>(n_), 0);
     for (const graph::Edge& e : edges) {
-      ++row_[static_cast<std::size_t>(e.u) + 1];
-      ++row_[static_cast<std::size_t>(e.v) + 1];
+      ++degrees[static_cast<std::size_t>(e.u)];
+      ++degrees[static_cast<std::size_t>(e.v)];
     }
-    for (std::size_t v = 0; v < static_cast<std::size_t>(n_); ++v) row_[v + 1] += row_[v];
+    row_ = flat_row_offsets(degrees);
     const std::size_t slot_count = row_[static_cast<std::size_t>(n_)];
     struct Half {
       Colour colour;
@@ -332,10 +354,13 @@ class FlatEngine {
     const FlatSlot& slot = plane.slots[s];
     if (slot.stamp != stamp) return {};
     if (slot.len != kSpillLen) return {slot.payload, slot.len};
-    std::uint32_t off = 0;
-    std::uint16_t arena = 0;
-    std::memcpy(&off, slot.payload, sizeof(off));
-    std::memcpy(&arena, slot.payload + sizeof(off), sizeof(arena));
+    // Unpack the {offset:40, arena:8} spill address written by
+    // FlatOutbox::set; the offset expands into a 64-bit cursor.
+    std::uint64_t off = 0;
+    for (int i = 0; i < 5; ++i) {
+      off |= static_cast<std::uint64_t>(static_cast<unsigned char>(slot.payload[i])) << (8 * i);
+    }
+    const auto arena = static_cast<unsigned char>(slot.payload[5]);
     std::uint32_t len = 0;
     const char* base = plane.arenas[arena].data() + off;
     std::memcpy(&len, base, sizeof(len));
@@ -346,7 +371,7 @@ class FlatEngine {
     halted_[static_cast<std::size_t>(v)] = 1;
     result.halt_round[static_cast<std::size_t>(v)] = round;
     result.outputs[static_cast<std::size_t>(v)] =
-        programs_[static_cast<std::size_t>(v)]->output();
+        pool_[static_cast<std::size_t>(v)]->output();
   }
 
   /// Announcement cache: rendered once per halted node — and only for nodes
@@ -366,8 +391,11 @@ class FlatEngine {
   }
 
   /// Runs fn(worker, begin, end) over a balanced contiguous node partition,
-  /// in-line when workers_ == 1.  The first exception wins and is rethrown
-  /// on the calling thread, matching the serial engine's fail-fast contract.
+  /// in-line when workers_ == 1.  The constructor clamps workers_ into
+  /// [1, max(1, n)], so every spawned range is non-empty; the guard below
+  /// keeps the partition stable even if a future caller bypasses the clamp.
+  /// The first exception wins and is rethrown on the calling thread,
+  /// matching the serial engine's fail-fast contract.
   template <class F>
   void for_ranges(const F& fn) {
     if (workers_ == 1) {
@@ -379,11 +407,13 @@ class FlatEngine {
     std::exception_ptr error;
     std::mutex error_mutex;
     for (int worker = 0; worker < workers_; ++worker) {
-      pool.emplace_back([&, worker] {
-        const auto begin = static_cast<graph::NodeIndex>(
-            static_cast<long long>(n_) * worker / workers_);
-        const auto end = static_cast<graph::NodeIndex>(
-            static_cast<long long>(n_) * (worker + 1) / workers_);
+      // 64-bit intermediate: n * worker cannot wrap for any 32-bit n.
+      const auto begin = static_cast<graph::NodeIndex>(
+          static_cast<std::int64_t>(n_) * worker / workers_);
+      const auto end = static_cast<graph::NodeIndex>(
+          static_cast<std::int64_t>(n_) * (worker + 1) / workers_);
+      if (begin == end) continue;  // empty partition: nothing to spawn
+      pool.emplace_back([&, worker, begin, end] {
         try {
           fn(worker, begin, end);
         } catch (...) {
@@ -397,7 +427,7 @@ class FlatEngine {
   }
 
   const graph::EdgeColouredGraph& g_;
-  const NodeProgramFactory& factory_;
+  const ProgramSource& source_;
   int max_rounds_;
   int n_ = 0;
   int workers_ = 1;
@@ -406,33 +436,44 @@ class FlatEngine {
   std::vector<Colour> port_colour_;          // per slot
   std::vector<graph::NodeIndex> peer_node_;  // per slot: the port's neighbour
 
-  std::vector<std::unique_ptr<NodeProgram>> programs_;
+  // Declared after the CSR vectors: programs may hold init_flat spans into
+  // port_colour_, so the pool (and its destructors) must go first.
+  ProgramPool pool_;
   std::vector<char> halted_;
   std::vector<std::string> announcements_;
   FlatPlane plane_;
 };
 
+std::vector<std::size_t> flat_row_offsets(const std::vector<int>& degrees) {
+  std::vector<std::size_t> offsets(degrees.size() + 1, 0);
+  for (std::size_t v = 0; v < degrees.size(); ++v) {
+    if (degrees[v] < 0) throw std::invalid_argument("flat_row_offsets: negative degree");
+    offsets[v + 1] = offsets[v] + static_cast<std::size_t>(degrees[v]);
+  }
+  return offsets;
+}
+
 std::string_view FlatInbox::at(int port) const {
   if (port < 0 || port >= count_) {
     throw std::out_of_range("FlatInbox::at: port out of range");
   }
-  return engine_->resolve(*plane_, row_ + static_cast<std::size_t>(port), stamp_);
+  return engine_->resolve(*plane_, flat_slot(row_, port), stamp_);
 }
 
-RunResult run_flat(const graph::EdgeColouredGraph& g, const NodeProgramFactory& factory,
+RunResult run_flat(const graph::EdgeColouredGraph& g, const ProgramSource& source,
                    int max_rounds, const FlatEngineOptions& options) {
-  return FlatEngine(g, factory, max_rounds, options).run();
+  return FlatEngine(g, source, max_rounds, options).run();
 }
 
 RunResult run(EngineKind kind, const graph::EdgeColouredGraph& g,
-              const NodeProgramFactory& factory, int max_rounds) {
+              const ProgramSource& source, int max_rounds) {
   switch (kind) {
     case EngineKind::kFlat:
-      return run_flat(g, factory, max_rounds);
+      return run_flat(g, source, max_rounds);
     case EngineKind::kSync:
       break;
   }
-  return run_sync(g, factory, max_rounds);
+  return run_sync(g, source, max_rounds);
 }
 
 const char* engine_kind_name(EngineKind kind) noexcept {

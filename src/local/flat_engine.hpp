@@ -34,13 +34,36 @@ namespace dmm::local {
 /// edges); longer ones spill to the arena.
 inline constexpr std::size_t kFlatInlineBytes = 6;
 
+/// Spill payloads are addressed by a 40-bit byte offset plus an 8-bit
+/// worker-arena index packed into the 6 payload bytes of the slot, so a
+/// single worker arena may hold up to 1 TiB before the engine refuses —
+/// with an explicit length_error, never a silent 32-bit wrap.
+inline constexpr std::uint64_t kMaxSpillOffset = (std::uint64_t{1} << 40) - 1;
+
+/// Hard cap on flat-engine workers (the spill arena index is one byte).
+inline constexpr int kMaxFlatWorkers = 256;
+
 struct FlatEngineOptions {
   /// Workers for the send/receive phases; 1 (the default) runs in-line on
-  /// the calling thread.  Results are identical for every value.
+  /// the calling thread.  Values above the node count or kMaxFlatWorkers
+  /// are clamped; results are identical for every value.
   int threads = 1;
 };
 
-RunResult run_flat(const graph::EdgeColouredGraph& g, const NodeProgramFactory& factory,
+/// Exclusive prefix sum of per-node degrees into the CSR row offsets used
+/// by the flat engine's slot plane.  Accumulates in std::size_t from the
+/// first addition, so an n·Δ slot count beyond 2³¹ cannot wrap — pinned by
+/// the 64-bit regression test in tests/test_flat_engine.cpp.  Throws
+/// std::invalid_argument on a negative degree.
+std::vector<std::size_t> flat_row_offsets(const std::vector<int>& degrees);
+
+/// Slot index of `port` within the row starting at `row`; the port is
+/// widened before the addition.
+constexpr std::size_t flat_slot(std::size_t row, int port) noexcept {
+  return row + static_cast<std::size_t>(port);
+}
+
+RunResult run_flat(const graph::EdgeColouredGraph& g, const ProgramSource& source,
                    int max_rounds, const FlatEngineOptions& options = {});
 
 }  // namespace dmm::local

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "io/serialize.hpp"
+#include "local/program_pool.hpp"
 
 namespace dmm::local {
 
@@ -33,6 +34,15 @@ FloodingProgram::FloodingProgram(std::shared_ptr<const LocalAlgorithm> algorithm
 
 bool FloodingProgram::init(const std::vector<Colour>& incident) {
   incident_ = incident;
+  return start();
+}
+
+bool FloodingProgram::init_flat(const Colour* incident, int degree) {
+  incident_.assign(incident, incident + degree);
+  return start();
+}
+
+bool FloodingProgram::start() {
   // The radius-1 view: the root plus one child per incident colour.
   view_ = colsys::ColourSystem(k_, /*valid_radius=*/1);
   for (Colour c : incident_) view_.add_child(view_.root(), c);
@@ -66,9 +76,17 @@ bool FloodingProgram::receive(int round, const std::map<Colour, Message>& inbox)
   return false;
 }
 
-NodeProgramFactory flooding_program_factory(std::shared_ptr<const LocalAlgorithm> algorithm,
-                                            int k) {
-  return [algorithm, k] { return std::make_unique<FloodingProgram>(algorithm, k); };
+void FloodingProgramFactory::make_programs(std::size_t count, ProgramPool& pool) const {
+  pool.emplace_batch<FloodingProgram>(count, algorithm_, k_);
+}
+
+NodeProgram* FloodingProgramFactory::make_one(ProgramPool& pool) const {
+  return pool.emplace<FloodingProgram>(algorithm_, k_);
+}
+
+ProgramSource flooding_program_factory(std::shared_ptr<const LocalAlgorithm> algorithm,
+                                       int k) {
+  return ProgramSource(std::make_shared<const FloodingProgramFactory>(std::move(algorithm), k));
 }
 
 }  // namespace dmm::local

@@ -29,11 +29,16 @@ class FloodingProgram final : public NodeProgram {
   FloodingProgram(std::shared_ptr<const LocalAlgorithm> algorithm, int k);
 
   bool init(const std::vector<Colour>& incident) override;
+  // Assigns straight from the engine's CSR row — one container fill, not
+  // the default bridge's temporary-vector-then-copy.
+  bool init_flat(const Colour* incident, int degree) override;
   std::map<Colour, Message> send(int round) override;
   bool receive(int round, const std::map<Colour, Message>& inbox) override;
   Colour output() const override { return output_; }
 
  private:
+  bool start();
+
   std::shared_ptr<const LocalAlgorithm> algorithm_;
   int k_;
   int running_time_ = 0;
@@ -42,8 +47,23 @@ class FloodingProgram final : public NodeProgram {
   Colour output_ = kUnmatched;
 };
 
+/// Pooled factory for FloodingProgram; the batched path constructs all n
+/// simulators back to back in the pool's arena.
+class FloodingProgramFactory final : public ProgramFactory {
+ public:
+  FloodingProgramFactory(std::shared_ptr<const LocalAlgorithm> algorithm, int k)
+      : algorithm_(std::move(algorithm)), k_(k) {}
+
+  void make_programs(std::size_t count, ProgramPool& pool) const override;
+  NodeProgram* make_one(ProgramPool& pool) const override;
+
+ private:
+  std::shared_ptr<const LocalAlgorithm> algorithm_;
+  int k_;
+};
+
 /// One FloodingProgram per node, all simulating `algorithm`.
-NodeProgramFactory flooding_program_factory(std::shared_ptr<const LocalAlgorithm> algorithm,
-                                            int k);
+ProgramSource flooding_program_factory(std::shared_ptr<const LocalAlgorithm> algorithm,
+                                       int k);
 
 }  // namespace dmm::local

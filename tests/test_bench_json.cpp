@@ -30,6 +30,8 @@ Record sample() {
   r.csp_nodes = 135864;
   r.memo_hits = 11;
   r.threads = 2;
+  r.init_ms = 1.5;
+  r.rss_bytes = 104857600;
   return r;
 }
 
@@ -39,7 +41,8 @@ TEST(BenchJson, StableFieldNamesAndOrder) {
             "{\"instance\":\"random n=256 k=4\",\"n\":256,\"m\":380,\"k\":4,"
             "\"rounds\":3,\"wall_ns\":1234567.25,\"engine\":\"flat\","
             "\"max_message_bytes\":1,\"views\":78732,\"pairs\":9570312,"
-            "\"csp_nodes\":135864,\"memo_hits\":11,\"threads\":2}");
+            "\"csp_nodes\":135864,\"memo_hits\":11,\"threads\":2,"
+            "\"init_ms\":1.5,\"rss_bytes\":104857600}");
 }
 
 TEST(BenchJson, PipelineStatsDefaultToInert) {
@@ -51,6 +54,17 @@ TEST(BenchJson, PipelineStatsDefaultToInert) {
   EXPECT_EQ(r.csp_nodes, 0);
   EXPECT_EQ(r.memo_hits, 0);
   EXPECT_EQ(r.threads, 1);
+  // dmm-bench-3 memory-model stats are likewise inert by default.
+  EXPECT_EQ(r.init_ms, 0.0);
+  EXPECT_EQ(r.rss_bytes, 0);
+}
+
+TEST(BenchJson, PeakRssIsPositiveOnLinux) {
+#if defined(__unix__) || defined(__APPLE__)
+  EXPECT_GT(peak_rss_bytes(), 0);
+#else
+  EXPECT_EQ(peak_rss_bytes(), 0);
+#endif
 }
 
 TEST(BenchJson, RoundTripsExactly) {
@@ -71,6 +85,9 @@ TEST(BenchJson, RejectsNonFiniteWallTimes) {
   r.wall_ns = std::numeric_limits<double>::infinity();
   EXPECT_THROW(to_json(r), std::invalid_argument);
   r.wall_ns = -std::numeric_limits<double>::infinity();
+  EXPECT_THROW(to_json(r), std::invalid_argument);
+  r = sample();
+  r.init_ms = std::numeric_limits<double>::quiet_NaN();
   EXPECT_THROW(to_json(r), std::invalid_argument);
 }
 
@@ -129,7 +146,7 @@ TEST(BenchJson, HarnessStripsItsFlagsAndWrites) {
   std::stringstream content;
   content << in.rdbuf();
   const std::string text = content.str();
-  EXPECT_NE(text.find("\"schema\":\"dmm-bench-2\""), std::string::npos);
+  EXPECT_NE(text.find("\"schema\":\"dmm-bench-3\""), std::string::npos);
   EXPECT_NE(text.find("\"experiment\":\"e1\""), std::string::npos);
   // Each stored record is embedded verbatim, so the file parses record by
   // record with the same parser the round-trip test uses.

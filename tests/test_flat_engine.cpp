@@ -8,9 +8,11 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <tuple>
 
 #include "algo/greedy.hpp"
 #include "algo/runner.hpp"
+#include "engine_test_util.hpp"
 #include "graph/generators.hpp"
 #include "local/flooding.hpp"
 #include "local/view_engine.hpp"
@@ -19,24 +21,14 @@
 namespace dmm::local {
 namespace {
 
-void expect_same_result(const RunResult& oracle, const RunResult& flat,
-                        const std::string& context) {
-  EXPECT_EQ(oracle.outputs, flat.outputs) << context;
-  EXPECT_EQ(oracle.halt_round, flat.halt_round) << context;
-  EXPECT_EQ(oracle.rounds, flat.rounds) << context;
-  EXPECT_EQ(oracle.max_message_bytes, flat.max_message_bytes) << context;
-  EXPECT_EQ(oracle.total_message_bytes, flat.total_message_bytes) << context;
-  EXPECT_EQ(oracle.messages_sent, flat.messages_sent) << context;
-}
-
 void expect_engines_agree(const graph::EdgeColouredGraph& g,
-                          const NodeProgramFactory& factory, int max_rounds,
+                          const ProgramSource& source, int max_rounds,
                           const std::string& context) {
-  const RunResult oracle = run_sync(g, factory, max_rounds);
-  expect_same_result(oracle, run_flat(g, factory, max_rounds), context + " [serial]");
+  const RunResult oracle = run_sync(g, source, max_rounds);
+  expect_same_result(oracle, run_flat(g, source, max_rounds), context + " [serial]");
   FlatEngineOptions threaded;
   threaded.threads = 3;
-  expect_same_result(oracle, run_flat(g, factory, max_rounds, threaded),
+  expect_same_result(oracle, run_flat(g, source, max_rounds, threaded),
                      context + " [threads=3]");
 }
 
@@ -233,6 +225,46 @@ TEST(FlatEngine, ExceptionsPropagateFromWorkers) {
   EXPECT_THROW(run_flat(g, [] { return std::make_unique<Thrower>(); }, 10, threaded),
                std::runtime_error);
 }
+
+TEST(FlatEngine, RowOffsetsAre64BitSafe) {
+  // The CSR scan the engine itself uses (build_csr → flat_row_offsets)
+  // must accumulate in std::size_t: three nodes of degree 2³⁰ push the
+  // running slot count past 2³¹, which wrapped in 32-bit arithmetic.  The
+  // offsets are pure bookkeeping — no plane is allocated here — so the
+  // regression test covers the n·Δ > 2³¹ regime without 16 GiB of slots.
+  const int big = 1 << 30;
+  const std::vector<std::size_t> offsets = flat_row_offsets({big, big, big, 5});
+  ASSERT_EQ(offsets.size(), 5u);
+  EXPECT_EQ(offsets[0], 0u);
+  EXPECT_EQ(offsets[2], std::size_t{2} << 30);
+  EXPECT_EQ(offsets[3], std::size_t{3} << 30);  // 3 · 2³⁰ > 2³¹: needs 64 bits
+  EXPECT_EQ(offsets[4], (std::size_t{3} << 30) + 5);
+  // Port addressing widens before the addition as well.
+  EXPECT_EQ(flat_slot(std::size_t{3} << 30, 7), (std::size_t{3} << 30) + 7);
+  EXPECT_THROW(flat_row_offsets({1, -1}), std::invalid_argument);
+}
+
+/// (n, threads) grid — the `threads > n`, `n = 0` and near-empty-partition
+/// edges every combination of which used to be easy to hit with
+/// `dmm_cli --threads 8` on a toy instance.
+class FlatEngineThreadGrid : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FlatEngineThreadGrid, MatchesOracleForAnyPartition) {
+  const auto [n, threads] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n * 1000 + threads));
+  const graph::EdgeColouredGraph g = graph::random_coloured_graph(n, 3, 0.8, rng);
+  const RunResult oracle = run_sync(g, algo::greedy_program_factory(), 5);
+  FlatEngineOptions options;
+  options.threads = threads;
+  expect_same_result(oracle,
+                     run_flat(g, algo::greedy_program_factory(), 5, options),
+                     "n=" + std::to_string(n) + " threads=" + std::to_string(threads));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallNByManyThreads, FlatEngineThreadGrid,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 5, 8, 17),
+                       ::testing::Values(1, 2, 7, 8, 64, 1000)));
 
 TEST(FlatEngine, EngineKindSwitch) {
   const graph::EdgeColouredGraph g = graph::worst_case_chain(5).long_path;

@@ -122,6 +122,27 @@ TEST(Generators, TorusRejectsOddDimensions) {
   EXPECT_NO_THROW(graph::grid_graph(4, 4, true));
 }
 
+TEST(Generators, OversizedInstancesThrowInsteadOfWrapping) {
+  // 64-bit audit (ISSUE 4): these products overflow 32-bit arithmetic, and
+  // each generator must reject them up front — a silent wrap would hand
+  // the engines a tiny graph with a plausible-looking shape.
+  EXPECT_THROW(grid_graph(65536, 65536, false), std::invalid_argument);   // 2³² nodes
+  EXPECT_THROW(grid_graph(3, 1'000'000'000'000, false), std::invalid_argument);
+  // Dimensions whose int64 *product* would itself overflow: the guard must
+  // bound the factors first (UBSan-clean), not multiply and hope.
+  EXPECT_THROW(grid_graph(4'000'000'000, 4'000'000'000, false), std::invalid_argument);
+  EXPECT_THROW(complete_bipartite(70000), std::invalid_argument);         // d² ≈ 4.9e9 edges
+  EXPECT_THROW(complete_bipartite(2'000'000'000), std::invalid_argument); // 2d nodes
+  EXPECT_THROW(alternating_cycle(4, 2'000'000'000, 1, 2), std::invalid_argument);
+  Rng rng(3);
+  EXPECT_THROW(random_coloured_graph(3'000'000'000, 3, 0.1, rng), std::invalid_argument);
+  EXPECT_THROW(random_coloured_graph(-1, 3, 0.1, rng), std::invalid_argument);
+  // Near the boundary but representable: must not throw at validation
+  // time (constructing 10⁷ nodes is the scale suite's job, not this one's,
+  // so keep the accepted case small).
+  EXPECT_NO_THROW(grid_graph(200, 150, false));
+}
+
 TEST(Generators, ToGraphPreservesStructure) {
   const colsys::ColourSystem s = colsys::cayley_ball(3, 3);
   const EdgeColouredGraph g = to_graph(s);

@@ -40,6 +40,9 @@ RECORD_FIELDS = {
     "csp_nodes": int,
     "memo_hits": int,
     "threads": int,
+    # dmm-bench-3: memory-model stats (engine setup wall-clock, peak RSS).
+    "init_ms": (int, float),
+    "rss_bytes": int,
 }
 
 
@@ -54,10 +57,34 @@ def find_binary(bin_dir: pathlib.Path, experiment: str) -> pathlib.Path:
     return matches[0]
 
 
+def validate_scale_row(path: pathlib.Path) -> None:
+    """--scale: e14 must carry the n = 10^7 flat-engine row, with the
+    memory-model fields populated and init no longer the dominant phase."""
+    with path.open() as fh:
+        data = json.load(fh)
+    rows = [r for r in data["records"] if r["n"] == 10_000_000]
+    if not rows:
+        raise SystemExit(f"error: {path}: --scale run but no n=10^7 record")
+    for row in rows:
+        if row["engine"] != "flat":
+            raise SystemExit(f"error: {path}: scale row must use the flat engine: {row}")
+        if row["init_ms"] <= 0 or row["rss_bytes"] <= 0:
+            raise SystemExit(f"error: {path}: scale row missing memory stats: {row}")
+        wall_ms = row["wall_ns"] / 1e6
+        if row["init_ms"] * 2 > wall_ms:
+            raise SystemExit(
+                f"error: {path}: init dominates the scale row "
+                f"({row['init_ms']:.1f} ms of {wall_ms:.1f} ms) — the pooled "
+                f"program arena regressed"
+            )
+    print(f"scale: e14 n=10^7 row ok ({rows[0]['init_ms']:.1f} ms init, "
+          f"{rows[0]['wall_ns'] / 1e6:.1f} ms wall)")
+
+
 def validate(path: pathlib.Path, experiment: str) -> int:
     with path.open() as fh:
         data = json.load(fh)
-    if data.get("schema") != "dmm-bench-2":
+    if data.get("schema") != "dmm-bench-3":
         raise SystemExit(f"error: {path}: bad schema {data.get('schema')!r}")
     if data.get("experiment") != experiment:
         raise SystemExit(f"error: {path}: experiment mismatch {data.get('experiment')!r}")
@@ -80,6 +107,12 @@ def main() -> int:
     parser.add_argument("--bin-dir", required=True, type=pathlib.Path)
     parser.add_argument("--out-dir", type=pathlib.Path, default=pathlib.Path("bench-json"))
     parser.add_argument("--smoke", action="store_true")
+    parser.add_argument(
+        "--scale",
+        action="store_true",
+        help="bench_scale: add the opt-in n = 10^7 rows (currently e14's greedy "
+        "smoke) and validate their memory-model fields (nightly CI leg)",
+    )
     args = parser.parse_args()
 
     args.out_dir.mkdir(parents=True, exist_ok=True)
@@ -89,10 +122,14 @@ def main() -> int:
         cmd = [str(binary), "--json-dir", str(args.out_dir)]
         if args.smoke:
             cmd.append("--smoke")
+        if args.scale:
+            cmd.append("--scale")  # every harness accepts it; only e14 reacts
         print(f"== {binary.name} {'(smoke)' if args.smoke else ''}", flush=True)
         subprocess.run(cmd, check=True)
         total += validate(args.out_dir / f"BENCH_{experiment}.json", experiment)
 
+    if args.scale:
+        validate_scale_row(args.out_dir / "BENCH_e14.json")
     print(f"ok: {len(EXPERIMENTS)} experiments, {total} records in {args.out_dir}")
     return 0
 
