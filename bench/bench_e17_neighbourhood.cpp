@@ -4,10 +4,15 @@
 //
 // Since the canonical-form rewrite (interned enumeration, id-bucketed
 // pairs, bitset CSP with arc consistency) the full table through
-// k = 4, rho = 3 (78 732 views, ~9.6M constraints) runs in ~2 s where the
+// k = 4, rho = 3 (78 732 views, ~9.6M constraints) runs in ~1 s where the
 // seed pipeline took ~20 s, and the k = 5, rho = 2 row is part of the
-// standard table.  Each row is recorded in BENCH_e17.json with the
-// pipeline stats (views, pairs, csp_nodes, threads).
+// standard table.  `--orbits` switches every row to the colour-permutation
+// orbit pipeline (one materialised representative per orbit, pair index
+// lifted through permutation witnesses, identical verdicts); the census
+// row reports the k = 5, rho = 3 catalogue — ~2.1e10 views, ~1.8e8 orbits
+// — by pure Burnside arithmetic, far beyond materialisation.  Each row is
+// recorded in BENCH_e17.json with the pipeline stats (views, pairs,
+// csp_nodes, threads, orbits, orbit_reduction).
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -21,42 +26,78 @@ namespace {
 
 using namespace dmm;
 
-void print_rows(benchjson::Harness& harness, int threads) {
-  std::printf("## E17: r-round algorithms as labellings of the (r+1)-view catalogue\n");
-  std::printf("%4s %4s %5s %8s %10s %12s %14s %10s\n", "k", "d", "rho", "views", "pairs",
-              "satisfiable", "search nodes", "wall ms");
+void print_rows(benchjson::Harness& harness, int threads, bool orbits) {
+  std::printf("## E17: r-round algorithms as labellings of the (r+1)-view catalogue%s\n",
+              orbits ? " (orbit-reduced)" : "");
+  std::printf("%4s %4s %5s %11s %9s %10s %12s %14s %10s\n", "k", "d", "rho", "views", "orbits",
+              "pairs", "satisfiable", "search nodes", "wall ms");
   struct Row {
     int k, d, rho;
   };
   const Row rows[] = {{3, 2, 1}, {3, 2, 2}, {3, 2, 3}, {4, 3, 1},
                       {4, 3, 2}, {4, 3, 3}, {5, 4, 2}};
   for (const Row& row : rows) {
-    nbhd::ViewCatalogue cat;
-    std::vector<nbhd::CompatiblePair> pairs;
-    nbhd::CspResult result;
     benchjson::Record record;
-    record.instance = "views k=" + std::to_string(row.k) + " d=" + std::to_string(row.d) +
-                      " rho=" + std::to_string(row.rho);
+    record.instance = std::string("views k=") + std::to_string(row.k) +
+                      " d=" + std::to_string(row.d) + " rho=" + std::to_string(row.rho) +
+                      (orbits ? " orbits" : "");
     record.k = row.k;
     record.rounds = row.rho - 1;  // an rho-catalogue decides (rho-1)-round algorithms
     record.threads = threads;
-    record.wall_ns = benchjson::Harness::time_ns([&] {
-      cat = nbhd::enumerate_views(row.k, row.d, row.rho);
-      pairs = nbhd::compatible_pairs(cat);
-      result = nbhd::solve(cat, pairs, {.threads = threads});
-    });
-    record.views = cat.size();
-    record.pairs = static_cast<long long>(pairs.size());
+    long long views = 0, orbit_count = 0;
+    std::size_t pair_count = 0;
+    nbhd::CspResult result;
+    if (orbits) {
+      record.wall_ns = benchjson::Harness::time_ns([&] {
+        const nbhd::OrbitCatalogue cat = nbhd::enumerate_orbits(row.k, row.d, row.rho);
+        const auto pairs = nbhd::compatible_pairs(cat);
+        result = nbhd::solve(cat, pairs, {.threads = threads});
+        views = cat.view_count();
+        orbit_count = cat.orbit_count();
+        pair_count = pairs.size();
+      });
+      record.orbits = orbit_count;
+      record.orbit_reduction =
+          orbit_count > 0 ? static_cast<double>(views) / static_cast<double>(orbit_count) : 0.0;
+    } else {
+      record.wall_ns = benchjson::Harness::time_ns([&] {
+        const nbhd::ViewCatalogue cat = nbhd::enumerate_views(row.k, row.d, row.rho);
+        const auto pairs = nbhd::compatible_pairs(cat);
+        result = nbhd::solve(cat, pairs, {.threads = threads});
+        views = cat.size();
+        pair_count = pairs.size();
+      });
+    }
+    record.views = views;
+    record.pairs = static_cast<long long>(pair_count);
     record.csp_nodes = static_cast<long long>(result.nodes_explored);
-    std::printf("%4d %4d %5d %8d %10zu %12s %14llu %10.1f\n", row.k, row.d, row.rho, cat.size(),
-                pairs.size(), result.satisfiable ? "SAT" : "UNSAT",
-                static_cast<unsigned long long>(result.nodes_explored),
-                record.wall_ns / 1e6);
+    std::printf("%4d %4d %5d %11lld %9lld %10zu %12s %14llu %10.1f\n", row.k, row.d, row.rho,
+                views, orbit_count, pair_count, result.satisfiable ? "SAT" : "UNSAT",
+                static_cast<unsigned long long>(result.nodes_explored), record.wall_ns / 1e6);
+    harness.add(std::move(record));
+  }
+  // The k = 5, rho = 3 orbit census: materialisation throws the max_views
+  // guard (~2.1e10 views), the Burnside count is arithmetic.  This is the
+  // row the colour-symmetry quotient opens.
+  {
+    benchjson::Record record;
+    record.instance = "orbit census k=5 d=4 rho=3";
+    record.k = 5;
+    record.rounds = 2;
+    record.threads = threads;
+    nbhd::OrbitCensus census;
+    record.wall_ns = benchjson::Harness::time_ns([&] { census = nbhd::orbit_census(5, 4, 3); });
+    record.views = static_cast<long long>(census.views);
+    record.orbits = static_cast<long long>(census.orbits);
+    record.orbit_reduction = census.orbits > 0 ? census.views / census.orbits : 0.0;
+    std::printf("%4d %4d %5d %11lld %9lld %10s %12s %14s %10.1f  (census only)\n", 5, 4, 3,
+                record.views, record.orbits, "-", "-", "-", record.wall_ns / 1e6);
     harness.add(std::move(record));
   }
   std::printf("\n(UNSAT at rho <= k-1 is the *universal* form of Theorem 5: no (rho-1)-round\n"
               " algorithm exists at all; SAT at rho = k matches Lemma 1 — greedy's own\n"
-              " labelling is a solution)\n\n");
+              " labelling is a solution.  Orbit rows decide the same CSP from a ~k!-fold\n"
+              " smaller materialised catalogue; the census row needs no catalogue at all)\n\n");
 }
 
 void BM_EnumerateViews(benchmark::State& state) {
@@ -66,6 +107,20 @@ void BM_EnumerateViews(benchmark::State& state) {
 }
 BENCHMARK(BM_EnumerateViews)->Arg(2)->Arg(3)->Arg(4);
 
+void BM_EnumerateOrbits(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nbhd::enumerate_orbits(3, 2, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_EnumerateOrbits)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_OrbitCensusK5Rho3(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nbhd::orbit_census(5, 4, 3));
+  }
+}
+BENCHMARK(BM_OrbitCensusK5Rho3);
+
 void BM_CompatiblePairsK4Rho3(benchmark::State& state) {
   const nbhd::ViewCatalogue cat = nbhd::enumerate_views(4, 3, 3);
   for (auto _ : state) {
@@ -73,6 +128,14 @@ void BM_CompatiblePairsK4Rho3(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CompatiblePairsK4Rho3)->Unit(benchmark::kMillisecond);
+
+void BM_OrbitPairsK4Rho3(benchmark::State& state) {
+  const nbhd::OrbitCatalogue cat = nbhd::enumerate_orbits(4, 3, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nbhd::compatible_pairs(cat));
+  }
+}
+BENCHMARK(BM_OrbitPairsK4Rho3)->Unit(benchmark::kMillisecond);
 
 void BM_SolveCspK3(benchmark::State& state) {
   const nbhd::ViewCatalogue cat = nbhd::enumerate_views(3, 2, static_cast<int>(state.range(0)));
@@ -103,18 +166,21 @@ BENCHMARK(BM_SolveCspK5Rho2)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   dmm::benchjson::Harness harness("e17", argc, argv);
-  // Strip --threads before google-benchmark sees the arguments.
+  // Strip --threads / --orbits before google-benchmark sees the arguments.
   int threads = 1;
+  bool orbits = false;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--threads" && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
+    } else if (std::string(argv[i]) == "--orbits") {
+      orbits = true;
     } else {
       argv[kept++] = argv[i];
     }
   }
   argc = kept;
-  print_rows(harness, threads);
+  print_rows(harness, threads, orbits);
   if (!harness.smoke()) {
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -125,10 +125,16 @@ std::string to_json(const Record& record) {
     throw std::invalid_argument("bench_json: init_ms must be finite (instance '" +
                                 record.instance + "')");
   }
+  if (!std::isfinite(record.orbit_reduction)) {
+    throw std::invalid_argument("bench_json: orbit_reduction must be finite (instance '" +
+                                record.instance + "')");
+  }
   char wall[64];
   std::snprintf(wall, sizeof wall, "%.17g", record.wall_ns);
   char init[64];
   std::snprintf(init, sizeof init, "%.17g", record.init_ms);
+  char reduction[64];
+  std::snprintf(reduction, sizeof reduction, "%.17g", record.orbit_reduction);
   std::ostringstream out;
   out << "{\"instance\":\"" << escape(record.instance) << "\""
       << ",\"n\":" << record.n << ",\"m\":" << record.m << ",\"k\":" << record.k
@@ -137,7 +143,8 @@ std::string to_json(const Record& record) {
       << ",\"views\":" << record.views << ",\"pairs\":" << record.pairs
       << ",\"csp_nodes\":" << record.csp_nodes << ",\"memo_hits\":" << record.memo_hits
       << ",\"threads\":" << record.threads << ",\"init_ms\":" << init
-      << ",\"rss_bytes\":" << record.rss_bytes << "}";
+      << ",\"rss_bytes\":" << record.rss_bytes << ",\"orbits\":" << record.orbits
+      << ",\"orbit_reduction\":" << reduction << "}";
   return out.str();
 }
 
@@ -189,6 +196,12 @@ Record parse_record(const std::string& json) {
   in.expect(',');
   in.key("rss_bytes");
   r.rss_bytes = static_cast<long long>(in.number_value());
+  in.expect(',');
+  in.key("orbits");
+  r.orbits = static_cast<long long>(in.number_value());
+  in.expect(',');
+  in.key("orbit_reduction");
+  r.orbit_reduction = in.number_value();
   in.expect('}');
   return r;
 }
@@ -258,7 +271,7 @@ int Harness::write() const {
     std::fprintf(stderr, "bench_json: cannot write %s\n", path().c_str());
     return 2;
   }
-  out << "{\"schema\":\"dmm-bench-3\",\"experiment\":\"" << escape(experiment_)
+  out << "{\"schema\":\"dmm-bench-4\",\"experiment\":\"" << escape(experiment_)
       << "\",\"records\":[";
   for (std::size_t i = 0; i < records_.size(); ++i) {
     if (i) out << ",";

@@ -1,20 +1,364 @@
 #include "colsys/canon.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace dmm::colsys {
 
-std::size_t CanonicalStore::BytesHash::operator()(
-    const std::vector<std::uint8_t>& bytes) const noexcept {
-  // FNV-1a: the serialisations are short (tens to hundreds of bytes) and
-  // already high-entropy, so a simple streaming hash beats fancier mixing.
-  std::size_t h = 1469598103934665603ull;
-  for (const std::uint8_t b : bytes) {
-    h ^= b;
-    h *= 1099511628211ull;
+// ---------------------------------------------------------------------------
+// Colour permutations.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void require_orbit_k(int k, const char* what) {
+  if (k < 1 || k > kMaxOrbitColours) {
+    throw std::invalid_argument(std::string(what) + ": orbit machinery needs 1 <= k <= " +
+                                std::to_string(kMaxOrbitColours));
   }
-  return h;
 }
+
+}  // namespace
+
+ColourPerm identity_perm(int k) {
+  ColourPerm p(static_cast<std::size_t>(k) + 1);
+  for (int c = 0; c <= k; ++c) p[static_cast<std::size_t>(c)] = static_cast<Colour>(c);
+  return p;
+}
+
+ColourPerm compose_perm(const ColourPerm& a, const ColourPerm& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("compose_perm: mismatched k");
+  ColourPerm out(a.size());
+  out[0] = gk::kNoColour;
+  for (std::size_t c = 1; c < b.size(); ++c) out[c] = a[b[c]];
+  return out;
+}
+
+ColourPerm inverse_perm(const ColourPerm& p) {
+  ColourPerm out(p.size());
+  out[0] = gk::kNoColour;
+  for (std::size_t c = 1; c < p.size(); ++c) out[p[c]] = static_cast<Colour>(c);
+  return out;
+}
+
+std::vector<ColourPerm> all_perms(int k) {
+  require_orbit_k(k, "all_perms");
+  std::vector<Colour> images;
+  for (Colour c = 1; c <= k; ++c) images.push_back(c);
+  std::vector<ColourPerm> out;
+  do {
+    ColourPerm p(static_cast<std::size_t>(k) + 1, gk::kNoColour);
+    for (int c = 1; c <= k; ++c) p[static_cast<std::size_t>(c)] = images[static_cast<std::size_t>(c - 1)];
+    out.push_back(std::move(p));
+  } while (std::next_permutation(images.begin(), images.end()));
+  return out;
+}
+
+std::uint32_t perm_rank(const ColourPerm& p) {
+  // Lehmer code over the images p[1..k].
+  const int k = static_cast<int>(p.size()) - 1;
+  std::uint32_t rank = 0;
+  for (int i = 1; i <= k; ++i) {
+    std::uint32_t smaller = 0;
+    for (int j = i + 1; j <= k; ++j) {
+      if (p[static_cast<std::size_t>(j)] < p[static_cast<std::size_t>(i)]) ++smaller;
+    }
+    rank = rank * static_cast<std::uint32_t>(k - i + 1) + smaller;
+  }
+  return rank;
+}
+
+ColourPerm min_coset_rep(const ColourPerm& sigma, const std::vector<ColourPerm>& stab) {
+  if (stab.empty()) throw std::invalid_argument("min_coset_rep: empty stabiliser");
+  // Lexicographic order on the image sequence == Lehmer-rank order, and
+  // comparing ranks keeps this integer-only on the pair-index hot path.
+  ColourPerm best = compose_perm(sigma, stab.front());
+  std::uint32_t best_rank = perm_rank(best);
+  for (std::size_t i = 1; i < stab.size(); ++i) {
+    ColourPerm candidate = compose_perm(sigma, stab[i]);
+    const std::uint32_t rank = perm_rank(candidate);
+    if (rank < best_rank) {
+      best = std::move(candidate);
+      best_rank = rank;
+    }
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// SerialisedView.
+// ---------------------------------------------------------------------------
+
+SerialisedView::SerialisedView(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.empty()) throw std::invalid_argument("SerialisedView: empty buffer");
+  k_ = bytes[0];
+  if (k_ < 1) throw std::invalid_argument("SerialisedView: bad k byte");
+  // The format is prefix-free per node: [count][colours...][subtrees...] or
+  // the 0xff truncation marker.  Parse it with an explicit stack whose
+  // entries are node indices waiting for their subtrees.
+  std::size_t pos = 1;
+  struct Pending {
+    std::int32_t node;
+    std::int32_t remaining;  // children still to parse
+  };
+  std::vector<Pending> stack;
+  // Parse one node, attach it under `parent` (or as the root).
+  const auto parse_node = [&]() {
+    if (pos >= bytes.size()) throw std::invalid_argument("SerialisedView: truncated buffer");
+    const std::uint8_t head = bytes[pos++];
+    const std::int32_t node = static_cast<std::int32_t>(nodes_.size());
+    nodes_.push_back({});
+    if (head == 0xff) {
+      nodes_[static_cast<std::size_t>(node)].truncated = true;
+      return node;
+    }
+    const int count = head;
+    nodes_[static_cast<std::size_t>(node)].first_child =
+        static_cast<std::int32_t>(child_colours_.size());
+    nodes_[static_cast<std::size_t>(node)].child_count = count;
+    if (pos + static_cast<std::size_t>(count) > bytes.size()) {
+      throw std::invalid_argument("SerialisedView: truncated colour list");
+    }
+    for (int i = 0; i < count; ++i) {
+      const Colour c = bytes[pos++];
+      if (c < 1 || c > k_) throw std::invalid_argument("SerialisedView: colour out of range");
+      child_colours_.push_back(c);
+      child_nodes_.push_back(0);  // filled as the subtrees parse
+    }
+    if (count > 0) stack.push_back({node, count});
+    return node;
+  };
+  parse_node();  // the root
+  while (!stack.empty()) {
+    Pending& top = stack.back();
+    const std::int32_t parent = top.node;
+    const std::int32_t slot =
+        nodes_[static_cast<std::size_t>(parent)].child_count - top.remaining;
+    if (--top.remaining == 0) stack.pop_back();  // invalidates `top`
+    const std::int32_t child = parse_node();
+    child_nodes_[static_cast<std::size_t>(
+        nodes_[static_cast<std::size_t>(parent)].first_child + slot)] = child;
+  }
+  if (pos != bytes.size()) throw std::invalid_argument("SerialisedView: trailing bytes");
+}
+
+SerialisedView::SerialisedView(const ColourSystem& view, int radius)
+    : SerialisedView(view.serialize(radius)) {}
+
+void SerialisedView::serialise(const ColourPerm& pi, std::vector<std::uint8_t>& out) const {
+  if (static_cast<int>(pi.size()) != k_ + 1) {
+    throw std::invalid_argument("SerialisedView::serialise: permutation has wrong k");
+  }
+  out.push_back(static_cast<std::uint8_t>(k_));
+  std::vector<std::int32_t> stack{0};
+  // Scratch for the per-node (image colour, child) sort; degree ≤ k.
+  std::vector<std::pair<Colour, std::int32_t>> order;
+  while (!stack.empty()) {
+    const Node& node = nodes_[static_cast<std::size_t>(stack.back())];
+    stack.pop_back();
+    if (node.truncated) {
+      out.push_back(0xff);
+      continue;
+    }
+    out.push_back(static_cast<std::uint8_t>(node.child_count));
+    order.clear();
+    for (std::int32_t i = 0; i < node.child_count; ++i) {
+      const std::size_t slot = static_cast<std::size_t>(node.first_child + i);
+      order.emplace_back(pi[child_colours_[slot]], child_nodes_[slot]);
+    }
+    std::sort(order.begin(), order.end());
+    for (const auto& [c, child] : order) out.push_back(c);
+    for (auto it = order.rbegin(); it != order.rend(); ++it) stack.push_back(it->second);
+  }
+}
+
+std::vector<ColourPerm> SerialisedView::stabiliser() const {
+  std::vector<std::uint8_t> reference;
+  serialise(identity_perm(k_), reference);
+  std::vector<ColourPerm> out;
+  std::vector<std::uint8_t> buf;
+  for (ColourPerm& pi : all_perms(k_)) {
+    buf.clear();
+    serialise(pi, buf);
+    if (buf == reference) out.push_back(std::move(pi));
+  }
+  return out;
+}
+
+/// Branch-and-bound minimisation state.  The emission mirrors serialise():
+/// a DFS over the parsed tree, children visited in ascending image order.
+/// Colour images are assigned lazily: the first node whose child colours
+/// include unassigned ones forces their image *set* (the smallest unused
+/// values — any other set emits a lexicographically larger sorted list at
+/// that very node), and only the assignment *within* the set branches.
+/// Every emitted byte is compared against the incumbent best; a byte above
+/// the incumbent prunes the whole assignment subtree.
+struct SerialisedView::Canon {
+  const SerialisedView& t;
+  int k;
+  std::vector<std::uint8_t> cur;
+  std::vector<std::uint8_t> best;
+  bool have_best = false;
+  std::uint64_t best_generation = 0;
+  ColourPerm best_perm;
+  ColourPerm perm;              // colour → image, kNoColour = unassigned
+  std::vector<char> value_used;  // image → taken
+  // 0: cur is byte-equal to best's prefix; 1: cur is already strictly
+  // smaller (no more comparisons needed on this branch).
+  int state = 0;
+
+  explicit Canon(const SerialisedView& view)
+      : t(view),
+        k(view.k()),
+        perm(static_cast<std::size_t>(view.k()) + 1, gk::kNoColour),
+        value_used(static_cast<std::size_t>(view.k()) + 1, 0) {}
+
+  bool emit(std::uint8_t b) {
+    if (have_best && state == 0) {
+      const std::uint8_t incumbent = best[cur.size()];
+      if (b > incumbent) return false;
+      if (b < incumbent) state = 1;
+    }
+    cur.push_back(b);
+    return true;
+  }
+
+  void run() {
+    if (!emit(static_cast<std::uint8_t>(k))) return;  // never prunes (no best yet)
+    step({0});
+    // Complete the witness over colours that never appear in the tree:
+    // unused images to unassigned colours, both ascending (deterministic,
+    // and irrelevant to the bytes).
+    std::vector<char> taken(static_cast<std::size_t>(k) + 1, 0);
+    for (int c = 1; c <= k; ++c) taken[best_perm[static_cast<std::size_t>(c)]] = 1;
+    Colour next = 1;
+    for (int c = 1; c <= k; ++c) {
+      if (best_perm[static_cast<std::size_t>(c)] != gk::kNoColour) continue;
+      while (taken[next]) ++next;
+      best_perm[static_cast<std::size_t>(c)] = next;
+      taken[next] = 1;
+    }
+  }
+
+  /// Processes the pending DFS stack (top = next node) to completion or
+  /// prune.  Branching copies the stack so each assignment explores the
+  /// full remaining traversal.
+  void step(std::vector<std::int32_t> stack) {
+    std::vector<std::pair<Colour, std::int32_t>> order;
+    while (!stack.empty()) {
+      const Node& node = t.nodes_[static_cast<std::size_t>(stack.back())];
+      stack.pop_back();
+      if (node.truncated) {
+        if (!emit(0xff)) return;
+        continue;
+      }
+      if (!emit(static_cast<std::uint8_t>(node.child_count))) return;
+      // Partition this node's child colours into assigned and unassigned.
+      std::vector<Colour> unassigned;
+      for (std::int32_t i = 0; i < node.child_count; ++i) {
+        const Colour c =
+            t.child_colours_[static_cast<std::size_t>(node.first_child + i)];
+        if (perm[c] == gk::kNoColour) unassigned.push_back(c);
+      }
+      if (unassigned.empty()) {
+        order.clear();
+        for (std::int32_t i = 0; i < node.child_count; ++i) {
+          const std::size_t slot = static_cast<std::size_t>(node.first_child + i);
+          order.emplace_back(perm[t.child_colours_[slot]], t.child_nodes_[slot]);
+        }
+        std::sort(order.begin(), order.end());
+        bool pruned = false;
+        for (const auto& [c, child] : order) {
+          if (!emit(c)) {
+            pruned = true;
+            break;
+          }
+        }
+        if (pruned) return;
+        for (auto it = order.rbegin(); it != order.rend(); ++it) stack.push_back(it->second);
+        continue;
+      }
+      // Branch point.  The image set is forced: the smallest unused values.
+      std::sort(unassigned.begin(), unassigned.end());
+      std::vector<Colour> images;
+      for (Colour v = 1; static_cast<int>(v) <= k &&
+                         images.size() < unassigned.size(); ++v) {
+        if (!value_used[v]) images.push_back(v);
+      }
+      const std::size_t saved_len = cur.size();
+      const int saved_state = state;
+      const std::uint64_t saved_generation = best_generation;
+      do {
+        for (std::size_t i = 0; i < unassigned.size(); ++i) {
+          perm[unassigned[i]] = images[i];
+          value_used[images[i]] = 1;
+        }
+        std::vector<std::int32_t> continuation = stack;
+        // Re-enter this node with its colours now assigned: emission falls
+        // into the unassigned.empty() path above.  The count byte is
+        // already out, so hand step() a tree position just past it — done
+        // by emitting the colour list here and pushing the children.
+        order.clear();
+        for (std::int32_t i = 0; i < node.child_count; ++i) {
+          const std::size_t slot = static_cast<std::size_t>(node.first_child + i);
+          order.emplace_back(perm[t.child_colours_[slot]], t.child_nodes_[slot]);
+        }
+        std::sort(order.begin(), order.end());
+        bool pruned = false;
+        for (const auto& [c, child] : order) {
+          if (!emit(c)) {
+            pruned = true;
+            break;
+          }
+        }
+        if (!pruned) {
+          for (auto it = order.rbegin(); it != order.rend(); ++it) {
+            continuation.push_back(it->second);
+          }
+          step(std::move(continuation));
+        }
+        // Restore the emission state for the next assignment.
+        cur.resize(saved_len);
+        state = best_generation == saved_generation ? saved_state : 0;
+        for (std::size_t i = 0; i < unassigned.size(); ++i) {
+          perm[unassigned[i]] = gk::kNoColour;
+          value_used[images[i]] = 0;
+        }
+      } while (std::next_permutation(images.begin(), images.end()));
+      return;  // every continuation ran inside the loop
+    }
+    // Complete serialisation.  state == 0 with a best means byte-equal:
+    // keep the earlier witness.
+    if (!have_best || state == 1) {
+      best = cur;
+      best_perm = perm;
+      have_best = true;
+      ++best_generation;
+      state = 0;  // cur now equals best's prefix by definition
+    }
+  }
+};
+
+void SerialisedView::canonicalise(std::vector<std::uint8_t>& out, ColourPerm* witness) const {
+  require_orbit_k(k_, "SerialisedView::canonicalise");
+  Canon canon(*this);
+  canon.run();
+  out.insert(out.end(), canon.best.begin(), canon.best.end());
+  if (witness) *witness = std::move(canon.best_perm);
+}
+
+void orbit_canonical_bytes(const ColourSystem& view, int radius, std::vector<std::uint8_t>& out,
+                           ColourPerm* witness) {
+  SerialisedView(view, radius).canonicalise(out, witness);
+}
+
+std::vector<ColourPerm> serialisation_stabiliser(const std::vector<std::uint8_t>& bytes) {
+  return SerialisedView(bytes).stabiliser();
+}
+
+// ---------------------------------------------------------------------------
+// CanonicalStore.
+// ---------------------------------------------------------------------------
 
 ViewId CanonicalStore::intern(const std::vector<std::uint8_t>& bytes) {
   const auto [it, inserted] = index_.try_emplace(bytes, static_cast<ViewId>(keys_.size()));
@@ -29,6 +373,29 @@ ViewId CanonicalStore::intern(const ColourSystem& view, int radius) {
   scratch_.clear();
   view.serialize_into(radius, scratch_);
   return intern(scratch_);
+}
+
+OrbitId CanonicalStore::intern_orbit(const ColourSystem& view, int radius, ColourPerm* witness) {
+  orbit_scratch_.clear();
+  orbit_canonical_bytes(view, radius, orbit_scratch_, witness);
+  return intern_orbit_canonical(orbit_scratch_);
+}
+
+OrbitId CanonicalStore::intern_orbit_canonical(const std::vector<std::uint8_t>& canonical_bytes) {
+  const auto [it, inserted] =
+      orbit_index_.try_emplace(canonical_bytes, static_cast<OrbitId>(orbit_keys_.size()));
+  if (inserted) {
+    orbit_keys_.push_back(&it->first);
+    key_bytes_ += canonical_bytes.size();
+  }
+  return it->second;
+}
+
+const std::vector<std::uint8_t>& CanonicalStore::orbit_bytes(OrbitId id) const {
+  if (id < 0 || id >= orbit_count()) {
+    throw std::out_of_range("CanonicalStore::orbit_bytes: bad id");
+  }
+  return *orbit_keys_[static_cast<std::size_t>(id)];
 }
 
 ViewId CanonicalStore::find(const std::vector<std::uint8_t>& bytes) const {
@@ -46,8 +413,8 @@ std::size_t CanonicalStore::resident_bytes() const noexcept {
   // bucket array + the id→key pointer table.  An estimate, not an audit.
   constexpr std::size_t kNodeOverhead =
       sizeof(std::vector<std::uint8_t>) + sizeof(ViewId) + 2 * sizeof(void*);
-  return key_bytes_ + keys_.size() * (kNodeOverhead + sizeof(void*)) +
-         index_.bucket_count() * sizeof(void*);
+  return key_bytes_ + (keys_.size() + orbit_keys_.size()) * (kNodeOverhead + sizeof(void*)) +
+         (index_.bucket_count() + orbit_index_.bucket_count()) * sizeof(void*);
 }
 
 }  // namespace dmm::colsys

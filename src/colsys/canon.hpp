@@ -1,4 +1,5 @@
-// Hash-consed canonical forms for rooted coloured trees.
+// Hash-consed canonical forms for rooted coloured trees, and their
+// quotient under global colour permutations.
 //
 // Everything on the lower-bound side of the library (the Remark-2 view
 // catalogues, the compatible-pair index, the §3 adversary's evaluator memo)
@@ -13,6 +14,19 @@
 // the root's c-edge" and "the view minus its c-branch" — expressed as
 // dense (ViewId, Colour) → ViewId maps instead of repeated
 // rerooted/pruned/restricted tree copies.
+//
+// Colour-permutation orbits.  Every structure above is also acted on by
+// S_k relabelling the colours globally (π·V renames each edge colour c to
+// π(c)); catalogues, pair indices and memo key sets are closed under that
+// action, so they carry ~k! copies of every structure.  The orbit layer
+// quotients them: the *orbit-canonical form* of a view is the
+// lexicographically smallest serialisation over all k! relabellings, found
+// by an incremental branch-and-bound (colour images are assigned lazily in
+// emission order and pruned against the incumbent — not a literal k! loop),
+// and CanonicalStore::intern_orbit hands out dense OrbitIds for it.  The
+// witness permutation (the relabelling that realises the minimum) is what
+// lets callers lift per-colour data between a raw view and its orbit
+// representative.
 #pragma once
 
 #include <cstdint>
@@ -28,7 +42,113 @@ namespace dmm::colsys {
 /// catalogue's view order have ViewId == view index.
 using ViewId = std::int32_t;
 
+/// Dense id of an interned *orbit-canonical* serialisation (a colour
+/// permutation orbit of views).  Lives in its own id space.
+using OrbitId = std::int32_t;
+
 inline constexpr ViewId kNullView = -1;
+
+// ---------------------------------------------------------------------------
+// Colour permutations (elements of S_k acting on the colour alphabet).
+// ---------------------------------------------------------------------------
+
+/// perm[c] is the image of colour c for c ∈ [1, k]; perm[0] == kNoColour
+/// always (⊥ is fixed by every relabelling), so perm.size() == k + 1.
+using ColourPerm = std::vector<Colour>;
+
+/// Largest k the orbit machinery accepts: stabiliser and coset sweeps
+/// enumerate S_k, so k! must stay small (8! = 40320).
+inline constexpr int kMaxOrbitColours = 8;
+
+ColourPerm identity_perm(int k);
+/// (a ∘ b)(c) = a(b(c)).
+ColourPerm compose_perm(const ColourPerm& a, const ColourPerm& b);
+ColourPerm inverse_perm(const ColourPerm& p);
+/// All k! permutations in lexicographic order.  Requires k ≤ kMaxOrbitColours.
+std::vector<ColourPerm> all_perms(int k);
+/// Lexicographic rank (Lehmer code) of p among all_perms(k); < k!.
+std::uint32_t perm_rank(const ColourPerm& p);
+/// The lexicographically smallest element of the left coset σ·H, where H is
+/// given by its element list (must contain the identity).
+ColourPerm min_coset_rep(const ColourPerm& sigma, const std::vector<ColourPerm>& stab);
+
+// ---------------------------------------------------------------------------
+// Orbit-canonical serialisations.
+// ---------------------------------------------------------------------------
+
+/// A parsed canonical serialisation (the byte format emitted by
+/// ColourSystem::serialize): a rooted tree whose nodes carry sorted child
+/// colour lists, with explicit leaf-by-truncation markers.  Parsing once
+/// makes the per-permutation work (re-emission, stabiliser checks, the
+/// branch-and-bound minimisation) a traversal of flat arrays instead of a
+/// ColourSystem surgery.
+class SerialisedView {
+ public:
+  /// Parses serialize()-format bytes.  Throws std::invalid_argument on a
+  /// malformed buffer.
+  explicit SerialisedView(const std::vector<std::uint8_t>& bytes);
+  /// Equivalent to SerialisedView(view.serialize(radius)) without the
+  /// intermediate buffer.
+  SerialisedView(const ColourSystem& view, int radius);
+
+  int k() const noexcept { return k_; }
+  int node_count() const noexcept { return static_cast<int>(nodes_.size()); }
+
+  /// Appends the serialisation of the π-relabelled tree to `out` — the
+  /// bytes of permuted(π).serialize(radius), children re-sorted under π.
+  void serialise(const ColourPerm& pi, std::vector<std::uint8_t>& out) const;
+
+  /// Appends the orbit-canonical bytes (the lexicographic minimum of
+  /// serialise(π) over all π ∈ S_k) to `out`.  `witness`, if non-null,
+  /// receives one minimising π.  Branch-and-bound: colour images are
+  /// assigned greedily in emission order (the first node that shows an
+  /// unassigned colour set must receive the smallest unused images), and
+  /// whole assignment subtrees are pruned the moment a byte exceeds the
+  /// incumbent — for trees whose top levels pin the permutation this visits
+  /// a tiny fraction of the k! relabellings.
+  void canonicalise(std::vector<std::uint8_t>& out, ColourPerm* witness = nullptr) const;
+
+  /// All π with serialise(π) == serialise(id): the stabiliser of the tree
+  /// in S_k.  Always contains the identity.
+  std::vector<ColourPerm> stabiliser() const;
+
+ private:
+  struct Node {
+    std::int32_t first_child = 0;  // index into child_colours_/child_nodes_
+    std::int32_t child_count = 0;
+    bool truncated = false;  // leaf-by-truncation: emits 0xff, no child list
+  };
+
+  struct Canon;  // branch-and-bound state (canon.cpp)
+
+  int k_ = 0;
+  std::vector<Node> nodes_;  // node 0 is the root
+  std::vector<Colour> child_colours_;
+  std::vector<std::int32_t> child_nodes_;
+};
+
+/// Convenience wrappers over SerialisedView for one-shot callers.
+void orbit_canonical_bytes(const ColourSystem& view, int radius, std::vector<std::uint8_t>& out,
+                           ColourPerm* witness = nullptr);
+std::vector<ColourPerm> serialisation_stabiliser(const std::vector<std::uint8_t>& bytes);
+
+// ---------------------------------------------------------------------------
+// Interning.
+// ---------------------------------------------------------------------------
+
+/// FNV-1a over serialisation bytes — the shared hasher for every map keyed
+/// on canonical serialisations (the keys are short and high-entropy, so a
+/// simple streaming hash beats fancier mixing).
+struct SerialisationHash {
+  std::size_t operator()(const std::vector<std::uint8_t>& bytes) const noexcept {
+    std::size_t h = 1469598103934665603ull;
+    for (const std::uint8_t b : bytes) {
+      h ^= b;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
 
 class CanonicalStore {
  public:
@@ -47,21 +167,41 @@ class CanonicalStore {
 
   std::int32_t size() const noexcept { return static_cast<std::int32_t>(keys_.size()); }
 
+  /// Orbit interning: canonises view[radius] modulo colour permutation and
+  /// interns the orbit-canonical bytes into a separate dense OrbitId space.
+  /// `witness`, if non-null, receives a π with π·view == representative.
+  /// Requires view.k() ≤ kMaxOrbitColours.
+  OrbitId intern_orbit(const ColourSystem& view, int radius, ColourPerm* witness = nullptr);
+
+  /// Interns bytes that are already orbit-canonical (callers that ran the
+  /// canoniser themselves, e.g. the evaluator's serialise-then-canonise
+  /// fast path).
+  OrbitId intern_orbit_canonical(const std::vector<std::uint8_t>& canonical_bytes);
+
+  /// The orbit-canonical bytes of an orbit id.
+  const std::vector<std::uint8_t>& orbit_bytes(OrbitId id) const;
+
+  std::int32_t orbit_count() const noexcept {
+    return static_cast<std::int32_t>(orbit_keys_.size());
+  }
+
   /// Approximate heap footprint: interned key bytes plus index/bucket
-  /// overhead.  Reported by AdversaryStats so memo growth is observable.
+  /// overhead (both id spaces).  Reported by AdversaryStats so memo growth
+  /// is observable.
   std::size_t resident_bytes() const noexcept;
 
  private:
-  struct BytesHash {
-    std::size_t operator()(const std::vector<std::uint8_t>& bytes) const noexcept;
-  };
+  using Index = std::unordered_map<std::vector<std::uint8_t>, ViewId, SerialisationHash>;
 
   // Keys live in the node-based map; keys_ holds stable pointers to them in
   // id order, so each serialisation is stored exactly once.
-  std::unordered_map<std::vector<std::uint8_t>, ViewId, BytesHash> index_;
+  Index index_;
   std::vector<const std::vector<std::uint8_t>*> keys_;
+  Index orbit_index_;
+  std::vector<const std::vector<std::uint8_t>*> orbit_keys_;
   std::size_t key_bytes_ = 0;
   std::vector<std::uint8_t> scratch_;
+  std::vector<std::uint8_t> orbit_scratch_;
 };
 
 /// Dense (ViewId, Colour) → ViewId memo for per-colour root transforms.

@@ -251,6 +251,36 @@ ColourSystem ColourSystem::grafted(Colour c, const ColourSystem& other,
   return out;
 }
 
+ColourSystem ColourSystem::permuted(const std::vector<Colour>& perm,
+                                    std::vector<NodeId>* old_to_new) const {
+  if (static_cast<int>(perm.size()) != k_ + 1) {
+    throw std::invalid_argument("ColourSystem::permuted: perm must have size k + 1");
+  }
+  ColourSystem out(k_, valid_radius_);
+  std::vector<NodeId> map(nodes_.size(), kNullNode);
+  map[root()] = out.root();
+  // BFS, visiting each node's children in *relabelled* colour order so the
+  // output's node numbering is its own canonical BFS numbering.
+  std::deque<NodeId> queue{root()};
+  std::vector<std::pair<Colour, NodeId>> order;
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    order.clear();
+    for (Colour c = 1; c <= k_; ++c) {
+      const NodeId u = children_[child_slot(v, c)];
+      if (u != kNullNode) order.emplace_back(perm[c], u);
+    }
+    std::sort(order.begin(), order.end());
+    for (const auto& [c, u] : order) {
+      map[u] = out.add_child(map[v], c);
+      queue.push_back(u);
+    }
+  }
+  if (old_to_new) *old_to_new = std::move(map);
+  return out;
+}
+
 ColourSystem ColourSystem::ball(NodeId v, int radius) const {
   check(v);
   if (radius < 0) throw std::invalid_argument("ColourSystem::ball: negative radius");

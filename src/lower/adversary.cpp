@@ -30,6 +30,7 @@ std::string LowerBoundResult::summary() const {
   out += " [" + std::to_string(stats.evaluations) + " evaluations, " +
          std::to_string(stats.memo_hits) + " memo hits, " + std::to_string(stats.memo_entries) +
          " memo entries, " + std::to_string(stats.memo_bytes / 1024) + " KiB resident";
+  if (stats.orbits > 0) out += ", " + std::to_string(stats.orbits) + " orbits";
   if (stats.threads > 1) out += ", " + std::to_string(stats.threads) + " threads";
   out += "]";
   return out;
@@ -110,12 +111,13 @@ LowerBoundResult run_adversary(int k, const local::LocalAlgorithm& algorithm,
   result.k = k;
   result.algorithm = algorithm.name();
 
-  Evaluator eval(algorithm, options.memoise, options.threads);
+  Evaluator eval(algorithm, options.memoise, options.threads, options.orbits);
   auto finish = [&](std::variant<TightPair, Certificate, Inconclusive> outcome) {
     result.outcome = std::move(outcome);
     result.stats.evaluations = eval.evaluations();
     result.stats.memo_hits = eval.memo_hits();
     result.stats.memo_entries = eval.memo_entries();
+    result.stats.orbits = eval.orbits();
     result.stats.memo_bytes = eval.memo_bytes();
     result.stats.threads = eval.threads();
     return result;

@@ -48,7 +48,8 @@ struct TightPair {
 struct AdversaryStats {
   std::uint64_t evaluations = 0;  // distinct views handed to A
   std::uint64_t memo_hits = 0;
-  std::uint64_t memo_entries = 0;  // distinct canonical views interned
+  std::uint64_t memo_entries = 0;  // stored answers (distinct views / members)
+  std::uint64_t orbits = 0;        // distinct view orbits interned (orbit memo only)
   std::size_t memo_bytes = 0;      // approximate resident size of the memo
   int threads = 1;                 // evaluator worker pool size used
   int max_template_nodes = 0;
@@ -85,6 +86,10 @@ struct AdversaryOptions {
   /// but requires the algorithm's evaluate() to tolerate concurrent const
   /// calls.
   int threads = 1;
+  /// Key the evaluator memo by colour-permutation orbit of the view (the
+  /// interned byte store shrinks ~k!-fold; outcomes are bit-identical —
+  /// see Evaluator).  Requires k ≤ colsys::kMaxOrbitColours.
+  bool orbits = false;
 };
 
 /// Runs the §3 construction.  Requires k ≥ 3; see run_lemma4 for k = 2.

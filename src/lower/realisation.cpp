@@ -78,8 +78,86 @@ void serialize_realisation_into(const Template& tmpl, NodeId t, int radius,
   }
 }
 
+Colour Evaluator::evaluate_orbit(const Template& tmpl, NodeId t,
+                                 std::vector<std::uint8_t>& buf) {
+  buf.clear();
+  serialize_realisation_into(tmpl, t, radius(), buf);
+  // Canonise outside any lock (pure function of the bytes).  rep = w·V.
+  std::vector<std::uint8_t> canonical;
+  colsys::ColourPerm witness;
+  colsys::SerialisedView(buf).canonicalise(canonical, &witness);
+  const colsys::ColourPerm inverse_witness = colsys::inverse_perm(witness);
+  const int k = tmpl.k();
+  const bool equivariant = algorithm_.colour_equivariant();
+  const bool locking = threads_ > 1;
+  colsys::OrbitId id;
+  std::uint32_t member = 0;
+  bool need_stabiliser = false;
+  {
+    std::unique_lock<std::mutex> lock(*mutex_, std::defer_lock);
+    if (locking) lock.lock();
+    id = store_.intern_orbit_canonical(canonical);
+    if (static_cast<std::size_t>(id) >= orbit_memo_.size()) {
+      orbit_memo_.resize(static_cast<std::size_t>(store_.orbit_count()));
+    }
+    OrbitEntry& entry = orbit_memo_[static_cast<std::size_t>(id)];
+    if (equivariant) {
+      if (entry.rep_answer != kUnknownOutput) {
+        ++memo_hits_;
+        // Stored is A(rep) = w(A(V)), so A(V) = w⁻¹(stored); ⊥ is fixed.
+        const Colour stored = entry.rep_answer;
+        return stored <= static_cast<Colour>(k) ? inverse_witness[stored] : stored;
+      }
+    } else {
+      need_stabiliser = entry.stabiliser.empty();
+    }
+  }
+  if (need_stabiliser) {
+    // k! serialisations — a pure function of the canonical bytes, so run
+    // it outside the critical section and let the first finisher install
+    // (double-checked: a racing thread's identical result is dropped).
+    std::vector<colsys::ColourPerm> stabiliser = colsys::serialisation_stabiliser(canonical);
+    std::unique_lock<std::mutex> lock(*mutex_, std::defer_lock);
+    if (locking) lock.lock();
+    OrbitEntry& entry = orbit_memo_[static_cast<std::size_t>(id)];
+    if (entry.stabiliser.empty()) entry.stabiliser = std::move(stabiliser);
+  }
+  if (!equivariant) {
+    std::unique_lock<std::mutex> lock(*mutex_, std::defer_lock);
+    if (locking) lock.lock();
+    OrbitEntry& entry = orbit_memo_[static_cast<std::size_t>(id)];
+    // The member's identity inside its orbit: the left coset w⁻¹·Stab.
+    member = colsys::perm_rank(colsys::min_coset_rep(inverse_witness, entry.stabiliser));
+    const auto it = entry.answers.find(member);
+    if (it != entry.answers.end()) {
+      ++memo_hits_;
+      return it->second;
+    }
+  }
+  // Miss: materialise the ball and consult the algorithm outside the lock
+  // (two threads may race on the same view; both compute the same answer).
+  const Colour out = algorithm_.evaluate(realisation_ball(tmpl, t, radius()));
+  {
+    std::unique_lock<std::mutex> lock(*mutex_, std::defer_lock);
+    if (locking) lock.lock();
+    OrbitEntry& entry = orbit_memo_[static_cast<std::size_t>(id)];
+    if (equivariant) {
+      if (entry.rep_answer == kUnknownOutput) {
+        ++evaluations_;
+        ++answers_;
+        entry.rep_answer = out <= static_cast<Colour>(k) ? witness[out] : out;
+      }
+    } else if (entry.answers.try_emplace(member, out).second) {
+      ++evaluations_;
+      ++answers_;
+    }
+  }
+  return out;
+}
+
 Colour Evaluator::evaluate_interned(const Template& tmpl, NodeId t,
                                     std::vector<std::uint8_t>& buf) {
+  if (orbit_) return evaluate_orbit(tmpl, t, buf);
   buf.clear();
   serialize_realisation_into(tmpl, t, radius(), buf);
   const bool locking = threads_ > 1;

@@ -237,19 +237,43 @@ bool search(const Problem& problem, SearchState& state, Mask first_value_mask,
   return false;
 }
 
-Problem build_problem(const ViewCatalogue& catalogue, const std::vector<CompatiblePair>& pairs) {
-  Problem problem;
-  problem.n = catalogue.size();
-  problem.base_domains.resize(static_cast<std::size_t>(problem.n));
-  for (int v = 0; v < problem.n; ++v) {
-    // (M1) domain: ⊥ plus the root's incident colours.
+/// (M1) domains: ⊥ plus the root's incident colours, per view.
+std::vector<Mask> base_domains(const ViewCatalogue& catalogue) {
+  std::vector<Mask> domains(static_cast<std::size_t>(catalogue.size()));
+  for (int v = 0; v < catalogue.size(); ++v) {
     Mask dom = Mask{1};
     for (Colour c : catalogue.views[static_cast<std::size_t>(v)].colours_at(
              colsys::ColourSystem::root())) {
       dom |= Mask{1} << c;
     }
-    problem.base_domains[static_cast<std::size_t>(v)] = dom;
+    domains[static_cast<std::size_t>(v)] = dom;
   }
+  return domains;
+}
+
+/// Same for the members of an orbit catalogue, read off the representatives
+/// through the coset witnesses: member (o, σ) is σ·rep, so its root colours
+/// are the σ-images of the representative's — no member tree needed.
+std::vector<Mask> base_domains(const OrbitCatalogue& catalogue) {
+  std::vector<Mask> domains;
+  domains.reserve(static_cast<std::size_t>(catalogue.view_count()));
+  for (int o = 0; o < catalogue.orbit_count(); ++o) {
+    const std::vector<Colour> roots = catalogue.reps[static_cast<std::size_t>(o)].colours_at(
+        colsys::ColourSystem::root());
+    for (const ColourPerm& sigma : catalogue.cosets[static_cast<std::size_t>(o)]) {
+      Mask dom = Mask{1};
+      for (Colour c : roots) dom |= Mask{1} << sigma[c];
+      domains.push_back(dom);
+    }
+  }
+  return domains;
+}
+
+Problem build_problem(std::vector<Mask> domains, int k,
+                      const std::vector<CompatiblePair>& pairs) {
+  Problem problem;
+  problem.n = static_cast<int>(domains.size());
+  problem.base_domains = std::move(domains);
   // CSR arc lists.  Self pairs (a view compatible with itself along c) are
   // a unary constraint — (M3) bans ⊥ — applied to the domain directly.
   std::vector<std::size_t> degree(static_cast<std::size_t>(problem.n), 0);
@@ -275,17 +299,13 @@ Problem build_problem(const ViewCatalogue& catalogue, const std::vector<Compatib
   }
 
   Mask all_colours = 0;
-  for (Colour c = 1; c <= catalogue.k; ++c) all_colours |= Mask{1} << c;
+  for (Colour c = 1; c <= k; ++c) all_colours |= Mask{1} << c;
   problem.wiped_out = !arc_consistency(problem, all_colours);
   return problem;
 }
 
-}  // namespace
-
-CspResult solve(const ViewCatalogue& catalogue, const std::vector<CompatiblePair>& pairs,
-                const CspOptions& options) {
-  if (catalogue.k + 1 >= 32) throw std::invalid_argument("solve: k too large for mask domains");
-  Problem problem = build_problem(catalogue, pairs);
+/// The search driver shared by the raw and the orbit-mode entry points.
+CspResult solve_problem(const Problem& problem, const CspOptions& options) {
   CspResult result;
   if (problem.wiped_out) return result;  // UNSAT by propagation alone
 
@@ -364,7 +384,27 @@ CspResult solve(const ViewCatalogue& catalogue, const std::vector<CompatiblePair
   return result;
 }
 
+}  // namespace
+
+CspResult solve(const ViewCatalogue& catalogue, const std::vector<CompatiblePair>& pairs,
+                const CspOptions& options) {
+  if (catalogue.k + 1 >= 32) throw std::invalid_argument("solve: k too large for mask domains");
+  const Problem problem = build_problem(base_domains(catalogue), catalogue.k, pairs);
+  return solve_problem(problem, options);
+}
+
 CspResult solve(const ViewCatalogue& catalogue, const CspOptions& options) {
+  return solve(catalogue, compatible_pairs(catalogue), options);
+}
+
+CspResult solve(const OrbitCatalogue& catalogue, const std::vector<CompatiblePair>& pairs,
+                const CspOptions& options) {
+  if (catalogue.k + 1 >= 32) throw std::invalid_argument("solve: k too large for mask domains");
+  const Problem problem = build_problem(base_domains(catalogue), catalogue.k, pairs);
+  return solve_problem(problem, options);
+}
+
+CspResult solve(const OrbitCatalogue& catalogue, const CspOptions& options) {
   return solve(catalogue, compatible_pairs(catalogue), options);
 }
 

@@ -51,6 +51,21 @@ CspResult solve(const ViewCatalogue& catalogue, const CspOptions& options = {});
 CspResult solve(const ViewCatalogue& catalogue, const std::vector<CompatiblePair>& pairs,
                 const CspOptions& options = {});
 
+/// Orbit-mode solve: decides the SAME CSP as solve(expand_catalogue(c))
+/// — every member view is a variable; the catalogue's symmetry quotient is
+/// NOT applied to the solution space (a satisfiable instance need not have
+/// a colour-symmetric labelling; see docs/lowerbound.md).  Domains are read
+/// off the orbit representatives through the coset witnesses, so no member
+/// tree is materialised.  Because the orbit catalogue is canonically
+/// ordered, verdict *and* nodes_explored are invariant under any global
+/// colour relabelling of the original catalogue.  The labelling is indexed
+/// by member (orbit, coset) order.
+CspResult solve(const OrbitCatalogue& catalogue, const CspOptions& options = {});
+
+/// Same, reusing an already-computed compatible_pairs(catalogue) result.
+CspResult solve(const OrbitCatalogue& catalogue, const std::vector<CompatiblePair>& pairs,
+                const CspOptions& options = {});
+
 /// The labelling induced by a concrete algorithm (evaluating it on every
 /// view).  The algorithm's running time must be rho-1.
 std::vector<Colour> induced_labelling(const ViewCatalogue& catalogue,

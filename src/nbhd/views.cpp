@@ -1,9 +1,14 @@
 #include "nbhd/views.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <deque>
+#include <functional>
+#include <limits>
+#include <map>
 #include <stdexcept>
+#include <tuple>
 #include <unordered_map>
 
 #include "colsys/canon.hpp"
@@ -45,15 +50,16 @@ void subsets(int k, int count, Colour forced, std::vector<std::vector<Colour>>& 
   }
 }
 
-}  // namespace
-
-ViewCatalogue enumerate_views(int k, int d, int rho, int max_views) {
+/// Replays every choice vector of the catalogue into its tree, in the
+/// canonical order (root digit most significant; within a level, lower BFS
+/// indices cycle faster; deeper levels cycle faster than shallower ones),
+/// and hands each view to `fn`.  Throws before building anything when the
+/// closed-form count exceeds `max_views`.  Shared by the raw and the orbit
+/// enumeration so the two walk bit-identical view sequences.
+void for_each_view(int k, int d, int rho, int max_views,
+                   const std::function<void(ColourSystem&&)>& fn) {
   if (d < 1 || d > k) throw std::invalid_argument("enumerate_views: need 1 <= d <= k");
   if (rho < 1) throw std::invalid_argument("enumerate_views: need rho >= 1");
-  ViewCatalogue catalogue;
-  catalogue.k = k;
-  catalogue.d = d;
-  catalogue.rho = rho;
 
   // The choice structure of a complete d-regular depth-rho view: the root
   // picks one of C(k, d) colour sets; every deeper internal node picks one
@@ -99,10 +105,6 @@ ViewCatalogue enumerate_views(int k, int d, int rho, int max_views) {
   }
   const std::size_t count = static_cast<std::size_t>(total);
 
-  // Replay every choice vector into a tree, in the canonical order: the
-  // root digit is most significant; within a level, lower BFS indices cycle
-  // faster; deeper levels cycle faster than shallower ones.
-  colsys::CanonicalStore store;
   std::vector<std::size_t> choices(internal_nodes, 0);  // BFS layout, root first
   std::vector<std::size_t> level_offset(static_cast<std::size_t>(rho), 0);
   for (int t = 1; t < rho; ++t) {
@@ -115,7 +117,6 @@ ViewCatalogue enumerate_views(int k, int d, int rho, int max_views) {
     int depth;
   };
   std::deque<Slot> queue;
-  catalogue.views.reserve(count);
   for (std::size_t n = 0; n < count; ++n) {
     std::size_t rem = n;
     for (int t = rho - 1; t >= 1; --t) {
@@ -141,12 +142,25 @@ ViewCatalogue enumerate_views(int k, int d, int rho, int max_views) {
       }
       ++next_choice;
     }
-    // Canonical dedup (choice vectors are canonical already, but be safe):
-    // the interner keeps the first occurrence, so ViewId == view index.
+    fn(std::move(view));
+  }
+}
+
+}  // namespace
+
+ViewCatalogue enumerate_views(int k, int d, int rho, int max_views) {
+  ViewCatalogue catalogue;
+  catalogue.k = k;
+  catalogue.d = d;
+  catalogue.rho = rho;
+  // Canonical dedup (choice vectors are canonical already, but be safe):
+  // the interner keeps the first occurrence, so ViewId == view index.
+  colsys::CanonicalStore store;
+  for_each_view(k, d, rho, max_views, [&](ColourSystem&& view) {
     if (store.intern(view, rho) == static_cast<colsys::ViewId>(catalogue.views.size())) {
       catalogue.views.push_back(std::move(view));
     }
-  }
+  });
   return catalogue;
 }
 
@@ -181,12 +195,16 @@ std::vector<CompatiblePair> compatible_pairs(const ViewCatalogue& catalogue) {
   // The two per-(view, colour) root transforms as dense id→id maps, keyed
   // by the view's catalogue index (== its ViewId in enumeration order).
   colsys::TransformCache across(k), remainder(k);
-  // Bucket key: (remainder id, colour) packed into 64 bits.
-  const auto key = [](colsys::ViewId id, Colour c) {
-    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(id)) << 8) |
+  // Bucket key: (remainder id, across id, colour) packed into 64 bits.
+  // Bucketing on *both* halves means a probe only ever touches true
+  // matches: b matches a iff rem(b) = across(a) and across(b) = rem(a),
+  // i.e. the probe key is the bucket key with its halves swapped.
+  const auto key = [](colsys::ViewId rem, colsys::ViewId acr, Colour c) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rem)) << 32) |
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(acr)) << 8) |
            static_cast<std::uint64_t>(c);
   };
-  std::unordered_map<std::uint64_t, std::vector<int>> by_remainder;
+  std::unordered_map<std::uint64_t, std::vector<int>> by_halves;
   std::vector<std::uint8_t> buf;
   for (int a = 0; a < n; ++a) {
     const ColourSystem& view = catalogue.views[static_cast<std::size_t>(a)];
@@ -195,12 +213,13 @@ std::vector<CompatiblePair> compatible_pairs(const ViewCatalogue& catalogue) {
       if (child == colsys::kNullNode) continue;
       buf.clear();
       view.serialize_subtree_into(child, gk::kNoColour, rho - 1, buf);
-      across.put(a, c, store.intern(buf));
+      const colsys::ViewId acr = store.intern(buf);
+      across.put(a, c, acr);
       buf.clear();
       view.serialize_subtree_into(ColourSystem::root(), c, rho - 1, buf);
       const colsys::ViewId rem = store.intern(buf);
       remainder.put(a, c, rem);
-      by_remainder[key(rem, c)].push_back(a);
+      by_halves[key(rem, acr, c)].push_back(a);
     }
   }
   std::vector<CompatiblePair> out;
@@ -208,12 +227,453 @@ std::vector<CompatiblePair> compatible_pairs(const ViewCatalogue& catalogue) {
     for (Colour c = 1; c <= k; ++c) {
       const colsys::ViewId ha = across.get(a, c);
       if (ha == colsys::kUncachedView) continue;
-      const auto it = by_remainder.find(key(ha, c));
-      if (it == by_remainder.end()) continue;
       const colsys::ViewId want = remainder.get(a, c);
-      for (int b : it->second) {
-        if (b < a) continue;  // emit each unordered pair once
-        if (across.get(b, c) == want) out.push_back({a, b, c});
+      const auto it = by_halves.find(key(ha, want, c));
+      if (it == by_halves.end()) continue;
+      // Buckets are ascending by construction; emit each unordered pair
+      // once by starting at the first b >= a.  The id re-check makes the
+      // match exact even if the 64-bit key packing ever saturated (ids
+      // beyond 2^24 would alias); in the normal regime it never fails.
+      const auto& bucket = it->second;
+      for (auto bi = std::lower_bound(bucket.begin(), bucket.end(), a); bi != bucket.end();
+           ++bi) {
+        if (remainder.get(*bi, c) == ha && across.get(*bi, c) == want) {
+          out.push_back({a, *bi, c});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Orbit census (Burnside / Cauchy–Frobenius over the S_k colour action).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Cycle decomposition of σ restricted to the colour set `mask` (σ must map
+/// mask onto itself); each cycle is reported as (length, minimal colour).
+void cycles_on(const ColourPerm& sigma, unsigned mask,
+               std::vector<std::pair<int, Colour>>& out) {
+  out.clear();
+  unsigned todo = mask;
+  while (todo != 0) {
+    const int first = std::countr_zero(todo);
+    const Colour start = static_cast<Colour>(first + 1);
+    int length = 0;
+    Colour c = start;
+    do {
+      todo &= ~(1u << (c - 1));
+      c = sigma[c];
+      ++length;
+    } while (c != start);
+    out.emplace_back(length, start);
+  }
+}
+
+ColourPerm perm_power(const ColourPerm& sigma, int e) {
+  ColourPerm out = colsys::identity_perm(static_cast<int>(sigma.size()) - 1);
+  for (int i = 0; i < e; ++i) out = colsys::compose_perm(sigma, out);
+  return out;
+}
+
+/// Number of depth-`rem` hanging structures below an edge of colour p that
+/// are fixed by σ (requires σ(p) == p).  Memoised per (σ rank, rem, p).
+double fixed_hanging(int rem, const ColourPerm& sigma, Colour p, int k, int d,
+                     std::map<std::tuple<std::uint32_t, int, Colour>, double>& memo) {
+  if (rem == 0) return 1.0;
+  const auto key = std::make_tuple(colsys::perm_rank(sigma), rem, p);
+  const auto it = memo.find(key);
+  if (it != memo.end()) return it->second;
+  double total = 0.0;
+  std::vector<std::pair<int, Colour>> cycle_list;
+  // σ-invariant (d-1)-subsets S of [k] \ {p}: the node's downward colours.
+  const unsigned pool = (k >= 32 ? ~0u : ((1u << k) - 1)) & ~(1u << (p - 1));
+  for (unsigned s = 0; s < (1u << k); ++s) {
+    if ((s & ~pool) != 0 || std::popcount(s) != d - 1) continue;
+    unsigned image = 0;
+    for (int c = 1; c <= k; ++c) {
+      if (s & (1u << (c - 1))) image |= 1u << (sigma[static_cast<std::size_t>(c)] - 1);
+    }
+    if (image != s) continue;
+    cycles_on(sigma, s, cycle_list);
+    double product = 1.0;
+    for (const auto& [length, c] : cycle_list) {
+      product *= fixed_hanging(rem - 1, perm_power(sigma, length), c, k, d, memo);
+    }
+    total += product;
+  }
+  memo.emplace(key, total);
+  return total;
+}
+
+/// Number of whole views fixed by σ.
+double fixed_views(const ColourPerm& sigma, int k, int d, int rho,
+                   std::map<std::tuple<std::uint32_t, int, Colour>, double>& memo) {
+  double total = 0.0;
+  std::vector<std::pair<int, Colour>> cycle_list;
+  for (unsigned s = 0; s < (1u << k); ++s) {
+    if (std::popcount(s) != d) continue;
+    unsigned image = 0;
+    for (int c = 1; c <= k; ++c) {
+      if (s & (1u << (c - 1))) image |= 1u << (sigma[static_cast<std::size_t>(c)] - 1);
+    }
+    if (image != s) continue;
+    cycles_on(sigma, s, cycle_list);
+    double product = 1.0;
+    for (const auto& [length, c] : cycle_list) {
+      product *= fixed_hanging(rho - 1, perm_power(sigma, length), c, k, d, memo);
+    }
+    total += product;
+  }
+  return total;
+}
+
+}  // namespace
+
+OrbitCensus orbit_census(int k, int d, int rho) {
+  if (d < 1 || d > k) throw std::invalid_argument("orbit_census: need 1 <= d <= k");
+  if (rho < 1) throw std::invalid_argument("orbit_census: need rho >= 1");
+  if (k > colsys::kMaxOrbitColours) {
+    throw std::invalid_argument("orbit_census: k too large for the orbit machinery");
+  }
+  OrbitCensus census;
+  std::map<std::tuple<std::uint32_t, int, Colour>, double> memo;
+  double sum = 0.0;
+  double group_order = 0.0;
+  for (const ColourPerm& sigma : colsys::all_perms(k)) {
+    const double fixed = fixed_views(sigma, k, d, rho, memo);
+    sum += fixed;
+    group_order += 1.0;
+    if (colsys::perm_rank(sigma) == 0) census.views = fixed;  // the identity
+  }
+  census.orbits = sum / group_order;
+  return census;
+}
+
+// ---------------------------------------------------------------------------
+// Orbit catalogues.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Folds views into orbits.  On the first member of each orbit the view is
+/// canonised (branch and bound) and the orbit's *entire* member set is
+/// pre-generated as serialisations of the representative under every coset
+/// permutation — every later member of the orbit then resolves by a single
+/// hash lookup instead of a canonisation.  This is what keeps the orbit
+/// enumeration of the 78 732-view k = 4, ρ = 3 catalogue at roughly the
+/// cost of the raw enumeration while materialising only ~1/k! of the trees.
+class OrbitBuilder {
+ public:
+  OrbitBuilder(int k, int d, int rho) : k_(k), d_(d), rho_(rho) {
+    if (k > colsys::kMaxOrbitColours) {
+      throw std::invalid_argument("orbit reduction: k too large for the orbit machinery");
+    }
+    perms_ = colsys::all_perms(k);
+  }
+
+  /// Pre-sizes the member index (one entry per raw view) so the fold never
+  /// rehashes mid-stream.
+  void reserve(std::size_t raw_views) { members_.reserve(raw_views); }
+
+  void add(const ColourSystem& view) {
+    buf_.clear();
+    view.serialize_into(rho_, buf_);
+    auto it = members_.find(buf_);
+    if (it == members_.end()) {
+      new_orbit(view);
+      it = members_.find(buf_);
+      if (it == members_.end()) {
+        throw std::logic_error("OrbitBuilder: view missing from its own orbit");
+      }
+    }
+    auto& [orbit, coset] = it->second;
+    orbits_[static_cast<std::size_t>(orbit)].present[static_cast<std::size_t>(coset)] = 1;
+  }
+
+  OrbitCatalogue finish() {
+    OrbitCatalogue catalogue;
+    catalogue.k = k_;
+    catalogue.d = d_;
+    catalogue.rho = rho_;
+    // Canonical-bytes order: independent of the order (and of any global
+    // colour relabelling) of the input views.
+    std::vector<std::size_t> order(orbits_.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    // Elementwise instead of vector::operator< only to dodge GCC 12's
+    // -Wstringop-overread false positive on memcmp-lowered byte compares.
+    const auto bytes_less = [](const std::vector<std::uint8_t>& a,
+                               const std::vector<std::uint8_t>& b) {
+      const std::size_t n = std::min(a.size(), b.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        if (a[i] != b[i]) return a[i] < b[i];
+      }
+      return a.size() < b.size();
+    };
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return bytes_less(orbits_[a].canonical, orbits_[b].canonical);
+    });
+    catalogue.offsets.push_back(0);
+    for (const std::size_t i : order) {
+      Orbit& orbit = orbits_[i];
+      std::vector<ColourPerm> present_cosets;
+      for (std::size_t j = 0; j < orbit.cosets.size(); ++j) {
+        if (orbit.present[j]) present_cosets.push_back(orbit.cosets[j]);
+      }
+      catalogue.offsets.push_back(catalogue.offsets.back() +
+                                  static_cast<std::int64_t>(present_cosets.size()));
+      catalogue.reps.push_back(std::move(orbit.rep));
+      catalogue.stabilisers.push_back(std::move(orbit.stabiliser));
+      catalogue.cosets.push_back(std::move(present_cosets));
+    }
+    return catalogue;
+  }
+
+ private:
+  struct Orbit {
+    ColourSystem rep;
+    std::vector<std::uint8_t> canonical;
+    std::vector<ColourPerm> stabiliser;
+    std::vector<ColourPerm> cosets;  // all of them, sorted
+    std::vector<char> present;
+    Orbit(ColourSystem r, std::vector<std::uint8_t> c)
+        : rep(std::move(r)), canonical(std::move(c)) {}
+  };
+
+  void new_orbit(const ColourSystem& view) {
+    const colsys::SerialisedView parsed(buf_);
+    std::vector<std::uint8_t> canonical;
+    ColourPerm witness;
+    parsed.canonicalise(canonical, &witness);
+    const colsys::SerialisedView canon_parsed(canonical);
+    const int orbit = static_cast<int>(orbits_.size());
+    orbits_.emplace_back(view.permuted(witness), canonical);
+    Orbit& record = orbits_.back();
+    record.stabiliser = canon_parsed.stabiliser();
+    // Canonical left-coset representatives, sorted and deduplicated by
+    // Lehmer rank (the same order as lexicographic on the image words);
+    // sort + unique keeps this O(k! log k!) rather than a quadratic scan.
+    std::vector<std::pair<std::uint32_t, ColourPerm>> ranked;
+    ranked.reserve(perms_.size());
+    for (const ColourPerm& sigma : perms_) {
+      ColourPerm rep = colsys::min_coset_rep(sigma, record.stabiliser);
+      ranked.emplace_back(colsys::perm_rank(rep), std::move(rep));
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    ranked.erase(std::unique(ranked.begin(), ranked.end(),
+                             [](const auto& a, const auto& b) { return a.first == b.first; }),
+                 ranked.end());
+    std::vector<ColourPerm> cosets;
+    cosets.reserve(ranked.size());
+    for (auto& [rank, rep] : ranked) cosets.push_back(std::move(rep));
+    record.present.assign(cosets.size(), 0);
+    // Pre-generate every member's serialisation for O(1) later folding.
+    std::vector<std::uint8_t> member;
+    for (std::size_t j = 0; j < cosets.size(); ++j) {
+      member.clear();
+      canon_parsed.serialise(cosets[j], member);
+      members_.emplace(std::move(member), std::make_pair(orbit, static_cast<int>(j)));
+      member = {};
+    }
+    record.cosets = std::move(cosets);
+  }
+
+  int k_, d_, rho_;
+  std::vector<ColourPerm> perms_;
+  std::vector<Orbit> orbits_;
+  std::unordered_map<std::vector<std::uint8_t>, std::pair<int, int>,
+                     colsys::SerialisationHash>
+      members_;
+  std::vector<std::uint8_t> buf_;
+};
+
+}  // namespace
+
+OrbitCatalogue enumerate_orbits(int k, int d, int rho, int max_views) {
+  OrbitBuilder builder(k, d, rho);
+  {
+    const OrbitCensus census = orbit_census(k, d, rho);
+    if (census.views <= static_cast<double>(max_views)) {
+      builder.reserve(static_cast<std::size_t>(census.views));
+    }
+  }
+  std::int64_t raw = 0;
+  for_each_view(k, d, rho, max_views, [&](ColourSystem&& view) {
+    builder.add(view);
+    ++raw;
+  });
+  OrbitCatalogue catalogue = builder.finish();
+  if (catalogue.view_count() != raw) {
+    throw std::logic_error("enumerate_orbits: member count mismatch (orbit fold bug)");
+  }
+  return catalogue;
+}
+
+OrbitCatalogue reduce_catalogue(const ViewCatalogue& catalogue) {
+  OrbitBuilder builder(catalogue.k, catalogue.d, catalogue.rho);
+  builder.reserve(catalogue.views.size());
+  for (const ColourSystem& view : catalogue.views) builder.add(view);
+  return builder.finish();
+}
+
+ViewCatalogue expand_catalogue(const OrbitCatalogue& catalogue) {
+  ViewCatalogue out;
+  out.k = catalogue.k;
+  out.d = catalogue.d;
+  out.rho = catalogue.rho;
+  out.views.reserve(static_cast<std::size_t>(catalogue.view_count()));
+  for (int o = 0; o < catalogue.orbit_count(); ++o) {
+    for (const ColourPerm& sigma : catalogue.cosets[static_cast<std::size_t>(o)]) {
+      out.views.push_back(catalogue.reps[static_cast<std::size_t>(o)].permuted(sigma));
+    }
+  }
+  return out;
+}
+
+std::vector<CompatiblePair> compatible_pairs(const OrbitCatalogue& catalogue) {
+  // The raw algorithm interns two half-trees per (view, colour) and buckets
+  // by (remainder id, colour).  At orbit level a member (o, σ) is σ·rep, so
+  // its half along c is σ·half(rep, σ⁻¹(c)) — i.e. (σ ∘ w⁻¹)·H where H is
+  // the half's orbit-canonical form and w its witness.  Identity of halves
+  // is therefore (H's intern id, the left coset of the lift modulo
+  // Stab(H)): serialisation and canonisation run once per (rep, colour),
+  // and every member key is a handful of permutation compositions.
+  const int k = catalogue.k;
+  const int rho = catalogue.rho;
+  const int orbit_count = catalogue.orbit_count();
+  const std::int64_t n = catalogue.view_count();
+  if (n > std::numeric_limits<std::int32_t>::max()) {
+    throw std::invalid_argument("compatible_pairs: orbit catalogue too large to expand");
+  }
+  std::uint64_t fact = 1;
+  for (int i = 2; i <= k; ++i) fact *= static_cast<std::uint64_t>(i);
+
+  colsys::CanonicalStore half_store;
+  const std::vector<ColourPerm> perms = colsys::all_perms(k);  // rank order
+  // Per half id: a k!-entry table folding any permutation's rank to the
+  // rank of its canonical left-coset representative modulo Stab(H), built
+  // once per distinct half (there are few).  The member sweep below is
+  // then one O(k²) rank per (member, colour, half) plus a table lookup.
+  std::vector<std::vector<std::uint32_t>> coset_canon;
+  struct HalfRef {
+    colsys::ViewId id = colsys::kNullView;
+    std::uint8_t lift[colsys::kMaxOrbitColours + 1] = {};  // half == lift · canonical_half
+  };
+  const auto make_ref = [&](const std::vector<std::uint8_t>& bytes) {
+    HalfRef ref;
+    std::vector<std::uint8_t> canonical;
+    ColourPerm witness;
+    colsys::SerialisedView(bytes).canonicalise(canonical, &witness);
+    ref.id = half_store.intern(canonical);
+    if (static_cast<std::size_t>(ref.id) == coset_canon.size()) {
+      const std::vector<ColourPerm> stab = colsys::serialisation_stabiliser(canonical);
+      std::vector<std::uint32_t> table(fact);
+      for (std::uint32_t r = 0; r < fact; ++r) {
+        std::uint32_t best = ~std::uint32_t{0};
+        for (const ColourPerm& s : stab) {
+          best = std::min(best, colsys::perm_rank(colsys::compose_perm(perms[r], s)));
+        }
+        table[r] = best;
+      }
+      coset_canon.push_back(std::move(table));
+    }
+    const ColourPerm lift = colsys::inverse_perm(witness);
+    for (Colour c = 1; c <= k; ++c) ref.lift[c] = lift[c];
+    return ref;
+  };
+  // Per (orbit, colour): the two half references of the representative.
+  std::vector<HalfRef> across_ref(static_cast<std::size_t>(orbit_count) * k);
+  std::vector<HalfRef> remainder_ref(static_cast<std::size_t>(orbit_count) * k);
+  std::vector<std::uint8_t> buf;
+  for (int o = 0; o < orbit_count; ++o) {
+    const ColourSystem& rep = catalogue.reps[static_cast<std::size_t>(o)];
+    for (Colour a = 1; a <= k; ++a) {
+      const colsys::NodeId child = rep.child(ColourSystem::root(), a);
+      if (child == colsys::kNullNode) continue;
+      const std::size_t slot = static_cast<std::size_t>(o) * k + (a - 1);
+      buf.clear();
+      rep.serialize_subtree_into(child, gk::kNoColour, rho - 1, buf);
+      across_ref[slot] = make_ref(buf);
+      buf.clear();
+      rep.serialize_subtree_into(ColourSystem::root(), a, rho - 1, buf);
+      remainder_ref[slot] = make_ref(buf);
+    }
+  }
+
+  // Member sweep: encode each (member, colour) half as
+  // (half id) * k! + canonical coset rank of σ ∘ lift — the member's half
+  // identity, mirroring the raw TransformCache of interned ids.  The rank
+  // of the composition is computed straight off the image bytes (O(k²)
+  // integer work, no allocation); the stabiliser fold is the table lookup.
+  const auto encode = [&](const HalfRef& ref, const Colour* sigma) {
+    std::uint8_t m[colsys::kMaxOrbitColours];
+    for (int i = 0; i < k; ++i) m[i] = sigma[ref.lift[i + 1]];
+    std::uint32_t rank = 0;
+    for (int i = 0; i < k; ++i) {
+      std::uint32_t smaller = 0;
+      for (int j = i + 1; j < k; ++j) {
+        if (m[j] < m[i]) ++smaller;
+      }
+      rank = rank * static_cast<std::uint32_t>(k - i) + smaller;
+    }
+    return static_cast<std::uint64_t>(static_cast<std::uint32_t>(ref.id)) * fact +
+           coset_canon[static_cast<std::size_t>(ref.id)][rank];
+  };
+  const auto key = [](std::int32_t rem, std::int32_t acr, Colour c) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rem)) << 32) |
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(acr)) << 8) |
+           static_cast<std::uint64_t>(c);
+  };
+  // Dense ids for the (half, coset) encodings: the emit loop then works on
+  // the same compact int32 layout as the raw pipeline's TransformCache.
+  std::unordered_map<std::uint64_t, std::int32_t> dense;
+  const auto densify = [&](std::uint64_t enc) {
+    const auto [it, inserted] = dense.try_emplace(enc, static_cast<std::int32_t>(dense.size()));
+    return it->second;
+  };
+  std::vector<std::int32_t> across_enc(static_cast<std::size_t>(n) * k, -1);
+  std::vector<std::int32_t> remainder_enc(static_cast<std::size_t>(n) * k, -1);
+  std::unordered_map<std::uint64_t, std::vector<int>> by_halves;
+  std::int64_t v = 0;
+  Colour sigma_inv[colsys::kMaxOrbitColours + 1];
+  for (int o = 0; o < orbit_count; ++o) {
+    for (const ColourPerm& sigma : catalogue.cosets[static_cast<std::size_t>(o)]) {
+      for (Colour c = 1; c <= k; ++c) sigma_inv[sigma[c]] = c;
+      for (Colour c = 1; c <= k; ++c) {
+        const Colour a = sigma_inv[c];
+        const std::size_t rep_slot = static_cast<std::size_t>(o) * k + (a - 1);
+        if (across_ref[rep_slot].id == colsys::kNullView) continue;
+        const std::size_t slot = static_cast<std::size_t>(v) * k + (c - 1);
+        const std::int32_t acr = densify(encode(across_ref[rep_slot], sigma.data()));
+        const std::int32_t rem = densify(encode(remainder_ref[rep_slot], sigma.data()));
+        across_enc[slot] = acr;
+        remainder_enc[slot] = rem;
+        by_halves[key(rem, acr, c)].push_back(static_cast<int>(v));
+      }
+      ++v;
+    }
+  }
+  std::vector<CompatiblePair> out;
+  for (int a = 0; a < static_cast<int>(n); ++a) {
+    for (Colour c = 1; c <= k; ++c) {
+      const std::size_t slot = static_cast<std::size_t>(a) * k + (c - 1);
+      const std::int32_t ha = across_enc[slot];
+      if (ha < 0) continue;
+      const std::int32_t want = remainder_enc[slot];
+      const auto it = by_halves.find(key(ha, want, c));
+      if (it == by_halves.end()) continue;
+      // See the raw index above: the re-check keeps matches exact under
+      // any 64-bit key aliasing.
+      const auto& bucket = it->second;
+      for (auto bi = std::lower_bound(bucket.begin(), bucket.end(), a); bi != bucket.end();
+           ++bi) {
+        const std::size_t bslot = static_cast<std::size_t>(*bi) * k + (c - 1);
+        if (remainder_enc[bslot] == ha && across_enc[bslot] == want) {
+          out.push_back({a, *bi, c});
+        }
       }
     }
   }

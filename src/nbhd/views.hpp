@@ -18,10 +18,12 @@
 #include <string>
 #include <vector>
 
+#include "colsys/canon.hpp"
 #include "colsys/colour_system.hpp"
 
 namespace dmm::nbhd {
 
+using colsys::ColourPerm;
 using colsys::ColourSystem;
 using gk::Colour;
 
@@ -52,5 +54,81 @@ struct CompatiblePair {
 
 /// All compatible (a, b, c) triples with a <= b.
 std::vector<CompatiblePair> compatible_pairs(const ViewCatalogue& catalogue);
+
+// ---------------------------------------------------------------------------
+// Colour-permutation orbit reduction.
+//
+// The view catalogue is closed under the S_k action relabelling colours
+// globally, so it carries ~k! copies of every tree; the same holds for the
+// compatible-pair index.  An OrbitCatalogue stores one canonical
+// representative per orbit plus its stabiliser and the sorted left-coset
+// permutations that regenerate the members — a ~k!-fold cut in materialised
+// trees.  The labelling CSP itself must NOT be quotiented (a satisfiable
+// catalogue need not admit a colour-symmetric labelling — see
+// docs/lowerbound.md, "Colour symmetry"), so the orbit-mode solver expands
+// the member views back through the witnesses; what the quotient buys is
+// the catalogue/pair-index construction and storage, and a canonical
+// (input-permutation-invariant) CSP instance.
+// ---------------------------------------------------------------------------
+
+/// Closed-form Burnside census of the catalogue: views (= the raw count)
+/// and orbits, both exact in double precision for every parameter set whose
+/// counts stay below 2^53.  Pure arithmetic — never enumerates, so it is
+/// the guard and the headline number for catalogues far beyond
+/// materialisation (k = 5, ρ = 3: 21 474 836 480 views, 178 981 952
+/// orbits — exactly the 5! = 120-fold cut, views at this depth having
+/// almost no colour symmetry).
+struct OrbitCensus {
+  double views = 0;
+  double orbits = 0;
+};
+OrbitCensus orbit_census(int k, int d, int rho);
+
+struct OrbitCatalogue {
+  int k = 0;
+  int d = 0;
+  int rho = 0;
+  /// One orbit-canonical representative per orbit, sorted by canonical
+  /// serialisation bytes — an order independent of any relabelling of the
+  /// input, which is what makes the orbit pipeline metamorphically stable.
+  std::vector<ColourSystem> reps;
+  /// Per orbit: the stabiliser of the representative in S_k (contains id).
+  std::vector<std::vector<ColourPerm>> stabilisers;
+  /// Per orbit: sorted canonical left-coset representatives σ; the orbit's
+  /// members are σ·rep, so cosets[o].size() == k!/|stabilisers[o]| and the
+  /// member views of the whole catalogue are indexed (orbit, coset) in
+  /// lexicographic order.
+  std::vector<std::vector<ColourPerm>> cosets;
+  /// offsets[o] is the member index of cosets[o][0]; offsets.back() is the
+  /// total member count (== the raw catalogue size).
+  std::vector<std::int64_t> offsets;
+
+  int orbit_count() const noexcept { return static_cast<int>(reps.size()); }
+  std::int64_t view_count() const noexcept { return offsets.empty() ? 0 : offsets.back(); }
+};
+
+/// Enumerates the catalogue modulo colour permutation: replays the counted
+/// choice-vector enumeration, folds each view into its orbit, and emits one
+/// representative (+ stabiliser and member cosets) per orbit.  The raw
+/// member count is guarded by `max_views` exactly like enumerate_views —
+/// use orbit_census for catalogues beyond materialisation.
+OrbitCatalogue enumerate_orbits(int k, int d, int rho, int max_views = 2'000'000);
+
+/// Folds an explicit catalogue into orbits.  For a full enumerate_views
+/// catalogue this equals enumerate_orbits (and the result is identical for
+/// any globally colour-permuted copy of the input).
+OrbitCatalogue reduce_catalogue(const ViewCatalogue& catalogue);
+
+/// Materialises every member view, in (orbit, coset) order.  Inverse of
+/// reduce_catalogue up to view order.
+ViewCatalogue expand_catalogue(const OrbitCatalogue& catalogue);
+
+/// All compatible (a, b, c) triples over the member index space, a <= b.
+/// Built at orbit level: the two half-trees are serialised and canonised
+/// once per (representative, colour), and each member's half identity is
+/// the group element lifting it through the representative's witness — no
+/// per-member serialisation, hashing of plain integers only.  The result
+/// equals compatible_pairs(expand_catalogue(catalogue)) exactly.
+std::vector<CompatiblePair> compatible_pairs(const OrbitCatalogue& catalogue);
 
 }  // namespace dmm::nbhd

@@ -32,6 +32,8 @@ Record sample() {
   r.threads = 2;
   r.init_ms = 1.5;
   r.rss_bytes = 104857600;
+  r.orbits = 3330;
+  r.orbit_reduction = 23.64;
   return r;
 }
 
@@ -42,7 +44,8 @@ TEST(BenchJson, StableFieldNamesAndOrder) {
             "\"rounds\":3,\"wall_ns\":1234567.25,\"engine\":\"flat\","
             "\"max_message_bytes\":1,\"views\":78732,\"pairs\":9570312,"
             "\"csp_nodes\":135864,\"memo_hits\":11,\"threads\":2,"
-            "\"init_ms\":1.5,\"rss_bytes\":104857600}");
+            "\"init_ms\":1.5,\"rss_bytes\":104857600,"
+            "\"orbits\":3330,\"orbit_reduction\":23.640000000000001}");
 }
 
 TEST(BenchJson, PipelineStatsDefaultToInert) {
@@ -57,6 +60,9 @@ TEST(BenchJson, PipelineStatsDefaultToInert) {
   // dmm-bench-3 memory-model stats are likewise inert by default.
   EXPECT_EQ(r.init_ms, 0.0);
   EXPECT_EQ(r.rss_bytes, 0);
+  // dmm-bench-4 colour-symmetry stats too.
+  EXPECT_EQ(r.orbits, 0);
+  EXPECT_EQ(r.orbit_reduction, 0.0);
 }
 
 TEST(BenchJson, PeakRssIsPositiveOnLinux) {
@@ -89,12 +95,27 @@ TEST(BenchJson, RejectsNonFiniteWallTimes) {
   r = sample();
   r.init_ms = std::numeric_limits<double>::quiet_NaN();
   EXPECT_THROW(to_json(r), std::invalid_argument);
+  r = sample();
+  r.orbit_reduction = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(to_json(r), std::invalid_argument);
+  r.orbit_reduction = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(to_json(r), std::invalid_argument);
 }
 
 TEST(BenchJson, RejectsMalformedRecords) {
   EXPECT_THROW(parse_record("{}"), std::invalid_argument);
   EXPECT_THROW(parse_record("{\"instance\":\"x\",\"n\":1}"), std::invalid_argument);
   EXPECT_THROW(parse_record("not json"), std::invalid_argument);
+  // A dmm-bench-3 record (orbits/orbit_reduction absent) is rejected: the
+  // schema's field set is closed, old trajectories must not parse as new.
+  const std::string current = to_json(sample());
+  const std::string::size_type cut = current.find(",\"orbits\"");
+  ASSERT_NE(cut, std::string::npos);
+  EXPECT_THROW(parse_record(current.substr(0, cut) + "}"), std::invalid_argument);
+  // A record whose orbits field is present but mis-ordered is rejected too.
+  std::string swapped = current;
+  swapped.replace(swapped.find("\"orbits\""), 8, "\"orbitz\"");
+  EXPECT_THROW(parse_record(swapped), std::invalid_argument);
 }
 
 TEST(BenchJson, ExperimentSetIsExplicit) {
@@ -146,7 +167,7 @@ TEST(BenchJson, HarnessStripsItsFlagsAndWrites) {
   std::stringstream content;
   content << in.rdbuf();
   const std::string text = content.str();
-  EXPECT_NE(text.find("\"schema\":\"dmm-bench-3\""), std::string::npos);
+  EXPECT_NE(text.find("\"schema\":\"dmm-bench-4\""), std::string::npos);
   EXPECT_NE(text.find("\"experiment\":\"e1\""), std::string::npos);
   // Each stored record is embedded verbatim, so the file parses record by
   // record with the same parser the round-trip test uses.

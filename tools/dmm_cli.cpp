@@ -2,15 +2,19 @@
 //
 //   dmm_cli greedy     --instance <spec> [--engine <sync|flat>] [--threads <n>]
 //   dmm_cli adversary  --k <k> --algorithm <spec> [--certificate-out <path>] [--no-memo]
-//                      [--optimistic] [--threads <n>]
-//   dmm_cli views      <k> <d> <rho> [--threads <n>] [--json] [--max-views <n>]
+//                      [--optimistic] [--threads <n>] [--orbits]
+//   dmm_cli views      <k> <d> <rho> [--threads <n>] [--json] [--max-views <n>] [--orbits]
 //   dmm_cli lemma4     --algorithm <spec>
 //   dmm_cli check      --certificate <path> --algorithm <spec>
 //   dmm_cli export-dot --instance <spec> [--out <path>]
 //
 // `views` runs the Remark-2 / Linial pipeline end to end — catalogue size,
 // compatible-pair count, CSP verdict — so the UNSAT frontier is
-// reproducible without building the bench binaries.
+// reproducible without building the bench binaries.  `--orbits` switches
+// to the colour-permutation orbit pipeline (identical verdicts, ~k!-fold
+// smaller materialised catalogue); on catalogues beyond the max_views
+// guard it falls back to the Burnside census alone, which is how
+// `dmm_cli views 5 4 3 --orbits` reports the ~2.1e10-view frontier.
 //
 // Instance specs:
 //   chain:<k>            the §1.2 worst-case long path
@@ -153,6 +157,7 @@ int cmd_adversary(const std::vector<std::string>& args) {
   options.memoise = !flag(args, "--no-memo");
   options.optimistic = flag(args, "--optimistic");
   options.threads = std::stoi(option(args, "--threads", "1"));
+  options.orbits = flag(args, "--orbits");
   const lower::LowerBoundResult result = lower::run_adversary(k, *algorithm, options);
   std::cout << result.summary() << "\n";
   if (const auto* tp = std::get_if<lower::TightPair>(&result.outcome)) {
@@ -182,37 +187,79 @@ int cmd_views(const std::vector<std::string>& args) {
   std::vector<int> positional;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i].rfind("--", 0) == 0) {
-      if (args[i] != "--json") ++i;  // skip the flag's value
+      if (args[i] != "--json" && args[i] != "--orbits") ++i;  // skip the flag's value
       continue;
     }
     positional.push_back(std::stoi(args[i]));
   }
-  if (positional.size() != 3) fail("views: usage: views <k> <d> <rho> [--threads N] [--json]");
+  if (positional.size() != 3) {
+    fail("views: usage: views <k> <d> <rho> [--threads N] [--json] [--orbits]");
+  }
   const int k = positional[0], d = positional[1], rho = positional[2];
   const int threads = std::stoi(option(args, "--threads", "1"));
   const int max_views = std::stoi(option(args, "--max-views", "2000000"));
   const bool json = flag(args, "--json");
+  const bool orbits = flag(args, "--orbits");
 
-  const nbhd::ViewCatalogue cat = nbhd::enumerate_views(k, d, rho, max_views);
-  const std::vector<nbhd::CompatiblePair> pairs = nbhd::compatible_pairs(cat);
-  const nbhd::CspResult result = nbhd::solve(cat, pairs, {.threads = threads});
+  long long views = 0, orbit_count = 0;
+  std::size_t pair_count = 0;
+  nbhd::CspResult result;
+  bool census_only = false;
+  if (orbits) {
+    const nbhd::OrbitCensus census = nbhd::orbit_census(k, d, rho);
+    views = static_cast<long long>(census.views);
+    orbit_count = static_cast<long long>(census.orbits);
+    if (census.views > static_cast<double>(max_views)) {
+      // Beyond materialisation: report the Burnside census alone.
+      census_only = true;
+    } else {
+      const nbhd::OrbitCatalogue cat = nbhd::enumerate_orbits(k, d, rho, max_views);
+      const std::vector<nbhd::CompatiblePair> pairs = nbhd::compatible_pairs(cat);
+      result = nbhd::solve(cat, pairs, nbhd::CspOptions{.threads = threads});
+      pair_count = pairs.size();
+    }
+  } else {
+    const nbhd::ViewCatalogue cat = nbhd::enumerate_views(k, d, rho, max_views);
+    const std::vector<nbhd::CompatiblePair> pairs = nbhd::compatible_pairs(cat);
+    result = nbhd::solve(cat, pairs, {.threads = threads});
+    views = cat.size();
+    pair_count = pairs.size();
+  }
   if (json) {
     std::cout << "{\"k\":" << k << ",\"d\":" << d << ",\"rho\":" << rho
-              << ",\"views\":" << cat.size() << ",\"pairs\":" << pairs.size()
-              << ",\"satisfiable\":" << (result.satisfiable ? "true" : "false")
-              << ",\"csp_nodes\":" << result.nodes_explored << ",\"threads\":" << threads
-              << "}\n";
+              << ",\"views\":" << views;
+    if (orbits) {
+      std::cout << ",\"orbits\":" << orbit_count;
+    }
+    if (census_only) {
+      std::cout << ",\"census_only\":true";
+    } else {
+      std::cout << ",\"pairs\":" << pair_count
+                << ",\"satisfiable\":" << (result.satisfiable ? "true" : "false")
+                << ",\"csp_nodes\":" << result.nodes_explored;
+    }
+    std::cout << ",\"threads\":" << threads << "}\n";
   } else {
     std::cout << "catalogue: k=" << k << " d=" << d << " rho=" << rho << "\n";
-    std::cout << "views: " << cat.size() << "\n";
-    std::cout << "compatible pairs: " << pairs.size() << "\n";
-    std::cout << "labelling CSP: " << (result.satisfiable ? "SAT" : "UNSAT") << " ("
-              << result.nodes_explored << " search nodes";
-    if (threads > 1) std::cout << ", " << threads << " threads";
-    std::cout << ")\n";
-    std::cout << "meaning: " << (result.satisfiable ? "some" : "no") << " (rho-1) = "
-              << rho - 1 << "-round algorithm exists on d-regular k-coloured instances\n";
+    std::cout << "views: " << views << "\n";
+    if (orbits) {
+      std::cout << "colour-permutation orbits: " << orbit_count << " ("
+                << static_cast<double>(views) / static_cast<double>(orbit_count)
+                << "x reduction)\n";
+    }
+    if (census_only) {
+      std::cout << "catalogue exceeds max-views: Burnside census only (no CSP solve)\n";
+    } else {
+      std::cout << "compatible pairs: " << pair_count << "\n";
+      std::cout << "labelling CSP: " << (result.satisfiable ? "SAT" : "UNSAT") << " ("
+                << result.nodes_explored << " search nodes";
+      if (threads > 1) std::cout << ", " << threads << " threads";
+      std::cout << ")\n";
+      std::cout << "meaning: " << (result.satisfiable ? "some" : "no") << " (rho-1) = "
+                << rho - 1 << "-round algorithm exists on d-regular k-coloured instances\n";
+    }
   }
+  if (census_only) return 0;
   return result.satisfiable ? 0 : 1;
 }
 

@@ -43,6 +43,9 @@ RECORD_FIELDS = {
     # dmm-bench-3: memory-model stats (engine setup wall-clock, peak RSS).
     "init_ms": (int, float),
     "rss_bytes": int,
+    # dmm-bench-4: colour-symmetry stats (orbit counts and the ~k!-fold cut).
+    "orbits": int,
+    "orbit_reduction": (int, float),
 }
 
 
@@ -84,7 +87,7 @@ def validate_scale_row(path: pathlib.Path) -> None:
 def validate(path: pathlib.Path, experiment: str) -> int:
     with path.open() as fh:
         data = json.load(fh)
-    if data.get("schema") != "dmm-bench-3":
+    if data.get("schema") != "dmm-bench-4":
         raise SystemExit(f"error: {path}: bad schema {data.get('schema')!r}")
     if data.get("experiment") != experiment:
         raise SystemExit(f"error: {path}: experiment mismatch {data.get('experiment')!r}")
@@ -99,6 +102,12 @@ def validate(path: pathlib.Path, experiment: str) -> int:
                 raise SystemExit(f"error: {path}: field {field!r} has wrong type: {record}")
         if record["wall_ns"] != record["wall_ns"]:  # NaN guard; writer rejects these too
             raise SystemExit(f"error: {path}: NaN wall_ns: {record}")
+        if record["orbit_reduction"] != record["orbit_reduction"]:
+            raise SystemExit(f"error: {path}: NaN orbit_reduction: {record}")
+        if record["orbits"] > 0 and record["orbit_reduction"] < 1:
+            raise SystemExit(
+                f"error: {path}: orbit record with a reduction below 1x: {record}"
+            )
     return len(records)
 
 
