@@ -33,6 +33,9 @@ void record_run(benchjson::Harness& harness, const std::string& label, int k,
       result.stats.orbits > 0 ? static_cast<double>(result.stats.memo_entries) /
                                     static_cast<double>(result.stats.orbits)
                               : 0.0;
+  // dmm-bench-5: on e4 rows the "reps" are the evaluator-interned orbit
+  // keys — one canonical form per view orbit the adversary ever touched.
+  record.reps_generated = static_cast<long long>(result.stats.orbits);
   harness.add(std::move(record));
 }
 

@@ -144,7 +144,8 @@ std::string to_json(const Record& record) {
       << ",\"csp_nodes\":" << record.csp_nodes << ",\"memo_hits\":" << record.memo_hits
       << ",\"threads\":" << record.threads << ",\"init_ms\":" << init
       << ",\"rss_bytes\":" << record.rss_bytes << ",\"orbits\":" << record.orbits
-      << ",\"orbit_reduction\":" << reduction << "}";
+      << ",\"orbit_reduction\":" << reduction
+      << ",\"reps_generated\":" << record.reps_generated << "}";
   return out.str();
 }
 
@@ -202,6 +203,9 @@ Record parse_record(const std::string& json) {
   in.expect(',');
   in.key("orbit_reduction");
   r.orbit_reduction = in.number_value();
+  in.expect(',');
+  in.key("reps_generated");
+  r.reps_generated = static_cast<long long>(in.number_value());
   in.expect('}');
   return r;
 }
@@ -271,7 +275,7 @@ int Harness::write() const {
     std::fprintf(stderr, "bench_json: cannot write %s\n", path().c_str());
     return 2;
   }
-  out << "{\"schema\":\"dmm-bench-4\",\"experiment\":\"" << escape(experiment_)
+  out << "{\"schema\":\"dmm-bench-5\",\"experiment\":\"" << escape(experiment_)
       << "\",\"records\":[";
   for (std::size_t i = 0; i < records_.size(); ++i) {
     if (i) out << ",";

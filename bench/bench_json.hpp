@@ -3,12 +3,12 @@
 //
 // File format (one JSON object per file):
 //
-//   {"schema":"dmm-bench-4","experiment":"e14","records":[
+//   {"schema":"dmm-bench-5","experiment":"e14","records":[
 //     {"instance":"random n=100000 k=4","n":100000,"m":159862,"k":4,
 //      "rounds":3,"wall_ns":12345678.0,"engine":"flat",
 //      "max_message_bytes":1,"views":0,"pairs":0,"csp_nodes":0,
 //      "memo_hits":0,"threads":1,"init_ms":1.25,"rss_bytes":104857600,
-//      "orbits":0,"orbit_reduction":0}, ...]}
+//      "orbits":0,"orbit_reduction":0,"reps_generated":0}, ...]}
 //
 // Schema history: dmm-bench-2 appended the lower-bound pipeline stats —
 // views, pairs, csp_nodes, memo_hits, threads — to every record (zero / 1
@@ -16,11 +16,15 @@
 // init_ms (engine setup wall-clock — the phase the pooled program arena
 // shrinks; 0 where no engine runs) and rss_bytes (peak process RSS after
 // the measured section; 0 on platforms without getrusage), so the n = 10⁷
-// scale rows capture whether init still dominates.  dmm-bench-4 (this PR)
-// appends the colour-symmetry stats: orbits (distinct colour-permutation
-// orbits — catalogue orbits on e17 rows, evaluator memo orbits on e4 rows)
-// and orbit_reduction (the raw/orbit count ratio, the ~k!-fold cut; both 0
-// where the orbit layer is off).
+// scale rows capture whether init still dominates.  dmm-bench-4 appended
+// the colour-symmetry stats: orbits (distinct colour-permutation orbits —
+// catalogue orbits on e17 rows, evaluator memo orbits on e4 rows) and
+// orbit_reduction (the raw/orbit count ratio, the ~k!-fold cut; both 0
+// where the orbit layer is off).  dmm-bench-5 (this PR) appends
+// reps_generated — canonical representatives built by the orderly
+// generator on e17 orbit rows (== orbits there: the generator never emits
+// a non-canonical view) and evaluator-interned orbit keys on e4 rows; 0
+// where the orbit layer is off.
 //
 // The record field names are part of the schema and locked by
 // tests/test_bench_json.cpp; wall times must be finite (NaN is a
@@ -67,6 +71,8 @@ struct Record {
   // Colour-symmetry stats (dmm-bench-4); zero where the orbit layer is off.
   long long orbits = 0;              // distinct colour-permutation orbits
   double orbit_reduction = 0.0;      // raw count / orbit count (~k!-fold cut)
+  // Orderly-generation stats (dmm-bench-5); zero where the orbit layer is off.
+  long long reps_generated = 0;      // canonical reps built by the generator
 
   bool operator==(const Record&) const = default;
 };

@@ -113,6 +113,7 @@ SerialisedView::SerialisedView(const std::vector<std::uint8_t>& bytes) {
       return node;
     }
     const int count = head;
+    internal_order_.push_back(node);  // parse order is preorder
     nodes_[static_cast<std::size_t>(node)].first_child =
         static_cast<std::int32_t>(child_colours_.size());
     nodes_[static_cast<std::size_t>(node)].child_count = count;
@@ -140,10 +141,83 @@ SerialisedView::SerialisedView(const std::vector<std::uint8_t>& bytes) {
         nodes_[static_cast<std::size_t>(parent)].first_child + slot)] = child;
   }
   if (pos != bytes.size()) throw std::invalid_argument("SerialisedView: trailing bytes");
+  assigned_ = static_cast<std::int32_t>(internal_order_.size());
 }
 
 SerialisedView::SerialisedView(const ColourSystem& view, int radius)
     : SerialisedView(view.serialize(radius)) {}
+
+SerialisedView::SerialisedView(int k, int d, int rho) : k_(k), skeleton_(true) {
+  if (d < 1 || d > k) throw std::invalid_argument("SerialisedView skeleton: need 1 <= d <= k");
+  if (rho < 1) throw std::invalid_argument("SerialisedView skeleton: need rho >= 1");
+  // Preorder build: allocate a node's child slots before recursing so slots
+  // stay contiguous (the parser's layout), then fill child_nodes_ as the
+  // subtrees are created.  Child colours stay 0 (= unassigned).
+  const auto build = [&](auto&& self, int depth) -> std::int32_t {
+    const std::int32_t node = static_cast<std::int32_t>(nodes_.size());
+    nodes_.push_back({});
+    if (depth == rho) {
+      nodes_[static_cast<std::size_t>(node)].truncated = true;
+      return node;
+    }
+    internal_order_.push_back(node);
+    const int count = depth == 0 ? d : d - 1;
+    nodes_[static_cast<std::size_t>(node)].first_child =
+        static_cast<std::int32_t>(child_colours_.size());
+    nodes_[static_cast<std::size_t>(node)].child_count = count;
+    child_colours_.resize(child_colours_.size() + static_cast<std::size_t>(count), gk::kNoColour);
+    child_nodes_.resize(child_nodes_.size() + static_cast<std::size_t>(count), 0);
+    const std::int32_t first = nodes_[static_cast<std::size_t>(node)].first_child;
+    for (int i = 0; i < count; ++i) {
+      child_nodes_[static_cast<std::size_t>(first + i)] = self(self, depth + 1);
+    }
+    return node;
+  };
+  build(build, 0);
+  prefix_.push_back(static_cast<std::uint8_t>(k_));
+}
+
+void SerialisedView::push_assignment(const Colour* colours) {
+  if (!skeleton_) throw std::logic_error("push_assignment: not a skeleton view");
+  if (assigned_ >= static_cast<std::int32_t>(internal_order_.size())) {
+    throw std::logic_error("push_assignment: every internal node is already assigned");
+  }
+  const std::int32_t node = internal_order_[static_cast<std::size_t>(assigned_)];
+  const Node& nd = nodes_[static_cast<std::size_t>(node)];
+  prefix_marks_.push_back(prefix_.size());
+  prefix_.push_back(static_cast<std::uint8_t>(nd.child_count));
+  for (std::int32_t i = 0; i < nd.child_count; ++i) {
+    const Colour c = colours[i];
+    if (c < 1 || c > k_ || (i > 0 && colours[i - 1] >= c)) {
+      prefix_.resize(prefix_marks_.back());
+      prefix_marks_.pop_back();
+      throw std::invalid_argument("push_assignment: colours must be ascending in [1, k]");
+    }
+    child_colours_[static_cast<std::size_t>(nd.first_child + i)] = c;
+    prefix_.push_back(static_cast<std::uint8_t>(c));
+  }
+  ++assigned_;
+  // Segments appear in node-index order, so the prefix extends through any
+  // truncated nodes sitting between this internal node and the next one.
+  const std::int32_t stop = assigned_ < static_cast<std::int32_t>(internal_order_.size())
+                                ? internal_order_[static_cast<std::size_t>(assigned_)]
+                                : node_count();
+  for (std::int32_t j = node + 1; j < stop; ++j) prefix_.push_back(0xff);
+}
+
+void SerialisedView::pop_assignment() {
+  if (prefix_marks_.empty()) throw std::logic_error("pop_assignment: nothing to pop");
+  prefix_.resize(prefix_marks_.back());
+  prefix_marks_.pop_back();
+  --assigned_;
+}
+
+const std::vector<std::uint8_t>& SerialisedView::reference_bytes(
+    std::vector<std::uint8_t>& local) const {
+  if (skeleton_) return prefix_;
+  serialise(identity_perm(k_), local);
+  return local;
+}
 
 void SerialisedView::serialise(const ColourPerm& pi, std::vector<std::uint8_t>& out) const {
   if (static_cast<int>(pi.size()) != k_ + 1) {
@@ -172,17 +246,216 @@ void SerialisedView::serialise(const ColourPerm& pi, std::vector<std::uint8_t>& 
   }
 }
 
-std::vector<ColourPerm> SerialisedView::stabiliser() const {
-  std::vector<std::uint8_t> reference;
-  serialise(identity_perm(k_), reference);
-  std::vector<ColourPerm> out;
-  std::vector<std::uint8_t> buf;
-  for (ColourPerm& pi : all_perms(k_)) {
-    buf.clear();
-    serialise(pi, buf);
-    if (buf == reference) out.push_back(std::move(pi));
+/// Shared walk behind stabiliser() and prefix_rejects(): a DFS over the
+/// tree in π-image order with lazy colour-image assignment, compared byte
+/// by byte against the identity serialisation (`ref`).  Every live branch
+/// is byte-equal to ref so far, which keeps the state machine simpler than
+/// Canon's incumbent tracking:
+///
+///   - reject mode hunts for a *certificate*: a branch whose next byte is
+///     strictly below ref while everything before matched.  Such a π beats
+///     the identity on bytes the assignment already determines, so no
+///     completion of the prefix can be canonical.  At a branch node the
+///     free colour images are forced to the smallest unused values (the
+///     lex-min composite list); if even that list exceeds ref the branch is
+///     dead, if it ties it is the unique tying image set, and if it drops
+///     below ref it is the certificate.
+///   - tie mode (stabiliser) keeps only branches that stay byte-equal, so
+///     the free image multiset is dictated by ref itself — the walker reads
+///     the required images straight out of the reference segment.
+///
+/// A branch that reaches a node whose colours are not yet assigned (or
+/// runs past the known prefix) is indeterminate and certifies nothing.
+/// Branches that walk the whole tree byte-equal are stabiliser elements;
+/// their free (never-emitted) colours extend to every bijection on the
+/// unused values.
+struct SerialisedView::PrefixWalk {
+  const SerialisedView& t;
+  const std::vector<std::uint8_t>& ref;
+  std::int32_t unknown_from;  // non-truncated nodes >= this have unassigned colours
+  bool reject_mode;
+  std::vector<ColourPerm>* ties;
+  int k;
+  ColourPerm perm;               // colour → image, kNoColour = unassigned
+  std::vector<char> value_used;  // image → taken
+  std::size_t pos = 1;           // ref[0] is the shared k byte
+  bool smaller = false;          // reject mode: certificate found
+
+  PrefixWalk(const SerialisedView& view, const std::vector<std::uint8_t>& reference,
+             std::int32_t unknown, bool reject, std::vector<ColourPerm>* tie_sink)
+      : t(view),
+        ref(reference),
+        unknown_from(unknown),
+        reject_mode(reject),
+        ties(tie_sink),
+        k(view.k()),
+        perm(static_cast<std::size_t>(view.k()) + 1, gk::kNoColour),
+        value_used(static_cast<std::size_t>(view.k()) + 1, 0) {}
+
+  bool emit(std::uint8_t b) {
+    if (pos >= ref.size()) return false;  // past the determined prefix: indeterminate
+    const std::uint8_t r = ref[pos];
+    if (b != r) {
+      if (reject_mode && b < r) smaller = true;
+      return false;
+    }
+    ++pos;
+    return true;
   }
+
+  void run() { step({0}); }
+
+  void step(std::vector<std::int32_t> stack) {
+    std::vector<std::pair<Colour, std::int32_t>> order;
+    while (!stack.empty()) {
+      const Node& node = t.nodes_[static_cast<std::size_t>(stack.back())];
+      const std::int32_t idx = stack.back();
+      stack.pop_back();
+      if (node.truncated) {
+        if (!emit(0xff)) return;
+        continue;
+      }
+      if (idx >= unknown_from) return;  // unassigned colours: indeterminate
+      if (!emit(static_cast<std::uint8_t>(node.child_count))) return;
+      std::vector<Colour> unassigned;
+      for (std::int32_t i = 0; i < node.child_count; ++i) {
+        const Colour c = t.child_colours_[static_cast<std::size_t>(node.first_child + i)];
+        if (perm[c] == gk::kNoColour) unassigned.push_back(c);
+      }
+      if (unassigned.empty()) {
+        order.clear();
+        for (std::int32_t i = 0; i < node.child_count; ++i) {
+          const std::size_t slot = static_cast<std::size_t>(node.first_child + i);
+          order.emplace_back(perm[t.child_colours_[slot]], t.child_nodes_[slot]);
+        }
+        std::sort(order.begin(), order.end());
+        for (const auto& [c, child] : order) {
+          if (!emit(c)) return;
+        }
+        for (auto it = order.rbegin(); it != order.rend(); ++it) stack.push_back(it->second);
+        continue;
+      }
+      // Branch point: pick the free image set, then try every matching.
+      std::sort(unassigned.begin(), unassigned.end());
+      std::vector<Colour> images;
+      if (reject_mode) {
+        // The smallest unused values give the lex-min composite list; see
+        // the struct comment for why this loses no certificate and no tie.
+        for (Colour v = 1; static_cast<int>(v) <= k && images.size() < unassigned.size(); ++v) {
+          if (!value_used[v]) images.push_back(v);
+        }
+      } else {
+        // Tie mode: the required composite multiset is ref's own segment;
+        // subtract the fixed images, the remainder is the forced free set.
+        if (pos + static_cast<std::size_t>(node.child_count) > ref.size()) return;
+        std::vector<char> needed(static_cast<std::size_t>(k) + 1, 0);
+        for (std::int32_t i = 0; i < node.child_count; ++i) {
+          const std::uint8_t v = ref[pos + static_cast<std::size_t>(i)];
+          if (v < 1 || v > static_cast<std::uint8_t>(k)) return;
+          ++needed[v];
+        }
+        for (std::int32_t i = 0; i < node.child_count; ++i) {
+          const Colour c = t.child_colours_[static_cast<std::size_t>(node.first_child + i)];
+          if (perm[c] == gk::kNoColour) continue;
+          if (needed[perm[c]] == 0) return;  // fixed image not in ref's segment
+          --needed[perm[c]];
+        }
+        for (Colour v = 1; static_cast<int>(v) <= k; ++v) {
+          if (needed[v] > 1 || (needed[v] == 1 && value_used[v])) return;
+          if (needed[v] == 1) images.push_back(v);
+        }
+        if (images.size() != unassigned.size()) return;
+      }
+      const std::size_t saved_pos = pos;
+      do {
+        for (std::size_t i = 0; i < unassigned.size(); ++i) {
+          perm[unassigned[i]] = images[i];
+          value_used[images[i]] = 1;
+        }
+        order.clear();
+        for (std::int32_t i = 0; i < node.child_count; ++i) {
+          const std::size_t slot = static_cast<std::size_t>(node.first_child + i);
+          order.emplace_back(perm[t.child_colours_[slot]], t.child_nodes_[slot]);
+        }
+        std::sort(order.begin(), order.end());
+        bool dead = false;
+        for (const auto& [c, child] : order) {
+          if (!emit(c)) {
+            dead = true;
+            break;
+          }
+        }
+        if (!dead) {
+          std::vector<std::int32_t> continuation = stack;
+          for (auto it = order.rbegin(); it != order.rend(); ++it) {
+            continuation.push_back(it->second);
+          }
+          step(std::move(continuation));
+        }
+        pos = saved_pos;
+        for (std::size_t i = 0; i < unassigned.size(); ++i) {
+          perm[unassigned[i]] = gk::kNoColour;
+          value_used[images[i]] = 0;
+        }
+        if (smaller) return;  // a certificate aborts the whole search
+      } while (std::next_permutation(images.begin(), images.end()));
+      return;  // every continuation ran inside the loop
+    }
+    // Whole tree walked byte-equal: a tie.  (An unassigned node would have
+    // aborted the branch, so reaching here means the view is fully
+    // assigned and pos == ref.size().)  Colours that never appear in the
+    // emitted bytes extend to every bijection onto the unused values.
+    if (ties == nullptr) return;
+    std::vector<Colour> free_cols, free_vals;
+    for (Colour c = 1; static_cast<int>(c) <= k; ++c) {
+      if (perm[c] == gk::kNoColour) free_cols.push_back(c);
+    }
+    for (Colour v = 1; static_cast<int>(v) <= k; ++v) {
+      if (!value_used[v]) free_vals.push_back(v);
+    }
+    do {
+      ColourPerm full = perm;
+      for (std::size_t i = 0; i < free_cols.size(); ++i) full[free_cols[i]] = free_vals[i];
+      ties->push_back(std::move(full));
+    } while (std::next_permutation(free_vals.begin(), free_vals.end()));
+  }
+};
+
+std::vector<ColourPerm> SerialisedView::stabiliser() const {
+  require_orbit_k(k_, "SerialisedView::stabiliser");
+  std::vector<std::uint8_t> local;
+  std::vector<ColourPerm> out;
+  PrefixWalk walk(*this, reference_bytes(local), node_count(), /*reject=*/false, &out);
+  walk.run();
+  std::sort(out.begin(), out.end(), [](const ColourPerm& a, const ColourPerm& b) {
+    return perm_rank(a) < perm_rank(b);
+  });
   return out;
+}
+
+bool SerialisedView::prefix_rejects(std::vector<ColourPerm>* stabiliser) const {
+  require_orbit_k(k_, "SerialisedView::prefix_rejects");
+  const bool complete = assigned_ == static_cast<std::int32_t>(internal_order_.size());
+  if (stabiliser != nullptr && !complete) {
+    throw std::invalid_argument("prefix_rejects: stabiliser needs a complete assignment");
+  }
+  std::vector<std::uint8_t> local;
+  const std::int32_t unknown_from =
+      complete ? node_count() : internal_order_[static_cast<std::size_t>(assigned_)];
+  if (stabiliser != nullptr) stabiliser->clear();
+  PrefixWalk walk(*this, reference_bytes(local), unknown_from, /*reject=*/true, stabiliser);
+  walk.run();
+  if (stabiliser != nullptr) {
+    if (walk.smaller) {
+      stabiliser->clear();  // a rejected view has no meaningful tie set
+    } else {
+      std::sort(stabiliser->begin(), stabiliser->end(),
+                [](const ColourPerm& a, const ColourPerm& b) {
+                  return perm_rank(a) < perm_rank(b);
+                });
+    }
+  }
+  return walk.smaller;
 }
 
 /// Branch-and-bound minimisation state.  The emission mirrors serialise():

@@ -91,8 +91,48 @@ class SerialisedView {
   /// intermediate buffer.
   SerialisedView(const ColourSystem& view, int radius);
 
+  /// Orderly-generation support: the shared serialisation *skeleton* of the
+  /// complete d-regular depth-rho views (the root has d children, every
+  /// deeper internal node d-1, depth-rho nodes are leaves-by-truncation).
+  /// Nodes are laid out in preorder — the order their segments appear in
+  /// the serialisation — with every child-colour slot unassigned.  Colours
+  /// are then supplied one internal node at a time via push_assignment(),
+  /// which keeps the identity serialisation of the assigned region
+  /// available as a growing byte prefix (prefix_bytes()).
+  SerialisedView(int k, int d, int rho);
+
   int k() const noexcept { return k_; }
   int node_count() const noexcept { return static_cast<int>(nodes_.size()); }
+
+  /// Preorder indices of the internal (non-truncated) nodes — the
+  /// assignment order of the orderly walk.  Populated for every view.
+  const std::vector<std::int32_t>& internal_preorder() const noexcept {
+    return internal_order_;
+  }
+  /// Internal nodes whose child colours have been assigned.  A parsed view
+  /// is fully assigned; a fresh skeleton starts at 0.
+  int assigned() const noexcept { return assigned_; }
+  int child_count_of(std::int32_t node) const {
+    return nodes_[static_cast<std::size_t>(node)].child_count;
+  }
+  /// The i-th child (slot order) of an internal node.  In a skeleton, slot
+  /// order is creation order, so assigning an ascending colour list gives
+  /// slot i the i-th smallest downward colour.
+  std::int32_t child_node(std::int32_t node, int i) const {
+    return child_nodes_[static_cast<std::size_t>(
+        nodes_[static_cast<std::size_t>(node)].first_child + i)];
+  }
+
+  /// Assigns the sorted child-colour list of the next unassigned internal
+  /// node (preorder).  `colours` must hold child_count_of(that node)
+  /// strictly ascending colours in [1, k].  Skeleton views only.
+  void push_assignment(const Colour* colours);
+  /// Undoes the most recent push_assignment.
+  void pop_assignment();
+  /// The identity serialisation of the assigned region: the bytes of
+  /// serialise(id) that are already determined by the pushed assignments
+  /// (the full serialisation once every internal node is assigned).
+  const std::vector<std::uint8_t>& prefix_bytes() const noexcept { return prefix_; }
 
   /// Appends the serialisation of the π-relabelled tree to `out` — the
   /// bytes of permuted(π).serialize(radius), children re-sorted under π.
@@ -109,8 +149,25 @@ class SerialisedView {
   void canonicalise(std::vector<std::uint8_t>& out, ColourPerm* witness = nullptr) const;
 
   /// All π with serialise(π) == serialise(id): the stabiliser of the tree
-  /// in S_k.  Always contains the identity.
+  /// in S_k, in Lehmer-rank (= all_perms) order.  Always contains the
+  /// identity.  Branch-and-bound: a π-branch dies at its first byte that
+  /// differs from the identity serialisation, so the cost tracks the tree's
+  /// actual symmetry instead of a literal k! re-serialisation sweep.
   std::vector<ColourPerm> stabiliser() const;
+
+  /// Incremental is-canonical test over the assigned prefix (the orderly
+  /// generator's prune).  Returns true iff there is a permutation π whose
+  /// serialisation is certifiably smaller than the identity serialisation
+  /// on bytes the assignment already determines — in which case *no*
+  /// completion of the unassigned colours can be orbit-canonical, and the
+  /// whole augmentation subtree may be skipped.  Sound but deliberately
+  /// partial on prefixes (a π-branch that reaches an unassigned node is
+  /// indeterminate and certifies nothing); on a fully assigned view the
+  /// test is exact: it returns true iff the view is not its own
+  /// orbit-canonical form.  `stabiliser`, allowed only on fully assigned
+  /// views, receives the stabiliser (rank order) when the view is not
+  /// rejected — a free by-product of the exhausted search.
+  bool prefix_rejects(std::vector<ColourPerm>* stabiliser = nullptr) const;
 
  private:
   struct Node {
@@ -119,12 +176,24 @@ class SerialisedView {
     bool truncated = false;  // leaf-by-truncation: emits 0xff, no child list
   };
 
-  struct Canon;  // branch-and-bound state (canon.cpp)
+  struct Canon;       // branch-and-bound minimisation state (canon.cpp)
+  struct PrefixWalk;  // prefix-rejection / stabiliser walk state (canon.cpp)
+
+  /// The identity-serialisation reference for the walkers: prefix_ when the
+  /// skeleton machinery maintains it, else serialise(id) into `local`.
+  const std::vector<std::uint8_t>& reference_bytes(std::vector<std::uint8_t>& local) const;
 
   int k_ = 0;
   std::vector<Node> nodes_;  // node 0 is the root
   std::vector<Colour> child_colours_;
   std::vector<std::int32_t> child_nodes_;
+  // Orderly-generation state (see the skeleton constructor).  Parsed views
+  // are fully assigned with an empty (lazily derived) prefix.
+  std::vector<std::int32_t> internal_order_;  // preorder internal node indices
+  std::int32_t assigned_ = 0;
+  bool skeleton_ = false;
+  std::vector<std::uint8_t> prefix_;
+  std::vector<std::size_t> prefix_marks_;  // prefix_ length before each push
 };
 
 /// Convenience wrappers over SerialisedView for one-shot callers.

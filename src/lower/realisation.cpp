@@ -113,9 +113,11 @@ Colour Evaluator::evaluate_orbit(const Template& tmpl, NodeId t,
     }
   }
   if (need_stabiliser) {
-    // k! serialisations — a pure function of the canonical bytes, so run
-    // it outside the critical section and let the first finisher install
-    // (double-checked: a racing thread's identical result is dropped).
+    // A branch-and-bound tie walk over the canonical bytes (most branches
+    // die within a node or two; far below the old k! serialise-and-compare
+    // sweep) — a pure function of those bytes, so run it outside the
+    // critical section and let the first finisher install (double-checked:
+    // a racing thread's identical result is dropped).
     std::vector<colsys::ColourPerm> stabiliser = colsys::serialisation_stabiliser(canonical);
     std::unique_lock<std::mutex> lock(*mutex_, std::defer_lock);
     if (locking) lock.lock();

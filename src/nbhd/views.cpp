@@ -54,8 +54,9 @@ void subsets(int k, int count, Colour forced, std::vector<std::vector<Colour>>& 
 /// canonical order (root digit most significant; within a level, lower BFS
 /// indices cycle faster; deeper levels cycle faster than shallower ones),
 /// and hands each view to `fn`.  Throws before building anything when the
-/// closed-form count exceeds `max_views`.  Shared by the raw and the orbit
-/// enumeration so the two walk bit-identical view sequences.
+/// closed-form count exceeds `max_views`.  Drives the raw enumeration and
+/// the replay-fold oracle (reduce_catalogue); the orbit enumeration itself
+/// now runs on the orderly generator below and never replays these views.
 void for_each_view(int k, int d, int rho, int max_views,
                    const std::function<void(ColourSystem&&)>& fn) {
   if (d < 1 || d > k) throw std::invalid_argument("enumerate_views: need 1 <= d <= k");
@@ -490,25 +491,163 @@ class OrbitBuilder {
   std::vector<std::uint8_t> buf_;
 };
 
+/// Rebuilds a ColourSystem from its serialisation (recursive descent over
+/// the [k] + preorder node-segment format).  The orderly generator hands
+/// out canonical bytes only, so this is the whole rep materialisation.
+ColourSystem view_from_bytes(int k, const std::vector<std::uint8_t>& bytes) {
+  ColourSystem view(k, colsys::kExactRadius);
+  std::size_t pos = 1;  // bytes[0] is the k byte
+  std::vector<Colour> cols;
+  const auto rec = [&](auto&& self, colsys::NodeId node) -> void {
+    const std::uint8_t head = bytes.at(pos++);
+    if (head == 0xff) return;  // leaf by truncation
+    cols.clear();
+    for (int i = 0; i < head; ++i) cols.push_back(bytes.at(pos++));
+    std::vector<colsys::NodeId> kids;
+    kids.reserve(cols.size());
+    for (const Colour c : cols) kids.push_back(view.add_child(node, c));
+    for (const colsys::NodeId kid : kids) self(self, kid);
+  };
+  rec(rec, ColourSystem::root());
+  return view;
+}
+
+/// Canonical left-coset representatives of `stabiliser` over the whole of
+/// S_k, sorted and deduplicated by Lehmer rank — the full member list of
+/// one orbit.  (Orderly generation sees the full catalogue by definition,
+/// so unlike the replay-fold there is no `present` subset to track.)
+std::vector<ColourPerm> all_cosets(const std::vector<ColourPerm>& perms,
+                                   const std::vector<ColourPerm>& stabiliser) {
+  std::vector<std::pair<std::uint32_t, ColourPerm>> ranked;
+  ranked.reserve(perms.size());
+  for (const ColourPerm& sigma : perms) {
+    ColourPerm rep = colsys::min_coset_rep(sigma, stabiliser);
+    ranked.emplace_back(colsys::perm_rank(rep), std::move(rep));
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  ranked.erase(std::unique(ranked.begin(), ranked.end(),
+                           [](const auto& a, const auto& b) { return a.first == b.first; }),
+               ranked.end());
+  std::vector<ColourPerm> cosets;
+  cosets.reserve(ranked.size());
+  for (auto& [rank, rep] : ranked) cosets.push_back(std::move(rep));
+  return cosets;
+}
+
 }  // namespace
 
-OrbitCatalogue enumerate_orbits(int k, int d, int rho, int max_views) {
-  OrbitBuilder builder(k, d, rho);
-  {
-    const OrbitCensus census = orbit_census(k, d, rho);
-    if (census.views <= static_cast<double>(max_views)) {
-      builder.reserve(static_cast<std::size_t>(census.views));
+OrbitGenStats orderly_orbit_reps(int k, int d, int rho,
+                                 const std::function<bool(OrderlyRep&&)>& fn) {
+  if (d < 1 || d > k) throw std::invalid_argument("orderly_orbit_reps: need 1 <= d <= k");
+  if (rho < 1) throw std::invalid_argument("orderly_orbit_reps: need rho >= 1");
+  if (k > colsys::kMaxOrbitColours) {
+    throw std::invalid_argument("orderly_orbit_reps: k too large for the orbit machinery");
+  }
+  // Per-node colour-set options, exactly as in for_each_view: assigning
+  // them in the skeleton's preorder makes the identity serialisation grow
+  // as a literal byte prefix, and walking each option list in its ascending
+  // order emits the surviving (canonical) views in ascending lexicographic
+  // byte order — already the OrbitCatalogue rep order, no sort needed.
+  std::vector<std::vector<Colour>> root_options;
+  subsets(k, d, gk::kNoColour, root_options);
+  std::vector<std::vector<std::vector<Colour>>> child_options(static_cast<std::size_t>(k) + 1);
+  for (Colour p = 1; p <= k; ++p) {
+    std::vector<std::vector<Colour>> with;
+    subsets(k, d, p, with);
+    for (auto& s : with) {
+      s.erase(std::remove(s.begin(), s.end(), p), s.end());
+      child_options[p].push_back(std::move(s));
     }
   }
-  std::int64_t raw = 0;
-  for_each_view(k, d, rho, max_views, [&](ColourSystem&& view) {
-    builder.add(view);
-    ++raw;
-  });
-  OrbitCatalogue catalogue = builder.finish();
-  if (catalogue.view_count() != raw) {
-    throw std::logic_error("enumerate_orbits: member count mismatch (orbit fold bug)");
+  double fact = 1.0;
+  for (int i = 2; i <= k; ++i) fact *= static_cast<double>(i);
+
+  colsys::SerialisedView skeleton(k, d, rho);
+  const std::vector<std::int32_t>& order = skeleton.internal_preorder();
+  std::vector<Colour> pcolour(static_cast<std::size_t>(skeleton.node_count()), gk::kNoColour);
+
+  OrbitGenStats stats;
+  bool stopped = false;
+  const auto dfs = [&](auto&& self, std::size_t idx) -> void {
+    if (idx == order.size()) {
+      // Every internal node assigned: the test is exact here, and the tie
+      // set of a surviving view is precisely its stabiliser.
+      std::vector<ColourPerm> stab;
+      if (skeleton.prefix_rejects(&stab)) {
+        ++stats.prefixes_rejected;
+        return;
+      }
+      OrderlyRep rep;
+      rep.bytes = skeleton.prefix_bytes();
+      rep.index = stats.reps_generated++;
+      stats.member_views += fact / static_cast<double>(stab.size());
+      rep.stabiliser = std::move(stab);
+      if (!fn(std::move(rep))) stopped = true;
+      return;
+    }
+    const std::int32_t node = order[idx];
+    const Colour parent = pcolour[static_cast<std::size_t>(node)];
+    const auto& options = parent == gk::kNoColour ? root_options : child_options[parent];
+    const int count = skeleton.child_count_of(node);
+    for (const auto& opt : options) {
+      skeleton.push_assignment(opt.data());
+      // Prefix rejection: if some permutation already beats the assigned
+      // bytes, no completion of this subtree can be canonical — the whole
+      // augmentation subtree is pruned in one test.  The complete level
+      // runs the exact test above instead, so skip the duplicate walk.
+      if (idx + 1 < order.size() && skeleton.prefix_rejects()) {
+        ++stats.prefixes_rejected;
+      } else {
+        for (int i = 0; i < count; ++i) {
+          pcolour[static_cast<std::size_t>(skeleton.child_node(node, i))] = opt[static_cast<std::size_t>(i)];
+        }
+        self(self, idx + 1);
+      }
+      skeleton.pop_assignment();
+      if (stopped) return;
+    }
+  };
+  dfs(dfs, 0);
+  stats.complete = !stopped;
+  return stats;
+}
+
+OrbitCatalogue enumerate_orbits(int k, int d, int rho, int max_views, OrbitGenStats* stats) {
+  // The guard is the closed-form Burnside census of *orbits* — reps
+  // generated — not raw views: the orderly path never materialises a
+  // non-canonical view, so the raw count no longer bounds anything.
+  const OrbitCensus census = orbit_census(k, d, rho);
+  if (census.orbits > static_cast<double>(max_views)) {
+    throw std::runtime_error("enumerate_orbits: orbit catalogue exceeds max_views");
   }
+  OrbitCatalogue catalogue;
+  catalogue.k = k;
+  catalogue.d = d;
+  catalogue.rho = rho;
+  catalogue.reps.reserve(static_cast<std::size_t>(census.orbits));
+  catalogue.stabilisers.reserve(static_cast<std::size_t>(census.orbits));
+  catalogue.cosets.reserve(static_cast<std::size_t>(census.orbits));
+  catalogue.offsets.reserve(static_cast<std::size_t>(census.orbits) + 1);
+  catalogue.offsets.push_back(0);
+  const std::vector<ColourPerm> perms = colsys::all_perms(k);
+  const OrbitGenStats gen = orderly_orbit_reps(k, d, rho, [&](OrderlyRep&& rep) {
+    catalogue.reps.push_back(view_from_bytes(k, rep.bytes));
+    std::vector<ColourPerm> cosets = all_cosets(perms, rep.stabiliser);
+    catalogue.offsets.push_back(catalogue.offsets.back() +
+                                static_cast<std::int64_t>(cosets.size()));
+    catalogue.cosets.push_back(std::move(cosets));
+    catalogue.stabilisers.push_back(std::move(rep.stabiliser));
+    return true;
+  });
+  // A generation bug would silently drop orbits and flip UNSAT verdicts;
+  // the census is exact and independent, so disagreeing with it is fatal.
+  if (static_cast<double>(catalogue.orbit_count()) != census.orbits ||
+      static_cast<double>(catalogue.view_count()) != census.views) {
+    throw std::logic_error(
+        "enumerate_orbits: orderly generation disagrees with the Burnside census");
+  }
+  if (stats != nullptr) *stats = gen;
   return catalogue;
 }
 

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -107,12 +108,54 @@ struct OrbitCatalogue {
   std::int64_t view_count() const noexcept { return offsets.empty() ? 0 : offsets.back(); }
 };
 
-/// Enumerates the catalogue modulo colour permutation: replays the counted
-/// choice-vector enumeration, folds each view into its orbit, and emits one
-/// representative (+ stabiliser and member cosets) per orbit.  The raw
-/// member count is guarded by `max_views` exactly like enumerate_views —
-/// use orbit_census for catalogues beyond materialisation.
-OrbitCatalogue enumerate_orbits(int k, int d, int rho, int max_views = 2'000'000);
+/// Counters from an orderly generation run (orderly_orbit_reps /
+/// enumerate_orbits).  On the orderly path no raw view is ever replayed:
+/// `views_replayed` stays 0 and `member_views` is the closed-form
+/// Σ k!/|Stab(rep)| — the raw catalogue size reached without walking it.
+struct OrbitGenStats {
+  std::int64_t reps_generated = 0;
+  /// Raw views materialised along the way (0 for orderly generation; the
+  /// PR 5 replay-fold in reduce_catalogue walks one per member).
+  std::int64_t views_replayed = 0;
+  /// Partial choice vectors pruned by the incremental is-canonical test.
+  std::int64_t prefixes_rejected = 0;
+  /// Orbit sizes summed in closed form; exact below 2^53.
+  double member_views = 0;
+  /// False iff the callback stopped the walk early.
+  bool complete = false;
+};
+
+/// One canonical orbit representative as streamed by orderly_orbit_reps.
+struct OrderlyRep {
+  /// The representative's serialisation — already orbit-canonical (the
+  /// generator never emits a view that fails to canonise to itself), and
+  /// emitted in ascending lexicographic byte order.
+  std::vector<std::uint8_t> bytes;
+  /// Ordinal of this rep in emission (== canonical-bytes) order.
+  std::int64_t index = 0;
+  /// Stabiliser of the representative in S_k, sorted by Lehmer rank.
+  std::vector<ColourPerm> stabiliser;
+};
+
+/// McKay-style orderly generation: walks the augmentation tree of partial
+/// choice vectors in canonical order, prunes every prefix whose completions
+/// cannot be orbit-canonical (SerialisedView::prefix_rejects), and streams
+/// exactly the canonical orbit representatives — no raw view is ever
+/// materialised.  Return false from `fn` to stop early (stats.complete
+/// records whether the walk ran dry).  Unbounded: the caller guards scale,
+/// e.g. with orbit_census.
+OrbitGenStats orderly_orbit_reps(int k, int d, int rho,
+                                 const std::function<bool(OrderlyRep&&)>& fn);
+
+/// Enumerates the catalogue modulo colour permutation via orderly
+/// generation: only the canonical representatives are built (+ stabiliser
+/// and member cosets per orbit), so `max_views` now guards *reps
+/// generated*, not raw members — `k = 5, ρ = 3` (1.79×10⁸ reps over
+/// 2.1×10¹⁰ raw views) is reachable by raising it.  The rep set is
+/// cross-checked against the closed-form Burnside census before returning;
+/// `stats`, when given, receives the generation counters.
+OrbitCatalogue enumerate_orbits(int k, int d, int rho, int max_views = 2'000'000,
+                                OrbitGenStats* stats = nullptr);
 
 /// Folds an explicit catalogue into orbits.  For a full enumerate_views
 /// catalogue this equals enumerate_orbits (and the result is identical for

@@ -34,6 +34,7 @@ Record sample() {
   r.rss_bytes = 104857600;
   r.orbits = 3330;
   r.orbit_reduction = 23.64;
+  r.reps_generated = 3330;
   return r;
 }
 
@@ -45,7 +46,8 @@ TEST(BenchJson, StableFieldNamesAndOrder) {
             "\"max_message_bytes\":1,\"views\":78732,\"pairs\":9570312,"
             "\"csp_nodes\":135864,\"memo_hits\":11,\"threads\":2,"
             "\"init_ms\":1.5,\"rss_bytes\":104857600,"
-            "\"orbits\":3330,\"orbit_reduction\":23.640000000000001}");
+            "\"orbits\":3330,\"orbit_reduction\":23.640000000000001,"
+            "\"reps_generated\":3330}");
 }
 
 TEST(BenchJson, PipelineStatsDefaultToInert) {
@@ -63,6 +65,8 @@ TEST(BenchJson, PipelineStatsDefaultToInert) {
   // dmm-bench-4 colour-symmetry stats too.
   EXPECT_EQ(r.orbits, 0);
   EXPECT_EQ(r.orbit_reduction, 0.0);
+  // dmm-bench-5 orderly-generation stats too.
+  EXPECT_EQ(r.reps_generated, 0);
 }
 
 TEST(BenchJson, PeakRssIsPositiveOnLinux) {
@@ -112,6 +116,10 @@ TEST(BenchJson, RejectsMalformedRecords) {
   const std::string::size_type cut = current.find(",\"orbits\"");
   ASSERT_NE(cut, std::string::npos);
   EXPECT_THROW(parse_record(current.substr(0, cut) + "}"), std::invalid_argument);
+  // Likewise a dmm-bench-4 record (reps_generated absent).
+  const std::string::size_type cut5 = current.find(",\"reps_generated\"");
+  ASSERT_NE(cut5, std::string::npos);
+  EXPECT_THROW(parse_record(current.substr(0, cut5) + "}"), std::invalid_argument);
   // A record whose orbits field is present but mis-ordered is rejected too.
   std::string swapped = current;
   swapped.replace(swapped.find("\"orbits\""), 8, "\"orbitz\"");
@@ -167,7 +175,7 @@ TEST(BenchJson, HarnessStripsItsFlagsAndWrites) {
   std::stringstream content;
   content << in.rdbuf();
   const std::string text = content.str();
-  EXPECT_NE(text.find("\"schema\":\"dmm-bench-4\""), std::string::npos);
+  EXPECT_NE(text.find("\"schema\":\"dmm-bench-5\""), std::string::npos);
   EXPECT_NE(text.find("\"experiment\":\"e1\""), std::string::npos);
   // Each stored record is embedded verbatim, so the file parses record by
   // record with the same parser the round-trip test uses.

@@ -204,16 +204,19 @@ int cmd_views(const std::vector<std::string>& args) {
   long long views = 0, orbit_count = 0;
   std::size_t pair_count = 0;
   nbhd::CspResult result;
+  nbhd::OrbitGenStats gen;
   bool census_only = false;
   if (orbits) {
     const nbhd::OrbitCensus census = nbhd::orbit_census(k, d, rho);
     views = static_cast<long long>(census.views);
     orbit_count = static_cast<long long>(census.orbits);
-    if (census.views > static_cast<double>(max_views)) {
-      // Beyond materialisation: report the Burnside census alone.
+    if (census.orbits > static_cast<double>(max_views)) {
+      // Orderly generation guards on reps generated, not raw views, so
+      // only a catalogue whose *orbit* count exceeds the guard falls back
+      // to the Burnside census alone.
       census_only = true;
     } else {
-      const nbhd::OrbitCatalogue cat = nbhd::enumerate_orbits(k, d, rho, max_views);
+      const nbhd::OrbitCatalogue cat = nbhd::enumerate_orbits(k, d, rho, max_views, &gen);
       const std::vector<nbhd::CompatiblePair> pairs = nbhd::compatible_pairs(cat);
       result = nbhd::solve(cat, pairs, nbhd::CspOptions{.threads = threads});
       pair_count = pairs.size();
@@ -234,6 +237,10 @@ int cmd_views(const std::vector<std::string>& args) {
     if (census_only) {
       std::cout << ",\"census_only\":true";
     } else {
+      if (orbits) {
+        std::cout << ",\"reps_generated\":" << gen.reps_generated
+                  << ",\"raw_views_avoided\":" << views - gen.views_replayed;
+      }
       std::cout << ",\"pairs\":" << pair_count
                 << ",\"satisfiable\":" << (result.satisfiable ? "true" : "false")
                 << ",\"csp_nodes\":" << result.nodes_explored;
@@ -248,8 +255,12 @@ int cmd_views(const std::vector<std::string>& args) {
                 << "x reduction)\n";
     }
     if (census_only) {
-      std::cout << "catalogue exceeds max-views: Burnside census only (no CSP solve)\n";
+      std::cout << "orbit catalogue exceeds max-views: Burnside census only (no CSP solve)\n";
     } else {
+      if (orbits) {
+        std::cout << "orderly generation: " << gen.reps_generated << " reps, "
+                  << views - gen.views_replayed << " raw views never built\n";
+      }
       std::cout << "compatible pairs: " << pair_count << "\n";
       std::cout << "labelling CSP: " << (result.satisfiable ? "SAT" : "UNSAT") << " ("
                 << result.nodes_explored << " search nodes";

@@ -8,9 +8,19 @@ the binaries it actually finds.
 
 Usage:
   tools/run_benches.py --bin-dir build [--out-dir build/bench-json] [--smoke]
+  tools/run_benches.py --compare FILE [FILE ...] --baseline bench/baseline
 
 --smoke passes --smoke to each binary (tables + JSON only, no
 google-benchmark loops); without it the full benchmark suites run too.
+
+--baseline DIR turns on the regression gate: every produced (or, with
+--compare, explicitly listed) trajectory is diffed against the pinned
+BENCH_*.json of the same name in DIR, matching records by instance label.
+Counter fields (csp_nodes, reps_generated) must be exactly equal,
+orbit_reduction must agree to relative tolerance, and wall_ns may not
+exceed the baseline by more than --wall-factor (checked only when the
+baseline row is slow enough to measure reliably).  Any violation fails the
+run — this is the CI gate against silent orbit-layer regressions.
 """
 
 import argparse
@@ -46,7 +56,70 @@ RECORD_FIELDS = {
     # dmm-bench-4: colour-symmetry stats (orbit counts and the ~k!-fold cut).
     "orbits": int,
     "orbit_reduction": (int, float),
+    # dmm-bench-5: orderly-generation stats (canonical reps built).
+    "reps_generated": int,
 }
+
+# Fields the --baseline regression gate diffs, with their comparison mode.
+# csp_nodes and reps_generated are deterministic counters: any drift is a
+# behaviour change, not noise.  orbit_reduction is a ratio of two exact
+# counts serialised through %.17g, so a tiny relative tolerance suffices.
+# wall_ns is the only genuinely noisy field: it is gated multiplicatively
+# and only when the baseline row is slow enough to measure reliably.
+WALL_MIN_BASELINE_NS = 5e7  # 50 ms
+
+def compare_records(name: str, current: dict, baseline: dict, wall_factor: float) -> list:
+    errors = []
+    for field in ("csp_nodes", "reps_generated"):
+        if baseline[field] > 0 and current[field] != baseline[field]:
+            errors.append(
+                f"{name}: {field} changed {baseline[field]} -> {current[field]}"
+            )
+    base_red = baseline["orbit_reduction"]
+    if base_red > 0:
+        drift = abs(current["orbit_reduction"] - base_red) / base_red
+        if drift > 1e-9:
+            errors.append(
+                f"{name}: orbit_reduction changed {base_red} -> "
+                f"{current['orbit_reduction']}"
+            )
+    if baseline["wall_ns"] >= WALL_MIN_BASELINE_NS and \
+            current["wall_ns"] > baseline["wall_ns"] * wall_factor:
+        errors.append(
+            f"{name}: wall regressed {baseline['wall_ns'] / 1e6:.1f} ms -> "
+            f"{current['wall_ns'] / 1e6:.1f} ms (> {wall_factor:g}x)"
+        )
+    return errors
+
+
+def compare_with_baseline(path: pathlib.Path, baseline_dir: pathlib.Path,
+                          wall_factor: float) -> int:
+    """Diffs one trajectory against its pinned baseline; returns the number
+    of records actually compared.  Baseline-less files pass (a new bench
+    needs a later PR to pin it); baseline rows whose instance vanished fail
+    (silently dropping a gated row is exactly what the gate is for)."""
+    base_path = baseline_dir / path.name
+    if not base_path.exists():
+        print(f"baseline: {path.name}: no pinned baseline, skipping")
+        return 0
+    with path.open() as fh:
+        current = {r["instance"]: r for r in json.load(fh)["records"]}
+    with base_path.open() as fh:
+        baseline = {r["instance"]: r for r in json.load(fh)["records"]}
+    errors = []
+    compared = 0
+    for instance, base_row in baseline.items():
+        row = current.get(instance)
+        if row is None:
+            errors.append(f"{path.name}: baseline row {instance!r} missing from run")
+            continue
+        errors.extend(compare_records(f"{path.name}: {instance!r}", row, base_row,
+                                      wall_factor))
+        compared += 1
+    if errors:
+        raise SystemExit("error: bench regression gate failed:\n  " + "\n  ".join(errors))
+    print(f"baseline: {path.name}: {compared} record(s) within tolerance")
+    return compared
 
 
 def find_binary(bin_dir: pathlib.Path, experiment: str) -> pathlib.Path:
@@ -84,10 +157,27 @@ def validate_scale_row(path: pathlib.Path) -> None:
           f"{rows[0]['wall_ns'] / 1e6:.1f} ms wall)")
 
 
+def validate_orderly_scale_row(path: pathlib.Path) -> None:
+    """--scale: e17 must carry the budgeted orderly k=5,rho=3 smoke — the
+    rep-generation run past the old raw-view guard."""
+    with path.open() as fh:
+        data = json.load(fh)
+    rows = [r for r in data["records"] if "orderly reps" in r["instance"]]
+    if not rows:
+        raise SystemExit(f"error: {path}: --scale run but no orderly reps record")
+    for row in rows:
+        if row["reps_generated"] <= 0 or row["reps_generated"] != row["orbits"]:
+            raise SystemExit(f"error: {path}: orderly scale row generated no reps: {row}")
+        if row["views"] < row["reps_generated"]:
+            raise SystemExit(f"error: {path}: orderly scale row member count bad: {row}")
+    print(f"scale: e17 orderly row ok ({rows[0]['reps_generated']} reps covering "
+          f"{rows[0]['views']} raw views in {rows[0]['wall_ns'] / 1e6:.1f} ms)")
+
+
 def validate(path: pathlib.Path, experiment: str) -> int:
     with path.open() as fh:
         data = json.load(fh)
-    if data.get("schema") != "dmm-bench-4":
+    if data.get("schema") != "dmm-bench-5":
         raise SystemExit(f"error: {path}: bad schema {data.get('schema')!r}")
     if data.get("experiment") != experiment:
         raise SystemExit(f"error: {path}: experiment mismatch {data.get('experiment')!r}")
@@ -113,17 +203,49 @@ def validate(path: pathlib.Path, experiment: str) -> int:
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--bin-dir", required=True, type=pathlib.Path)
+    parser.add_argument("--bin-dir", type=pathlib.Path)
     parser.add_argument("--out-dir", type=pathlib.Path, default=pathlib.Path("bench-json"))
     parser.add_argument("--smoke", action="store_true")
     parser.add_argument(
         "--scale",
         action="store_true",
-        help="bench_scale: add the opt-in n = 10^7 rows (currently e14's greedy "
-        "smoke) and validate their memory-model fields (nightly CI leg)",
+        help="bench_scale: add the opt-in scale rows (e14's n = 10^7 greedy "
+        "smoke, e17's budgeted orderly k=5,rho=3 rep generation) and "
+        "validate them (nightly CI leg)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        help="pinned-baseline directory; every trajectory produced (or listed "
+        "via --compare) is diffed against the same-named file there",
+    )
+    parser.add_argument(
+        "--compare",
+        nargs="+",
+        type=pathlib.Path,
+        help="skip running: just diff these BENCH_*.json files against "
+        "--baseline (which becomes required)",
+    )
+    parser.add_argument(
+        "--wall-factor",
+        type=float,
+        default=3.0,
+        help="max wall_ns growth over the baseline before the gate fails "
+        "(only rows with a >= 50 ms baseline wall are gated; default 3.0)",
     )
     args = parser.parse_args()
 
+    if args.compare:
+        if args.baseline is None:
+            parser.error("--compare requires --baseline")
+        compared = 0
+        for path in args.compare:
+            compared += compare_with_baseline(path, args.baseline, args.wall_factor)
+        print(f"ok: {len(args.compare)} file(s), {compared} record(s) gated")
+        return 0
+
+    if args.bin_dir is None:
+        parser.error("--bin-dir is required unless --compare is given")
     args.out_dir.mkdir(parents=True, exist_ok=True)
     total = 0
     for experiment in EXPERIMENTS:
@@ -139,6 +261,11 @@ def main() -> int:
 
     if args.scale:
         validate_scale_row(args.out_dir / "BENCH_e14.json")
+        validate_orderly_scale_row(args.out_dir / "BENCH_e17.json")
+    if args.baseline is not None:
+        for experiment in EXPERIMENTS:
+            compare_with_baseline(args.out_dir / f"BENCH_{experiment}.json",
+                                  args.baseline, args.wall_factor)
     print(f"ok: {len(EXPERIMENTS)} experiments, {total} records in {args.out_dir}")
     return 0
 
