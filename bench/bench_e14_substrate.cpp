@@ -41,6 +41,54 @@ void print_rows(benchjson::Harness& harness) {
   }
   std::printf("flat/sync speedup: %.1fx\n\n", sync_ns / flat_ns);
 
+  // E14d: skewed (hub-cluster / power-law-style) instances — the gauge of
+  // ISSUE 7's degree-aware chunking + work stealing.  The node range opens
+  // with a contiguous run of max-degree hub rows, the layout on which the
+  // old static node-count partition serialised one worker.  The small row
+  // runs both engines (the run_sync oracle is O(d² log d) per hub-round,
+  // so it stays small); the 258k-node row runs flat serial vs flat with 8
+  // workers — on multicore hardware the t8 row is where the chunker's
+  // ≥ 3× shows up, and both are pinned in the e14 baseline.
+  std::printf("## E14d: skewed instances, greedy on hub clusters\n");
+  std::printf("%-34s %-8s %8s %14s %10s\n", "instance", "engine", "threads",
+              "wall (ms)", "rounds");
+  {
+    const graph::EdgeColouredGraph small =
+        graph::hub_cluster_graph(/*hubs=*/120, /*hub_degree=*/64, /*first_colour=*/192);
+    const std::string inst = "hub_cluster n=7800 d=64";
+    for (const local::EngineKind kind :
+         {local::EngineKind::kSync, local::EngineKind::kFlat}) {
+      const local::RunResult run = benchjson::record_engine_run(
+          harness, inst, small, kind, algo::greedy_program_factory(), small.k() + 1);
+      std::printf("%-34s %-8s %8d %14.2f %10d\n", inst.c_str(),
+                  local::engine_kind_name(kind), 1,
+                  harness.records().back().wall_ns / 1e6, run.rounds);
+    }
+  }
+  {
+    const graph::EdgeColouredGraph skewed =
+        graph::hub_cluster_graph(/*hubs=*/2000, /*hub_degree=*/128, /*first_colour=*/128);
+    const std::string inst = "hub_cluster n=258000 d=128";
+    double serial_ns = 0;
+    for (const int threads : {1, 8}) {
+      local::FlatEngineOptions options;
+      options.threads = threads;
+      const local::RunResult run =
+          benchjson::record_engine_run(harness, inst, skewed, local::EngineKind::kFlat,
+                                       algo::greedy_program_factory(), 256, options);
+      const double wall = harness.records().back().wall_ns;
+      if (threads == 1) serial_ns = wall;
+      std::printf("%-34s %-8s %8d %14.2f %10d\n", inst.c_str(), "flat", threads,
+                  wall / 1e6, run.rounds);
+      if (threads == 8) {
+        std::printf("skewed flat t1/t8 ratio: %.2fx (hardware-dependent; "
+                    "threads_spawned=%zu, constant in rounds)\n",
+                    serial_ns / wall, run.threads_spawned);
+      }
+    }
+  }
+  std::printf("\n");
+
   // E14c (opt-in: --scale, the nightly bench_scale leg): greedy at
   // n = 10⁷ on the flat engine — the row ISSUE 4 opens.  The acceptance
   // gauge is the init share: with arena-pooled programs the setup phase
@@ -59,6 +107,26 @@ void print_rows(benchjson::Harness& harness) {
                 "flat", rec.wall_ns / 1e6, run.rounds, rec.init_ms,
                 100.0 * rec.init_ms / (rec.wall_ns / 1e6),
                 static_cast<double>(rec.rss_bytes) / (1024.0 * 1024.0 * 1024.0));
+    std::printf("\n");
+
+    // Skewed scale row (ISSUE 7 acceptance): greedy on a 10⁶-node hub
+    // cluster, flat serial vs 8 workers.  The ≥ 3× t1/t8 bar is a
+    // multicore claim — run_benches.py --scale validates the rows exist
+    // and reports the ratio, but only hardware with ≥ 8 cores can meet
+    // the bar (a single-CPU runner executes both rows on one core).
+    std::printf("## E14e: scale skewed row, greedy on hub_cluster n = 1000008 (flat)\n");
+    const graph::EdgeColouredGraph skewed =
+        graph::hub_cluster_graph(/*hubs=*/7752, /*hub_degree=*/128, /*first_colour=*/128);
+    for (const int threads : {1, 8}) {
+      local::FlatEngineOptions options;
+      options.threads = threads;
+      const local::RunResult run =
+          benchjson::record_engine_run(harness, "hub_cluster n=1000008 d=128", skewed,
+                                       local::EngineKind::kFlat,
+                                       algo::greedy_program_factory(), 256, options);
+      std::printf("%-8s t%-3d %14.2f %10d\n", "flat", threads,
+                  harness.records().back().wall_ns / 1e6, run.rounds);
+    }
     std::printf("\n");
   }
 }

@@ -14,16 +14,22 @@ inline local::RunResult record_engine_run(Harness& harness, const std::string& i
                                           const graph::EdgeColouredGraph& g,
                                           local::EngineKind kind,
                                           const local::ProgramSource& source,
-                                          int max_rounds) {
+                                          int max_rounds,
+                                          const local::FlatEngineOptions& options = {}) {
   Record record;
   record.instance = instance;
   record.n = g.node_count();
   record.m = g.edge_count();
   record.k = g.k();
   record.engine = local::engine_kind_name(kind);
+  // Sync is always serial; flat rows record the requested worker count so
+  // the baseline gate can key rows by (instance, engine, threads).
+  record.threads = kind == local::EngineKind::kFlat ? options.threads : 1;
   local::RunResult run;
-  record.wall_ns =
-      Harness::time_ns([&] { run = local::run(kind, g, source, max_rounds); });
+  record.wall_ns = Harness::time_ns([&] {
+    run = kind == local::EngineKind::kFlat ? local::run_flat(g, source, max_rounds, options)
+                                           : local::run_sync(g, source, max_rounds);
+  });
   record.rounds = run.rounds;
   record.max_message_bytes = run.max_message_bytes;
   // dmm-bench-3: how much of the wall clock was setup (program

@@ -12,6 +12,71 @@ EdgeColouredGraph::EdgeColouredGraph(int n, int k) : k_(k) {
   adjacency_.resize(static_cast<std::size_t>(n));
 }
 
+EdgeColouredGraph::EdgeColouredGraph(int n, int k, std::vector<Edge> edges)
+    : EdgeColouredGraph(n, k) {
+  if (edges.size() >= static_cast<std::size_t>(std::numeric_limits<int>::max())) {
+    throw std::length_error("EdgeColouredGraph: edge count would exceed 32 bits");
+  }
+  // Per-edge checks first (cheap, no sort needed).
+  for (const Edge& e : edges) {
+    check_node(e.u);
+    check_node(e.v);
+    if (e.u == e.v) throw std::invalid_argument("EdgeColouredGraph: self-loops not allowed");
+    if (e.colour < 1 || e.colour > k_) {
+      throw std::invalid_argument("EdgeColouredGraph: colour out of range");
+    }
+  }
+  // Properness and simplicity via one sorted half-edge list: a colour
+  // reused at a node and a parallel edge both show up as an adjacent
+  // duplicate under the right sort key.
+  struct Half3 {
+    NodeIndex at;
+    NodeIndex to;
+    Colour colour;
+  };
+  std::vector<Half3> halves;
+  halves.reserve(edges.size() * 2);
+  for (const Edge& e : edges) {
+    halves.push_back({e.u, e.v, e.colour});
+    halves.push_back({e.v, e.u, e.colour});
+  }
+  std::sort(halves.begin(), halves.end(), [](const Half3& a, const Half3& b) {
+    if (a.at != b.at) return a.at < b.at;
+    if (a.colour != b.colour) return a.colour < b.colour;
+    return a.to < b.to;
+  });
+  for (std::size_t i = 1; i < halves.size(); ++i) {
+    if (halves[i].at != halves[i - 1].at) continue;
+    if (halves[i].colour == halves[i - 1].colour) {
+      throw std::logic_error("EdgeColouredGraph: colour already used at node");
+    }
+    if (halves[i].to == halves[i - 1].to) {
+      throw std::logic_error("EdgeColouredGraph: parallel edge");
+    }
+  }
+  // Parallel edges of *different* colours sort apart under (at, colour);
+  // re-check under (at, to).
+  std::sort(halves.begin(), halves.end(), [](const Half3& a, const Half3& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.to < b.to;
+  });
+  for (std::size_t i = 1; i < halves.size(); ++i) {
+    if (halves[i].at == halves[i - 1].at && halves[i].to == halves[i - 1].to) {
+      throw std::logic_error("EdgeColouredGraph: parallel edge");
+    }
+  }
+  // Adjacency in one pass with exact per-node reserves (add_edge's
+  // push_back growth doubles allocations on hub rows).
+  std::vector<std::size_t> deg(adjacency_.size(), 0);
+  for (const Half3& h : halves) ++deg[static_cast<std::size_t>(h.at)];
+  for (std::size_t v = 0; v < adjacency_.size(); ++v) adjacency_[v].reserve(deg[v]);
+  for (const Edge& e : edges) {
+    adjacency_[static_cast<std::size_t>(e.u)].push_back({e.v, e.colour});
+    adjacency_[static_cast<std::size_t>(e.v)].push_back({e.u, e.colour});
+  }
+  edges_ = std::move(edges);
+}
+
 void EdgeColouredGraph::check_node(NodeIndex v) const {
   if (v < 0 || v >= node_count()) throw std::out_of_range("EdgeColouredGraph: bad node index");
 }

@@ -29,6 +29,15 @@ class EdgeColouredGraph {
   /// An empty graph on n nodes with palette [k].
   EdgeColouredGraph(int n, int k);
 
+  /// Bulk construction: takes the whole edge list at once and validates it
+  /// in O(m log m) by sorting the half-edge list, instead of add_edge's
+  /// O(deg) linear scan per edge — which is O(d²) per node and makes
+  /// hub-heavy (star / power-law) instances quadratic to build.  Throws
+  /// exactly the same errors as the add_edge path would (bad node index,
+  /// self-loop, colour out of range, colour reused at an endpoint,
+  /// parallel edge), just not necessarily on the same offending edge.
+  EdgeColouredGraph(int n, int k, std::vector<Edge> edges);
+
   int node_count() const noexcept { return static_cast<int>(adjacency_.size()); }
   int edge_count() const noexcept { return static_cast<int>(edges_.size()); }
   int k() const noexcept { return k_; }

@@ -190,6 +190,48 @@ EdgeColouredGraph grid_graph(std::int64_t width, std::int64_t height, bool wrap)
   return g;
 }
 
+EdgeColouredGraph star_graph(int leaves) {
+  if (leaves < 1 || leaves > 255) {
+    // Colour is std::uint8_t: a proper colouring needs `leaves` distinct
+    // hub colours, so 255 is the model's hard degree cap.
+    throw std::invalid_argument("star_graph: leaves must be in [1,255]");
+  }
+  EdgeColouredGraph g(leaves + 1, leaves);
+  for (int i = 0; i < leaves; ++i) {
+    g.add_edge(0, static_cast<NodeIndex>(1 + i), static_cast<Colour>(i + 1));
+  }
+  return g;
+}
+
+EdgeColouredGraph hub_cluster_graph(std::int64_t hubs, int hub_degree, int first_colour) {
+  if (hubs < 1) throw std::invalid_argument("hub_cluster_graph: hubs must be >= 1");
+  if (hub_degree < 1) throw std::invalid_argument("hub_cluster_graph: hub_degree must be >= 1");
+  if (first_colour < 1 || first_colour + hub_degree - 1 > 255) {
+    throw std::invalid_argument(
+        "hub_cluster_graph: colours first_colour..first_colour+hub_degree-1 must fit [1,255]");
+  }
+  checked_dimension(hubs, "hub_cluster_graph");
+  const std::int64_t per_hub = static_cast<std::int64_t>(hub_degree) + 1;
+  const NodeIndex nodes = checked_node_count(hubs * per_hub, "hub_cluster_graph");
+  check_edge_count(hubs * hub_degree, "hub_cluster_graph");
+  const int k = first_colour + hub_degree - 1;
+  // Hubs first (nodes 0..hubs-1) so the skew sits in one contiguous
+  // node-index run; leaves are port-major interleaved after them (hub h's
+  // port-j leaf is node hubs + j·hubs + h).  Built through the bulk
+  // constructor: add_edge's per-edge properness scan is O(deg) and would
+  // make each hub O(d²).
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(hubs) * static_cast<std::size_t>(hub_degree));
+  for (std::int64_t h = 0; h < hubs; ++h) {
+    for (int j = 0; j < hub_degree; ++j) {
+      const std::int64_t leaf = hubs + static_cast<std::int64_t>(j) * hubs + h;
+      edges.push_back({static_cast<NodeIndex>(h), static_cast<NodeIndex>(leaf),
+                       static_cast<Colour>(first_colour + j)});
+    }
+  }
+  return EdgeColouredGraph(static_cast<int>(nodes), k, std::move(edges));
+}
+
 EdgeColouredGraph to_graph(const colsys::ColourSystem& system) {
   EdgeColouredGraph g(system.size(), system.k());
   for (colsys::NodeId v = 1; v < system.size(); ++v) {

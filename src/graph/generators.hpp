@@ -69,6 +69,25 @@ EdgeColouredGraph alternating_cycle(int k, std::int64_t m, Colour c1, Colour c2)
 /// validated in 64 bits (grid_graph(65536, 65536) throws, it does not wrap).
 EdgeColouredGraph grid_graph(std::int64_t width, std::int64_t height, bool wrap);
 
+/// A star: node 0 is the hub, joined to `leaves` pendant nodes by edges
+/// coloured 1..leaves (a proper colouring forces all hub colours distinct,
+/// so k = leaves).  Colour is 8-bit in this library, which caps a star at
+/// 255 leaves — the maximally skewed instance the model admits; for
+/// n ≥ 10⁶ skew use hub_cluster_graph, which tiles many max-degree hubs.
+EdgeColouredGraph star_graph(int leaves);
+
+/// The library's large-scale skewed (power-law-style) instance: `hubs`
+/// hub nodes, each the centre of its own star of `hub_degree` leaves on
+/// colours first_colour..first_colour+hub_degree-1, so
+/// n = hubs·(1 + hub_degree) and the degree distribution is two-point
+/// {hub_degree, 1} — the adversarial case for node-count partitioning,
+/// where a contiguous run of hub rows serialises one worker.  Hubs are
+/// nodes 0..hubs-1 (leaves follow, port-major interleaved), so the skew
+/// is front-loaded in node order by construction.  k = first_colour +
+/// hub_degree − 1 ≤ 255; greedy runs ~k rounds on it, so first_colour
+/// tunes round count independently of degree.
+EdgeColouredGraph hub_cluster_graph(std::int64_t hubs, int hub_degree, int first_colour);
+
 /// Converts a finite colour system (or a truncation) into a concrete graph;
 /// node 0 corresponds to the root e.
 EdgeColouredGraph to_graph(const colsys::ColourSystem& system);

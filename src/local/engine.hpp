@@ -200,10 +200,19 @@ struct RunResult {
   std::size_t max_message_bytes = 0;
   std::size_t total_message_bytes = 0;
   std::size_t messages_sent = 0;
-  // Wall-clock of the setup phase (program construction + init calls), the
+  // Wall-clock of the setup phase (program construction + init calls —
+  // and, on the flat engine, CSR construction, chunk planning and the
+  // worker-pool spawn, which all happen in the engine constructor), the
   // part the pooled allocator exists to shrink; surfaced as `init_ms` in
   // the BENCH_*.json schema.  Not part of engine equivalence.
   double init_ns = 0.0;
+  // Worker threads created over the whole run.  The flat engine spawns
+  // its persistent pool (threads − 1 workers beyond the caller) exactly
+  // once in the constructor and parks it between phases, so this stays
+  // constant in the round count — the old engine spawned/joined a fresh
+  // set every phase of every round.  0 on every serial path (run_sync,
+  // threads = 1).  Not part of engine equivalence.
+  std::size_t threads_spawned = 0;
 };
 
 /// Runs one copy of the program on every node until all have halted or

@@ -1,7 +1,9 @@
 #include "local/flat_engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstring>
 #include <mutex>
 #include <stdexcept>
@@ -15,6 +17,116 @@ namespace {
 
 /// Slot length value meaning "the payload spilled to the arena".
 constexpr std::uint8_t kSpillLen = 0xff;
+
+/// Auto chunking (FlatEngineOptions::chunk_slots == 0): aim for this many
+/// chunks per worker so the tail imbalance of the last chunks stays a
+/// small fraction of a phase, with a floor so tiny graphs do not shatter
+/// into per-node chunks whose claim overhead exceeds their work.
+constexpr std::size_t kChunksPerWorker = 16;
+constexpr std::size_t kMinAutoChunkSlots = 1024;
+
+/// Persistent phase-dispatch pool: `spawn` threads are created once and
+/// parked on a condition variable; every run() call wakes them for one
+/// phase and the calling thread participates as worker 0.  Dispatch is a
+/// generation counter (seq_) under one mutex — deliberately boring,
+/// mutex-and-condvar-only synchronisation so the ThreadSanitizer leg can
+/// vouch for it.  The first exception from any worker (including worker 0)
+/// wins and is rethrown on the calling thread after the phase barrier,
+/// preserving the serial engine's fail-fast contract.
+class WorkerPool {
+ public:
+  explicit WorkerPool(int spawn) {
+    threads_.reserve(static_cast<std::size_t>(spawn));
+    for (int i = 0; i < spawn; ++i) {
+      threads_.emplace_back([this, id = i + 1] { worker_main(id); });
+    }
+  }
+
+  ~WorkerPool() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_work_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  std::size_t spawned() const noexcept { return threads_.size(); }
+
+  /// Runs fn(worker) for every worker id in [0, spawned()]: id 0 inline on
+  /// the calling thread, the rest on the parked pool threads.  Returns
+  /// only after every worker finished the phase.
+  template <class F>
+  void run(F& fn) {
+    struct Thunk {
+      static void call(void* ctx, int worker) { (*static_cast<F*>(ctx))(worker); }
+    };
+    dispatch(&Thunk::call, &fn);
+  }
+
+ private:
+  void dispatch(void (*call)(void*, int), void* ctx) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      call_ = call;
+      ctx_ = ctx;
+      error_ = nullptr;
+      remaining_ = static_cast<int>(threads_.size());
+      ++seq_;
+    }
+    cv_work_.notify_all();
+    try {
+      call(ctx, 0);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return remaining_ == 0; });
+    if (error_) {
+      const std::exception_ptr error = error_;
+      error_ = nullptr;
+      lock.unlock();
+      std::rethrow_exception(error);
+    }
+  }
+
+  void worker_main(int id) {
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      cv_work_.wait(lock, [&] { return stop_ || seq_ != seen; });
+      if (stop_) return;
+      seen = seq_;
+      void (*const call)(void*, int) = call_;
+      void* const ctx = ctx_;
+      lock.unlock();
+      std::exception_ptr error;
+      try {
+        call(ctx, id);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      lock.lock();
+      if (error && !error_) error_ = error;
+      if (--remaining_ == 0) cv_done_.notify_one();
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  void (*call_)(void*, int) = nullptr;
+  void* ctx_ = nullptr;
+  std::exception_ptr error_;
+  std::uint64_t seq_ = 0;
+  int remaining_ = 0;
+  bool stop_ = false;
+};
 
 }  // namespace
 
@@ -146,6 +258,11 @@ class FlatEngine {
   FlatEngine(const graph::EdgeColouredGraph& g, const ProgramSource& source,
              int max_rounds, const FlatEngineOptions& options)
       : g_(g), source_(source), max_rounds_(max_rounds) {
+    // Everything the constructor does — CSR construction, chunk planning,
+    // spawning the persistent pool — is setup work, timed into build_ns_
+    // and folded into RunResult::init_ns by run() (the old engine started
+    // the clock inside run() and under-reported init by the whole CSR).
+    const auto build_start = std::chrono::steady_clock::now();
     n_ = g.node_count();
     // Worker clamp: never more workers than nodes (an empty partition buys
     // nothing and the n = 0 / threads = 8 edge used to depend on every
@@ -153,7 +270,18 @@ class FlatEngine {
     // can address, and never fewer than one.
     workers_ = std::max(1, std::min(options.threads, kMaxFlatWorkers));
     if (workers_ > n_) workers_ = std::max(1, n_);
+    steal_ = options.steal;
     build_csr();
+    if (workers_ > 1) {
+      plan_chunks(options.chunk_slots);
+      // The pool is spawned exactly once per engine and parked between
+      // phases — per-round thread creations are zero by construction.
+      pool_threads_ = std::make_unique<WorkerPool>(workers_ - 1);
+    }
+    build_ns_ =
+        static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now() - build_start)
+                                .count());
   }
 
   RunResult run() {
@@ -180,9 +308,11 @@ class FlatEngine {
       }
     }
     result.init_ns =
+        build_ns_ +
         static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
                                 std::chrono::steady_clock::now() - init_start)
                                 .count());
+    result.threads_spawned = pool_threads_ ? pool_threads_->spawned() : 0;
 
     // Everything the rounds need is built lazily: a 0-round algorithm on a
     // million nodes never pays for the message plane.
@@ -211,14 +341,14 @@ class FlatEngine {
       // plane is wiped when the cycle restarts so a stale stamp can never
       // alias.
       const auto stamp = static_cast<std::uint8_t>(1 + (round - 1) % 255);
-      if (round > 1 && stamp == 1) plane_.wipe_stamps();
+      if (round > 1 && stamp == 1) wipe_running_rows();
       FlatPlane& plane = plane_;
       plane.new_round();
 
       // Phase 1: running nodes stream this round's messages into their own
-      // slot rows.  Rows partition by node, so no two workers ever touch
-      // the same slot.
-      for_ranges([&](int worker, graph::NodeIndex begin, graph::NodeIndex end) {
+      // slot rows.  A chunk (contiguous node range) is claimed by exactly
+      // one worker per phase, so no two workers ever touch the same slot.
+      for_chunks([&](int worker, graph::NodeIndex begin, graph::NodeIndex end) {
         FlatOutbox out;
         out.plane_ = &plane;
         out.arena_ = static_cast<std::uint8_t>(worker);
@@ -237,7 +367,7 @@ class FlatEngine {
       // reflecting the start-of-round halted state (a node halting this
       // round must not leak its decision to same-round receivers).  New
       // halts are collected per worker and applied after the barrier.
-      for_ranges([&](int worker, graph::NodeIndex begin, graph::NodeIndex end) {
+      for_chunks([&](int worker, graph::NodeIndex begin, graph::NodeIndex end) {
         for (graph::NodeIndex v = begin; v < end; ++v) {
           if (halted_[static_cast<std::size_t>(v)]) continue;
           const std::size_t row = row_[static_cast<std::size_t>(v)];
@@ -390,47 +520,147 @@ class FlatEngine {
         std::to_string(static_cast<int>(result.outputs[static_cast<std::size_t>(v)]));
   }
 
-  /// Runs fn(worker, begin, end) over a balanced contiguous node partition,
-  /// in-line when workers_ == 1.  The constructor clamps workers_ into
-  /// [1, max(1, n)], so every spawned range is non-empty; the guard below
-  /// keeps the partition stable even if a future caller bypasses the clamp.
-  /// The first exception wins and is rethrown on the calling thread,
-  /// matching the serial engine's fail-fast contract.
+  /// The tag cycle restarted: every stamp value is about to be reused, so
+  /// stale slots must be cleared — but only in rows whose sender is still
+  /// running.  A halted node never writes again, and resolve() serves its
+  /// cached announcement without ever reading its slots, so halted rows
+  /// are dead storage; the old full-plane wipe rewrote them every cycle
+  /// (pinned by the two-tag-cycle regression in tests/test_flat_stress.cpp).
+  void wipe_running_rows() {
+    for (graph::NodeIndex v = 0; v < n_; ++v) {
+      if (halted_[static_cast<std::size_t>(v)]) continue;
+      const std::size_t begin = row_[static_cast<std::size_t>(v)];
+      const std::size_t end = row_[static_cast<std::size_t>(v) + 1];
+      std::fill(plane_.slots.begin() + static_cast<std::ptrdiff_t>(begin),
+                plane_.slots.begin() + static_cast<std::ptrdiff_t>(end), FlatSlot{});
+    }
+  }
+
+  /// Pre-splits the node range into chunks of roughly `target` slot
+  /// (directed-edge) weight — a node costs 1 + degree, so a run of
+  /// max-degree hub rows splits into many chunks while the same node count
+  /// of leaves packs into one.  The chunk list is then divided into one
+  /// contiguous run per worker, balanced by cumulative weight; each run
+  /// gets a cache-line-isolated atomic cursor that for_chunks resets per
+  /// phase and workers drain (and steal from) with fetch_add.
+  void plan_chunks(std::size_t chunk_slots) {
+    const std::size_t total =
+        row_[static_cast<std::size_t>(n_)] + static_cast<std::size_t>(n_);
+    std::size_t target = chunk_slots;
+    if (target == 0) {
+      target = std::max(kMinAutoChunkSlots,
+                        total / (static_cast<std::size_t>(workers_) * kChunksPerWorker));
+    }
+    chunks_.clear();
+    std::vector<std::size_t> weight;  // per chunk, for the run split below
+    {
+      graph::NodeIndex begin = 0;
+      std::size_t acc = 0;
+      for (graph::NodeIndex v = 0; v < n_; ++v) {
+        acc += 1 + static_cast<std::size_t>(degree(v));
+        if (acc >= target) {
+          chunks_.push_back({begin, v + 1});
+          weight.push_back(acc);
+          begin = v + 1;
+          acc = 0;
+        }
+      }
+      if (begin < n_) {
+        chunks_.push_back({begin, n_});
+        weight.push_back(acc);
+      }
+    }
+    // Contiguous per-worker runs with balanced cumulative weight: worker w
+    // owns chunks [run_begin_[w], run_end_[w]).  Runs may be empty (fewer
+    // chunks than workers); the drain loop tolerates that.
+    run_begin_.assign(static_cast<std::size_t>(workers_), 0);
+    run_end_.assign(static_cast<std::size_t>(workers_), 0);
+    cursors_ = std::make_unique<ChunkCursor[]>(static_cast<std::size_t>(workers_));
+    std::size_t cut = 0;
+    std::size_t carried = 0;
+    for (int w = 0; w < workers_; ++w) {
+      const std::size_t share =
+          total * static_cast<std::size_t>(w + 1) / static_cast<std::size_t>(workers_);
+      run_begin_[static_cast<std::size_t>(w)] = static_cast<std::int64_t>(cut);
+      while (cut < chunks_.size() && carried + weight[cut] <= share) {
+        carried += weight[cut];
+        ++cut;
+      }
+      if (w + 1 == workers_) cut = chunks_.size();  // the tail always lands somewhere
+      run_end_[static_cast<std::size_t>(w)] = static_cast<std::int64_t>(cut);
+    }
+  }
+
+  /// Runs fn(worker, begin, end) over the planned chunks, in-line when
+  /// workers_ == 1.  Each worker drains its own chunk run through an
+  /// atomic cursor, then (when stealing is on) round-robins through the
+  /// other workers' cursors until every run is dry — so a worker stuck on
+  /// hub-heavy chunks cannot leave the rest idle.  `worker` is always the
+  /// *executing* worker: stats, spill arenas and halt batches stay
+  /// worker-indexed no matter whose chunk is being run, which is what
+  /// keeps results schedule-independent.  Exceptions propagate through
+  /// the pool's first-exception-wins barrier, matching the serial
+  /// engine's fail-fast contract.
   template <class F>
-  void for_ranges(const F& fn) {
+  void for_chunks(const F& fn) {
     if (workers_ == 1) {
       fn(0, 0, n_);
       return;
     }
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(workers_));
-    std::exception_ptr error;
-    std::mutex error_mutex;
-    for (int worker = 0; worker < workers_; ++worker) {
-      // 64-bit intermediate: n * worker cannot wrap for any 32-bit n.
-      const auto begin = static_cast<graph::NodeIndex>(
-          static_cast<std::int64_t>(n_) * worker / workers_);
-      const auto end = static_cast<graph::NodeIndex>(
-          static_cast<std::int64_t>(n_) * (worker + 1) / workers_);
-      if (begin == end) continue;  // empty partition: nothing to spawn
-      pool.emplace_back([&, worker, begin, end] {
-        try {
-          fn(worker, begin, end);
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock(error_mutex);
-          if (!error) error = std::current_exception();
-        }
-      });
+    for (int w = 0; w < workers_; ++w) {
+      cursors_[static_cast<std::size_t>(w)].next.store(run_begin_[static_cast<std::size_t>(w)],
+                                                       std::memory_order_relaxed);
     }
-    for (std::thread& t : pool) t.join();
-    if (error) std::rethrow_exception(error);
+    auto phase = [&](int worker) {
+      drain(worker, worker, fn);
+      if (!steal_) return;
+      for (int step = 1; step < workers_; ++step) {
+        drain((worker + step) % workers_, worker, fn);
+      }
+    };
+    pool_threads_->run(phase);
   }
+
+  /// Claims chunks from `victim`'s run until its cursor passes the end and
+  /// executes them as `worker`.  The cursor is a relaxed fetch_add:
+  /// claimed values are unique, overshoot past the end is harmless (the
+  /// cursor is reset before the next phase), and the pool's phase barrier
+  /// provides all cross-phase ordering.
+  template <class F>
+  void drain(int victim, int worker, const F& fn) {
+    const std::int64_t end = run_end_[static_cast<std::size_t>(victim)];
+    std::atomic<std::int64_t>& cursor = cursors_[static_cast<std::size_t>(victim)].next;
+    for (;;) {
+      const std::int64_t c = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (c >= end) return;
+      const Chunk& chunk = chunks_[static_cast<std::size_t>(c)];
+      fn(worker, chunk.begin, chunk.end);
+    }
+  }
+
+  struct Chunk {
+    graph::NodeIndex begin;
+    graph::NodeIndex end;
+  };
+  struct alignas(64) ChunkCursor {
+    std::atomic<std::int64_t> next{0};
+  };
 
   const graph::EdgeColouredGraph& g_;
   const ProgramSource& source_;
   int max_rounds_;
   int n_ = 0;
   int workers_ = 1;
+  bool steal_ = true;
+  double build_ns_ = 0.0;
+
+  // Chunk plan (workers_ > 1 only): contiguous node ranges of roughly
+  // equal slot weight, split into one contiguous run per worker.
+  std::vector<Chunk> chunks_;
+  std::vector<std::int64_t> run_begin_;
+  std::vector<std::int64_t> run_end_;
+  std::unique_ptr<ChunkCursor[]> cursors_;
+  std::unique_ptr<WorkerPool> pool_threads_;  // workers_ - 1 parked threads
 
   std::vector<std::size_t> row_;             // n+1 offsets, sender-major CSR
   std::vector<Colour> port_colour_;          // per slot

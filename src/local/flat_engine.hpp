@@ -16,13 +16,26 @@
 //   * a halted node's announcement is rendered once, when it halts — and
 //     only if a still-running neighbour can read it — then served from
 //     that cache in every later round;
-//   * the send and receive phases optionally run on a row-partitioned
-//     thread pool (options.threads > 1) — writes are per-slot disjoint,
-//     so the partition needs no locks.
+//   * the send and receive phases optionally run on a persistent worker
+//     pool (options.threads > 1) owned by the engine: the threads are
+//     spawned once in the constructor, parked on a condition-variable
+//     barrier between phases, and joined in the destructor — no per-round
+//     thread churn.  Work is pre-split into chunks of roughly equal *slot*
+//     (directed-edge) weight, so a run of max-degree hub rows no longer
+//     serialises one worker the way the old node-count partition did, and
+//     workers that exhaust their own chunk run steal the remainder of the
+//     others' (options.steal).  Writes stay per-slot disjoint — a chunk is
+//     claimed by exactly one worker per phase — so no locks are taken on
+//     the plane itself.
 //
-// run_sync stays the reference oracle: tests/test_flat_engine.cpp checks
-// the two engines produce identical RunResult fields (outputs, halt
-// rounds, message accounting) for every algorithm in the library.
+// Results are bit-identical to run_sync for every thread count, chunk
+// size and steal setting: all racy-looking state (message stats, spill
+// arenas, newly-halted batches) is worker-indexed and merged with
+// commutative folds.  run_sync stays the reference oracle:
+// tests/test_flat_engine.cpp checks the two engines produce identical
+// RunResult fields (outputs, halt rounds, message accounting) for every
+// algorithm in the library, and tests/test_flat_stress.cpp re-checks that
+// across a schedule-perturbation grid (threads × chunk_slots × steal).
 #pragma once
 
 #include "local/engine.hpp"
@@ -48,6 +61,17 @@ struct FlatEngineOptions {
   /// the calling thread.  Values above the node count or kMaxFlatWorkers
   /// are clamped; results are identical for every value.
   int threads = 1;
+  /// Target slot (directed-edge) weight per work chunk.  0 (the default)
+  /// auto-sizes to roughly 16 chunks per worker, floored so tiny graphs
+  /// do not shatter into per-node chunks.  Smaller chunks balance skewed
+  /// degree distributions at the price of more atomic claims; results are
+  /// identical for every value (tests/test_flat_stress.cpp).
+  std::size_t chunk_slots = 0;
+  /// When true (the default) a worker that drains its own chunk run keeps
+  /// going on the other workers' remaining chunks, so a worker stuck on a
+  /// hub-heavy run cannot leave the rest idle.  Results are identical
+  /// either way.
+  bool steal = true;
 };
 
 /// Exclusive prefix sum of per-node degrees into the CSR row offsets used

@@ -143,6 +143,44 @@ TEST(Generators, OversizedInstancesThrowInsteadOfWrapping) {
   EXPECT_NO_THROW(grid_graph(200, 150, false));
 }
 
+TEST(Generators, StarGraphShape) {
+  const EdgeColouredGraph g = star_graph(255);  // the model's maximum skew
+  EXPECT_EQ(g.node_count(), 256);
+  EXPECT_EQ(g.edge_count(), 255);
+  EXPECT_EQ(g.k(), 255);
+  EXPECT_TRUE(g.is_properly_coloured());
+  EXPECT_EQ(g.degree(0), 255);
+  for (NodeIndex v = 1; v < g.node_count(); ++v) EXPECT_EQ(g.degree(v), 1);
+  // Hub colours are exactly 1..255.
+  std::vector<gk::Colour> expected;
+  for (int c = 1; c <= 255; ++c) expected.push_back(static_cast<gk::Colour>(c));
+  EXPECT_EQ(g.incident_colours(0), expected);
+  // Colour is uint8_t: 256 distinct hub colours cannot exist.
+  EXPECT_THROW(star_graph(256), std::invalid_argument);
+  EXPECT_THROW(star_graph(0), std::invalid_argument);
+}
+
+TEST(Generators, HubClusterGraphShape) {
+  const EdgeColouredGraph g = hub_cluster_graph(/*hubs=*/7, /*hub_degree=*/5,
+                                                /*first_colour=*/3);
+  EXPECT_EQ(g.node_count(), 7 * 6);
+  EXPECT_EQ(g.edge_count(), 7 * 5);
+  EXPECT_EQ(g.k(), 7);  // first_colour + hub_degree - 1
+  EXPECT_TRUE(g.is_properly_coloured());
+  // Two-point degree distribution, hubs first in node order.
+  for (NodeIndex v = 0; v < 7; ++v) EXPECT_EQ(g.degree(v), 5);
+  for (NodeIndex v = 7; v < g.node_count(); ++v) EXPECT_EQ(g.degree(v), 1);
+  // Every hub sees exactly colours first..first+d-1.
+  EXPECT_EQ(g.incident_colours(0), (std::vector<gk::Colour>{3, 4, 5, 6, 7}));
+  // Port-major leaf interleave: hub h's colour-(first+j) neighbour is node
+  // hubs + j·hubs + h.
+  EXPECT_EQ(*g.neighbour(2, 3), 7 + 0 * 7 + 2);
+  EXPECT_EQ(*g.neighbour(2, 7), 7 + 4 * 7 + 2);
+  EXPECT_THROW(hub_cluster_graph(0, 5, 1), std::invalid_argument);
+  EXPECT_THROW(hub_cluster_graph(3, 200, 100), std::invalid_argument);  // colours past 255
+  EXPECT_THROW(hub_cluster_graph(2'000'000'000, 2, 1), std::invalid_argument);  // n wraps
+}
+
 TEST(Generators, ToGraphPreservesStructure) {
   const colsys::ColourSystem s = colsys::cayley_ball(3, 3);
   const EdgeColouredGraph g = to_graph(s);

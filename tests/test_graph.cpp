@@ -64,5 +64,46 @@ TEST(EdgeColouredGraph, EmptyGraph) {
   EXPECT_TRUE(g.is_properly_coloured());
 }
 
+TEST(EdgeColouredGraph, BulkConstructorMatchesAddEdge) {
+  const std::vector<Edge> edges = {{0, 1, 2}, {1, 2, 3}, {0, 3, 1}, {2, 3, 2}};
+  const EdgeColouredGraph bulk(4, 3, edges);
+  EdgeColouredGraph incremental(4, 3);
+  for (const Edge& e : edges) incremental.add_edge(e.u, e.v, e.colour);
+  EXPECT_EQ(bulk.node_count(), incremental.node_count());
+  EXPECT_EQ(bulk.edge_count(), incremental.edge_count());
+  EXPECT_TRUE(bulk.is_properly_coloured());
+  for (NodeIndex v = 0; v < 4; ++v) {
+    EXPECT_EQ(bulk.degree(v), incremental.degree(v)) << v;
+    EXPECT_EQ(bulk.incident_colours(v), incremental.incident_colours(v)) << v;
+    for (gk::Colour c = 1; c <= 3; ++c) {
+      EXPECT_EQ(bulk.neighbour(v, c), incremental.neighbour(v, c)) << v;
+    }
+  }
+  // The retained edge list is the input, verbatim and in order.
+  ASSERT_EQ(bulk.edges().size(), edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    EXPECT_EQ(bulk.edges()[i].u, edges[i].u);
+    EXPECT_EQ(bulk.edges()[i].v, edges[i].v);
+    EXPECT_EQ(bulk.edges()[i].colour, edges[i].colour);
+  }
+}
+
+TEST(EdgeColouredGraph, BulkConstructorRejectsEverythingAddEdgeDoes) {
+  using E = std::vector<Edge>;
+  EXPECT_THROW(EdgeColouredGraph(3, 2, E{{0, 0, 1}}), std::invalid_argument);  // self-loop
+  EXPECT_THROW(EdgeColouredGraph(3, 2, E{{0, 1, 0}}), std::invalid_argument);  // colour 0
+  EXPECT_THROW(EdgeColouredGraph(3, 2, E{{0, 1, 3}}), std::invalid_argument);  // colour > k
+  EXPECT_THROW(EdgeColouredGraph(3, 2, E{{0, 5, 1}}), std::out_of_range);      // bad node
+  // Colour reused at a shared endpoint.
+  EXPECT_THROW(EdgeColouredGraph(3, 2, E{{0, 1, 1}, {0, 2, 1}}), std::logic_error);
+  // Parallel edge, same colour and different colour (the different-colour
+  // pair is invisible to the (node, colour) sort — the second pass exists
+  // for exactly this case).
+  EXPECT_THROW(EdgeColouredGraph(3, 2, E{{0, 1, 1}, {1, 0, 1}}), std::logic_error);
+  EXPECT_THROW(EdgeColouredGraph(3, 2, E{{0, 1, 1}, {1, 0, 2}}), std::logic_error);
+  EXPECT_NO_THROW(EdgeColouredGraph(3, 2, E{{0, 1, 1}, {1, 2, 2}}));
+  EXPECT_NO_THROW(EdgeColouredGraph(3, 2, E{}));
+}
+
 }  // namespace
 }  // namespace dmm::graph

@@ -1,6 +1,7 @@
 // dmm_cli — command-line driver for the library.
 //
 //   dmm_cli greedy     --instance <spec> [--engine <sync|flat>] [--threads <n>]
+//                      [--chunk-slots <n>] [--no-steal]
 //   dmm_cli adversary  --k <k> --algorithm <spec> [--certificate-out <path>] [--no-memo]
 //                      [--optimistic] [--threads <n>] [--orbits]
 //   dmm_cli views      <k> <d> <rho> [--threads <n>] [--json] [--max-views <n>] [--orbits]
@@ -22,6 +23,9 @@
 //   hypercube:<d>        Q_d with dimension colours (d = k trivial case)
 //   bipartite:<d>        K_{d,d} with perfect colour classes
 //   random:<n>:<k>:<pct>:<seed>
+//   star:<leaves>        one hub of degree <leaves> (max 255: Colour is 8-bit)
+//   skewed:<hubs>:<deg>:<first>  hub cluster (power-law-style two-point
+//                        degree distribution; colours first..first+deg-1)
 //   file:<path>          dmm-graph format (see src/io/serialize.hpp)
 //
 // Algorithm specs:
@@ -79,6 +83,13 @@ graph::EdgeColouredGraph parse_instance(const std::string& spec) {
     return graph::random_coloured_graph(std::stoi(parts[1]), std::stoi(parts[2]),
                                         std::stod(parts[3]) / 100.0, rng);
   }
+  if (parts[0] == "star" && parts.size() == 2) {
+    return graph::star_graph(std::stoi(parts[1]));
+  }
+  if (parts[0] == "skewed" && parts.size() == 4) {
+    return graph::hub_cluster_graph(std::stoll(parts[1]), std::stoi(parts[2]),
+                                    std::stoi(parts[3]));
+  }
   if (parts[0] == "file" && parts.size() == 2) {
     return io::read_graph(slurp(parts[1]));
   }
@@ -129,10 +140,22 @@ int cmd_greedy(const std::vector<std::string>& args) {
   if (threads > 1 && *engine != local::EngineKind::kFlat) {
     fail("greedy: --threads requires --engine flat");
   }
+  // Scheduling knobs of the flat engine's persistent pool (results are
+  // identical for every setting; these tune throughput on skewed graphs).
+  const long chunk_slots = std::stol(option(args, "--chunk-slots", "0"));
+  if (chunk_slots < 0) fail("greedy: --chunk-slots must be >= 0");
+  const bool no_steal = flag(args, "--no-steal");
+  if ((chunk_slots > 0 || no_steal) && *engine != local::EngineKind::kFlat) {
+    fail("greedy: --chunk-slots/--no-steal require --engine flat");
+  }
   const graph::EdgeColouredGraph g = parse_instance(spec);
   local::RunResult run;
   if (*engine == local::EngineKind::kFlat) {
-    run = local::run_flat(g, algo::greedy_program_factory(), g.k() + 1, {.threads = threads});
+    local::FlatEngineOptions options;
+    options.threads = threads;
+    options.chunk_slots = static_cast<std::size_t>(chunk_slots);
+    options.steal = !no_steal;
+    run = local::run_flat(g, algo::greedy_program_factory(), g.k() + 1, options);
   } else {
     run = local::run_sync(g, algo::greedy_program_factory(), g.k() + 1);
   }
