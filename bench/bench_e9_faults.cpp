@@ -1,0 +1,309 @@
+// E9 — fault injection and checkpoint/replay recovery (ISSUE 8): what a
+// faulty run costs over a clean one, what a checkpoint weighs, and how fast
+// a killed run comes back.  The fault counters (crashes, restarts,
+// messages_dropped) are pure functions of the seeded FaultPlan, so the
+// baseline gates them on exact equality; checkpoint_bytes is deterministic
+// for the same reason.  restore_ms is a wall-clock measurement and is
+// recorded but never gated.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "bench_engines.hpp"
+#include "core/dmm.hpp"
+
+namespace {
+
+using namespace dmm;
+
+// One greedy run under `plan` on the chosen engine, recorded with the
+// dmm-bench-6 fault counters filled in from the RunResult.
+local::RunResult record_faulty_run(benchjson::Harness& harness, const std::string& instance,
+                                   const graph::EdgeColouredGraph& g, local::EngineKind kind,
+                                   const local::FaultPlan& plan, int max_rounds,
+                                   const local::FlatEngineOptions& options = {},
+                                   const local::CheckpointOptions& checkpoint = {}) {
+  benchjson::Record record;
+  record.instance = instance;
+  record.n = g.node_count();
+  record.m = g.edge_count();
+  record.k = g.k();
+  record.engine = local::engine_kind_name(kind);
+  record.threads = kind == local::EngineKind::kFlat ? options.threads : 1;
+  const local::FaultOptions faults{&plan};
+  local::RunResult run;
+  record.wall_ns = benchjson::Harness::time_ns([&] {
+    run = kind == local::EngineKind::kFlat
+              ? local::run_flat(g, algo::greedy_program_factory(), max_rounds, options, faults,
+                                checkpoint)
+              : local::run_sync(g, algo::greedy_program_factory(), max_rounds, faults,
+                                checkpoint);
+  });
+  record.rounds = run.rounds;
+  record.max_message_bytes = run.max_message_bytes;
+  record.init_ms = run.init_ns / 1e6;
+  record.rss_bytes = benchjson::peak_rss_bytes();
+  record.crashes = static_cast<long long>(run.crashes);
+  record.restarts = static_cast<long long>(run.restarts);
+  record.messages_dropped = static_cast<long long>(run.messages_dropped);
+  harness.add(std::move(record));
+  return run;
+}
+
+// The e9 workload: large enough that per-round engine cost is visible,
+// small enough for the CI bench gate.  Everything below is seeded, so the
+// pinned BENCH_e9.json counters reproduce on any machine.
+graph::EdgeColouredGraph workload() {
+  Rng rng(97);
+  return graph::random_coloured_graph(20000, 8, 0.6, rng);
+}
+
+local::FaultPlan workload_plan(const graph::EdgeColouredGraph& g) {
+  local::FaultSpec spec;
+  spec.crash_prob = 0.02;
+  spec.horizon = 6;
+  spec.min_down = 1;
+  spec.max_down = 3;
+  spec.permanent_prob = 0.25;
+  spec.drop_prob = 0.01;
+  spec.seed = 1097;
+  return local::FaultPlan::random(g, spec);
+}
+
+int faulty_max_rounds(const graph::EdgeColouredGraph& g, const local::FaultPlan& plan) {
+  // A restarted node still has to finish its protocol, so faulty runs get
+  // headroom past the last restart.
+  return std::max(g.k() + 1, plan.max_restart_round() + g.k() + 2);
+}
+
+void print_rows(benchjson::Harness& harness) {
+  const graph::EdgeColouredGraph g = workload();
+  const local::FaultPlan plan = workload_plan(g);
+  const local::FaultPlan no_faults;
+  const int rounds_budget = faulty_max_rounds(g, plan);
+
+  std::printf("## E9a: fault-free vs faulty, greedy at n = %d, k = %d\n", g.node_count(),
+              g.k());
+  std::printf("%-28s %-6s %8s %12s %7s %8s %9s %7s\n", "instance", "engine", "threads",
+              "wall (ms)", "rounds", "crashes", "restarts", "drops");
+  const std::string clean_label = "random n=20000 k=8";
+  const std::string faulty_label = "random n=20000 k=8 faults";
+  for (const local::EngineKind kind : {local::EngineKind::kSync, local::EngineKind::kFlat}) {
+    const local::RunResult run =
+        record_faulty_run(harness, clean_label, g, kind, no_faults, g.k() + 1);
+    std::printf("%-28s %-6s %8d %12.2f %7d %8llu %9llu %7llu\n", clean_label.c_str(),
+                local::engine_kind_name(kind), 1, harness.records().back().wall_ns / 1e6,
+                run.rounds, static_cast<unsigned long long>(run.crashes),
+                static_cast<unsigned long long>(run.restarts),
+                static_cast<unsigned long long>(run.messages_dropped));
+  }
+  local::RunResult faulty_serial;
+  for (const local::EngineKind kind : {local::EngineKind::kSync, local::EngineKind::kFlat}) {
+    const local::RunResult run =
+        record_faulty_run(harness, faulty_label, g, kind, plan, rounds_budget);
+    if (kind == local::EngineKind::kSync) faulty_serial = run;
+    std::printf("%-28s %-6s %8d %12.2f %7d %8llu %9llu %7llu\n", faulty_label.c_str(),
+                local::engine_kind_name(kind), 1, harness.records().back().wall_ns / 1e6,
+                run.rounds, static_cast<unsigned long long>(run.crashes),
+                static_cast<unsigned long long>(run.restarts),
+                static_cast<unsigned long long>(run.messages_dropped));
+  }
+  {
+    // The schedule-independence claim in one row: four workers, same plan,
+    // same counters — the baseline gate pins all three against the serial
+    // rows above.
+    local::FlatEngineOptions options;
+    options.threads = 4;
+    const local::RunResult run = record_faulty_run(harness, faulty_label, g,
+                                                   local::EngineKind::kFlat, plan,
+                                                   rounds_budget, options);
+    std::printf("%-28s %-6s %8d %12.2f %7d %8llu %9llu %7llu\n", faulty_label.c_str(), "flat",
+                4, harness.records().back().wall_ns / 1e6, run.rounds,
+                static_cast<unsigned long long>(run.crashes),
+                static_cast<unsigned long long>(run.restarts),
+                static_cast<unsigned long long>(run.messages_dropped));
+    if (run.outputs != faulty_serial.outputs || run.crashes != faulty_serial.crashes ||
+        run.restarts != faulty_serial.restarts ||
+        run.messages_dropped != faulty_serial.messages_dropped) {
+      std::fprintf(stderr, "e9: threaded faulty run diverged from the serial oracle\n");
+      std::abort();
+    }
+  }
+  std::printf("\n");
+
+  // E9b: capture a checkpoint mid-run, then measure what recovery costs:
+  // checkpoint_bytes is the serialised frame size, restore_ms times
+  // EngineCheckpoint::read (+ FlatEngine::restore on the flat row).  The
+  // resumed run must finish bit-identical to the uninterrupted one — the
+  // bench aborts if it ever does not, so a green baseline row doubles as a
+  // recovery smoke check.
+  std::printf("## E9b: checkpoint + restore, greedy under faults, every 2 rounds\n");
+  std::printf("%-28s %-6s %12s %12s %13s %8s\n", "instance", "engine", "wall (ms)",
+              "ckpt bytes", "restore (ms)", "resumed");
+  const std::string ckpt_label = "random n=20000 k=8 ckpt";
+  for (const local::EngineKind kind : {local::EngineKind::kSync, local::EngineKind::kFlat}) {
+    local::EngineCheckpoint last;
+    bool captured = false;
+    local::CheckpointOptions capture;
+    capture.every = 2;
+    capture.sink = [&](const local::EngineCheckpoint& ck) {
+      last = ck;
+      captured = true;
+    };
+    benchjson::Record record;
+    record.instance = ckpt_label;
+    record.n = g.node_count();
+    record.m = g.edge_count();
+    record.k = g.k();
+    record.engine = local::engine_kind_name(kind);
+    const local::FaultOptions faults{&plan};
+    local::RunResult run;
+    record.wall_ns = benchjson::Harness::time_ns([&] {
+      run = kind == local::EngineKind::kFlat
+                ? local::run_flat(g, algo::greedy_program_factory(), rounds_budget, {}, faults,
+                                  capture)
+                : local::run_sync(g, algo::greedy_program_factory(), rounds_budget, faults,
+                                  capture);
+    });
+    record.rounds = run.rounds;
+    record.max_message_bytes = run.max_message_bytes;
+    record.init_ms = run.init_ns / 1e6;
+    record.rss_bytes = benchjson::peak_rss_bytes();
+    record.crashes = static_cast<long long>(run.crashes);
+    record.restarts = static_cast<long long>(run.restarts);
+    record.messages_dropped = static_cast<long long>(run.messages_dropped);
+    if (!captured) {
+      std::fprintf(stderr, "e9: checkpoint sink never fired\n");
+      std::abort();
+    }
+    std::ostringstream frames;
+    last.write(frames);
+    const std::string bytes = frames.str();
+    record.checkpoint_bytes = static_cast<long long>(bytes.size());
+
+    // restore_ms: parse + validate the frames, and on the flat row also
+    // load them into a live engine (the sync engine has no persistent
+    // object to restore into — its resume path re-reads inside run_sync).
+    local::EngineCheckpoint parsed;
+    record.restore_ms = benchjson::Harness::time_ns([&] {
+                          std::istringstream in(bytes);
+                          parsed = local::EngineCheckpoint::read(in);
+                          parsed.require_matches(g);
+                          if (kind == local::EngineKind::kFlat) {
+                            local::FlatEngine engine(g, algo::greedy_program_factory(),
+                                                     rounds_budget, {});
+                            engine.restore(parsed);
+                          }
+                        }) /
+                        1e6;
+
+    local::CheckpointOptions resume;
+    resume.resume = &parsed;
+    const local::RunResult resumed =
+        kind == local::EngineKind::kFlat
+            ? local::run_flat(g, algo::greedy_program_factory(), rounds_budget, {}, faults,
+                              resume)
+            : local::run_sync(g, algo::greedy_program_factory(), rounds_budget, faults, resume);
+    const bool ok = resumed.outputs == run.outputs && resumed.halt_round == run.halt_round &&
+                    resumed.rounds == run.rounds && resumed.crashes == run.crashes &&
+                    resumed.restarts == run.restarts &&
+                    resumed.messages_dropped == run.messages_dropped;
+    if (!ok) {
+      std::fprintf(stderr, "e9: resumed run diverged from the uninterrupted run\n");
+      std::abort();
+    }
+    harness.add(std::move(record));
+    const benchjson::Record& rec = harness.records().back();
+    std::printf("%-28s %-6s %12.2f %12lld %13.3f %8s\n", ckpt_label.c_str(),
+                local::engine_kind_name(kind), rec.wall_ns / 1e6, rec.checkpoint_bytes,
+                rec.restore_ms, ok ? "ok" : "FAIL");
+  }
+  std::printf("\n");
+}
+
+void BM_FaultyRun(benchmark::State& state) {
+  const graph::EdgeColouredGraph g = workload();
+  const local::FaultPlan plan = workload_plan(g);
+  const local::FaultOptions faults{&plan};
+  const int budget = faulty_max_rounds(g, plan);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        local::run_flat(g, algo::greedy_program_factory(), budget, {}, faults));
+  }
+  state.SetItemsProcessed(state.iterations() * g.node_count());
+}
+BENCHMARK(BM_FaultyRun);
+
+void BM_DropHash(benchmark::State& state) {
+  // The per-message cost every drop-enabled round pays: one stateless hash
+  // per (round, sender, colour) triple.
+  local::FaultPlan plan;
+  plan.set_drops(0.01, 1097);
+  int round = 1;
+  for (auto _ : state) {
+    bool any = false;
+    for (graph::NodeIndex v = 0; v < 4096; ++v) {
+      any ^= plan.drops(round, v, static_cast<gk::Colour>(1 + (v & 7)));
+    }
+    benchmark::DoNotOptimize(any);
+    ++round;
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_DropHash);
+
+void BM_CheckpointCapture(benchmark::State& state) {
+  const graph::EdgeColouredGraph g = workload();
+  // Capture at round 2 of a clean run: most nodes are still running, so
+  // this is the expensive end (every live program serialises its state).
+  local::EngineCheckpoint snap;
+  local::CheckpointOptions capture;
+  capture.every = 2;
+  capture.sink = [&](const local::EngineCheckpoint& ck) {
+    if (snap.round == 0) snap = ck;
+  };
+  (void)local::run_sync(g, algo::greedy_program_factory(), g.k() + 1, {}, capture);
+  for (auto _ : state) {
+    std::ostringstream out;
+    snap.write(out);
+    benchmark::DoNotOptimize(out.str().size());
+  }
+}
+BENCHMARK(BM_CheckpointCapture);
+
+void BM_CheckpointRestore(benchmark::State& state) {
+  const graph::EdgeColouredGraph g = workload();
+  local::EngineCheckpoint snap;
+  local::CheckpointOptions capture;
+  capture.every = 2;
+  capture.sink = [&](const local::EngineCheckpoint& ck) {
+    if (snap.round == 0) snap = ck;
+  };
+  (void)local::run_sync(g, algo::greedy_program_factory(), g.k() + 1, {}, capture);
+  std::ostringstream out;
+  snap.write(out);
+  const std::string bytes = out.str();
+  local::FlatEngine engine(g, algo::greedy_program_factory(), g.k() + 1, {});
+  for (auto _ : state) {
+    std::istringstream in(bytes);
+    engine.restore(in);
+    benchmark::DoNotOptimize(engine.snapshot().round);
+  }
+}
+BENCHMARK(BM_CheckpointRestore);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dmm::benchjson::Harness harness("e9", argc, argv);
+  print_rows(harness);
+  if (!harness.smoke()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  return harness.write();
+}

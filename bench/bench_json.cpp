@@ -129,12 +129,18 @@ std::string to_json(const Record& record) {
     throw std::invalid_argument("bench_json: orbit_reduction must be finite (instance '" +
                                 record.instance + "')");
   }
+  if (!std::isfinite(record.restore_ms)) {
+    throw std::invalid_argument("bench_json: restore_ms must be finite (instance '" +
+                                record.instance + "')");
+  }
   char wall[64];
   std::snprintf(wall, sizeof wall, "%.17g", record.wall_ns);
   char init[64];
   std::snprintf(init, sizeof init, "%.17g", record.init_ms);
   char reduction[64];
   std::snprintf(reduction, sizeof reduction, "%.17g", record.orbit_reduction);
+  char restore[64];
+  std::snprintf(restore, sizeof restore, "%.17g", record.restore_ms);
   std::ostringstream out;
   out << "{\"instance\":\"" << escape(record.instance) << "\""
       << ",\"n\":" << record.n << ",\"m\":" << record.m << ",\"k\":" << record.k
@@ -145,7 +151,11 @@ std::string to_json(const Record& record) {
       << ",\"threads\":" << record.threads << ",\"init_ms\":" << init
       << ",\"rss_bytes\":" << record.rss_bytes << ",\"orbits\":" << record.orbits
       << ",\"orbit_reduction\":" << reduction
-      << ",\"reps_generated\":" << record.reps_generated << "}";
+      << ",\"reps_generated\":" << record.reps_generated
+      << ",\"crashes\":" << record.crashes << ",\"restarts\":" << record.restarts
+      << ",\"messages_dropped\":" << record.messages_dropped
+      << ",\"checkpoint_bytes\":" << record.checkpoint_bytes
+      << ",\"restore_ms\":" << restore << "}";
   return out.str();
 }
 
@@ -206,6 +216,21 @@ Record parse_record(const std::string& json) {
   in.expect(',');
   in.key("reps_generated");
   r.reps_generated = static_cast<long long>(in.number_value());
+  in.expect(',');
+  in.key("crashes");
+  r.crashes = static_cast<long long>(in.number_value());
+  in.expect(',');
+  in.key("restarts");
+  r.restarts = static_cast<long long>(in.number_value());
+  in.expect(',');
+  in.key("messages_dropped");
+  r.messages_dropped = static_cast<long long>(in.number_value());
+  in.expect(',');
+  in.key("checkpoint_bytes");
+  r.checkpoint_bytes = static_cast<long long>(in.number_value());
+  in.expect(',');
+  in.key("restore_ms");
+  r.restore_ms = in.number_value();
   in.expect('}');
   return r;
 }
@@ -214,7 +239,7 @@ Harness::Harness(std::string experiment, int& argc, char** argv)
     : experiment_(std::move(experiment)) {
   if (!known_experiment(experiment_)) {
     throw std::invalid_argument("bench_json: unknown experiment '" + experiment_ +
-                                "' (the set is enumerated in bench_json.hpp; e9/e10/e12 "
+                                "' (the set is enumerated in bench_json.hpp; e10/e12 "
                                 "do not exist)");
   }
   if (const char* env = std::getenv("DMM_BENCH_JSON_DIR")) directory_ = env;
@@ -275,7 +300,7 @@ int Harness::write() const {
     std::fprintf(stderr, "bench_json: cannot write %s\n", path().c_str());
     return 2;
   }
-  out << "{\"schema\":\"dmm-bench-5\",\"experiment\":\"" << escape(experiment_)
+  out << "{\"schema\":\"dmm-bench-6\",\"experiment\":\"" << escape(experiment_)
       << "\",\"records\":[";
   for (std::size_t i = 0; i < records_.size(); ++i) {
     if (i) out << ",";

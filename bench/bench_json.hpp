@@ -3,12 +3,14 @@
 //
 // File format (one JSON object per file):
 //
-//   {"schema":"dmm-bench-5","experiment":"e14","records":[
+//   {"schema":"dmm-bench-6","experiment":"e14","records":[
 //     {"instance":"random n=100000 k=4","n":100000,"m":159862,"k":4,
 //      "rounds":3,"wall_ns":12345678.0,"engine":"flat",
 //      "max_message_bytes":1,"views":0,"pairs":0,"csp_nodes":0,
 //      "memo_hits":0,"threads":1,"init_ms":1.25,"rss_bytes":104857600,
-//      "orbits":0,"orbit_reduction":0,"reps_generated":0}, ...]}
+//      "orbits":0,"orbit_reduction":0,"reps_generated":0,"crashes":0,
+//      "restarts":0,"messages_dropped":0,"checkpoint_bytes":0,
+//      "restore_ms":0}, ...]}
 //
 // Schema history: dmm-bench-2 appended the lower-bound pipeline stats —
 // views, pairs, csp_nodes, memo_hits, threads — to every record (zero / 1
@@ -20,19 +22,25 @@
 // the colour-symmetry stats: orbits (distinct colour-permutation orbits —
 // catalogue orbits on e17 rows, evaluator memo orbits on e4 rows) and
 // orbit_reduction (the raw/orbit count ratio, the ~k!-fold cut; both 0
-// where the orbit layer is off).  dmm-bench-5 (this PR) appends
-// reps_generated — canonical representatives built by the orderly
-// generator on e17 orbit rows (== orbits there: the generator never emits
-// a non-canonical view) and evaluator-interned orbit keys on e4 rows; 0
-// where the orbit layer is off.
+// where the orbit layer is off).  dmm-bench-5 appended reps_generated —
+// canonical representatives built by the orderly generator on e17 orbit
+// rows (== orbits there: the generator never emits a non-canonical view)
+// and evaluator-interned orbit keys on e4 rows; 0 where the orbit layer is
+// off.  dmm-bench-6 (this PR) appends the fault/recovery stats measured by
+// the new e9 experiment: crashes, restarts and messages_dropped (the
+// RunResult fault counters — exact, so they gate on equality),
+// checkpoint_bytes (serialised EngineCheckpoint size; deterministic) and
+// restore_ms (wall-clock of EngineCheckpoint::read + engine restore; a
+// measurement, never gated).  All zero on fault-free rows.
 //
 // The record field names are part of the schema and locked by
 // tests/test_bench_json.cpp; wall times must be finite (NaN is a
 // measurement bug and is rejected at write time, not discovered by a
 // downstream parser).
 //
-// The experiment set is enumerated explicitly — the seed ships no e9, e10
-// or e12 (docs/benchmarks.md), so nothing may iterate "e1..e17".
+// The experiment set is enumerated explicitly — the seed shipped no e9,
+// e10 or e12; e9 now exists (bench_e9_faults.cpp), e10 and e12 remain
+// gaps (docs/benchmarks.md), so nothing may iterate "e1..e17".
 #pragma once
 
 #include <cstddef>
@@ -45,7 +53,7 @@ namespace dmm::benchjson {
 /// Every experiment that exists in this repository, in bench/ file order.
 inline constexpr const char* kExperiments[] = {
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8",
-    "e11", "e13", "e14", "e15", "e16", "e17",
+    "e9", "e11", "e13", "e14", "e15", "e16", "e17",
 };
 
 bool known_experiment(const std::string& experiment);
@@ -73,6 +81,12 @@ struct Record {
   double orbit_reduction = 0.0;      // raw count / orbit count (~k!-fold cut)
   // Orderly-generation stats (dmm-bench-5); zero where the orbit layer is off.
   long long reps_generated = 0;      // canonical reps built by the generator
+  // Fault/recovery stats (dmm-bench-6); zero on fault-free rows.
+  long long crashes = 0;             // crash events applied
+  long long restarts = 0;            // restarts applied
+  long long messages_dropped = 0;    // messages dropped in flight
+  long long checkpoint_bytes = 0;    // serialised EngineCheckpoint size
+  double restore_ms = 0.0;           // read + restore wall-clock (not gated)
 
   bool operator==(const Record&) const = default;
 };

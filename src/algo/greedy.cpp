@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <stdexcept>
 
 #include "local/program_pool.hpp"
 
@@ -137,6 +138,19 @@ bool GreedyProgram::receive_flat(int round, const local::FlatInbox& in) {
     }
   }
   return try_finish(/*completed_step=*/round + 1);
+}
+
+void GreedyProgram::save_state(std::string& out) const {
+  out.push_back(matched_ ? '\1' : '\0');
+  out.push_back(static_cast<char>(output_));
+}
+
+void GreedyProgram::load_state(std::string_view in) {
+  if (in.size() != 2 || static_cast<unsigned char>(in[0]) > 1) {
+    throw std::invalid_argument("GreedyProgram::load_state: malformed state blob");
+  }
+  matched_ = in[0] != '\0';
+  output_ = static_cast<Colour>(static_cast<unsigned char>(in[1]));
 }
 
 void GreedyProgramFactory::make_programs(std::size_t count, local::ProgramPool& pool) const {

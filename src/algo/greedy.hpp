@@ -47,6 +47,11 @@ class GreedyProgram final : public local::NodeProgram {
   void send_flat(int round, local::FlatOutbox& out) override;
   bool receive_flat(int round, const local::FlatInbox& in) override;
   Colour output() const override { return output_; }
+  // Checkpoint hooks: the whole dynamic state is {matched_, output_} — the
+  // incident colours are re-derived by init, and neighbour_matched_ is
+  // refreshed before every use.  Two bytes per node.
+  void save_state(std::string& out) const override;
+  void load_state(std::string_view in) override;
 
  private:
   bool start();

@@ -35,7 +35,9 @@
 #include "graph/generators.hpp"
 #include "local/algorithm.hpp"
 #include "local/ball.hpp"
+#include "local/checkpoint.hpp"
 #include "local/engine.hpp"
+#include "local/faults.hpp"
 #include "local/flat_engine.hpp"
 #include "local/flooding.hpp"
 #include "local/view_engine.hpp"

@@ -1,5 +1,7 @@
 #include "io/serialize.hpp"
 
+#include <istream>
+#include <ostream>
 #include <sstream>
 #include <stdexcept>
 
@@ -200,6 +202,183 @@ lower::Certificate read_certificate(const std::string& text) {
                             static_cast<gk::Colour>(output),
                             static_cast<gk::Colour>(other_output),
                             std::move(detail)};
+}
+
+// ---------------------------------------------------------------------------
+// Binary frame layer.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr char kFrameMagic[4] = {'D', 'M', 'M', 'F'};
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void put_u32(std::ostream& out, std::uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.write(b, 4);
+}
+
+void put_u64(std::ostream& out, std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.write(b, 8);
+}
+
+void get_exact(std::istream& in, char* dst, std::size_t size, const char* context) {
+  in.read(dst, static_cast<std::streamsize>(size));
+  if (static_cast<std::size_t>(in.gcount()) != size) {
+    throw CorruptFrameError(std::string("truncated input in ") + context);
+  }
+}
+
+std::uint32_t get_u32(std::istream& in, const char* context) {
+  char b[4];
+  get_exact(in, b, 4, context);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(b[i])) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(std::istream& in, const char* context) {
+  char b[8];
+  get_exact(in, b, 8, context);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(b[i])) << (8 * i);
+  }
+  return v;
+}
+
+/// The checksum covers everything after the magic: type, version,
+/// payload_len and the payload bytes, chained through one FNV state.
+std::uint64_t frame_checksum(std::string_view type, std::uint32_t version,
+                             std::string_view payload) {
+  std::uint64_t sum = fnv1a64(type.data(), type.size());
+  char header[12];
+  for (int i = 0; i < 4; ++i) header[i] = static_cast<char>((version >> (8 * i)) & 0xff);
+  const auto len = static_cast<std::uint64_t>(payload.size());
+  for (int i = 0; i < 8; ++i) header[4 + i] = static_cast<char>((len >> (8 * i)) & 0xff);
+  sum = fnv1a64(header, sizeof(header), sum);
+  return fnv1a64(payload.data(), payload.size(), sum);
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const void* data, std::size_t size, std::uint64_t seed) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+void ByteWriter::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<char>(v));
+}
+
+void ByteWriter::svarint(std::int64_t v) {
+  // Zigzag: small magnitudes of either sign stay short.
+  varint((static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63));
+}
+
+void ByteWriter::bytes(std::string_view v) {
+  varint(v.size());
+  buf_.append(v.data(), v.size());
+}
+
+std::uint8_t ByteReader::u8() {
+  if (pos_ >= data_.size()) fail("unexpected end of payload");
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint64_t ByteReader::varint() {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    const std::uint8_t byte = u8();
+    // The 10th byte may only carry the top bit of a 64-bit value; anything
+    // larger is an overlong encoding, not a longer integer.
+    if (shift == 63 && byte > 1) fail("varint overflows 64 bits");
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return v;
+  }
+  fail("varint longer than 10 bytes");
+}
+
+std::int64_t ByteReader::svarint() {
+  const std::uint64_t z = varint();
+  return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+}
+
+std::string_view ByteReader::bytes() {
+  const std::uint64_t len = varint();
+  if (len > remaining()) fail("length prefix overruns the payload");
+  const std::string_view v = data_.substr(pos_, static_cast<std::size_t>(len));
+  pos_ += static_cast<std::size_t>(len);
+  return v;
+}
+
+void ByteReader::expect_done(const char* context) const {
+  if (!done()) {
+    throw CorruptFrameError(std::string("trailing bytes after ") + context);
+  }
+}
+
+void ByteReader::fail(const std::string& what) const {
+  throw CorruptFrameError(what + " (at offset " + std::to_string(pos_) + ")");
+}
+
+void write_frame(std::ostream& out, std::string_view type, std::uint32_t version,
+                 std::string_view payload) {
+  if (type.size() != 4) throw std::invalid_argument("write_frame: type must be 4 characters");
+  if (payload.size() > kMaxFramePayload) {
+    throw std::length_error("write_frame: payload exceeds kMaxFramePayload");
+  }
+  out.write(kFrameMagic, 4);
+  out.write(type.data(), 4);
+  put_u32(out, version);
+  put_u64(out, payload.size());
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  put_u64(out, frame_checksum(type, version, payload));
+  if (!out) throw std::runtime_error("write_frame: stream write failed");
+}
+
+Frame read_frame(std::istream& in, std::string_view expected_type) {
+  char magic[4];
+  get_exact(in, magic, 4, "frame magic");
+  if (std::string_view(magic, 4) != std::string_view(kFrameMagic, 4)) {
+    throw CorruptFrameError("bad frame magic");
+  }
+  Frame frame;
+  char type[4];
+  get_exact(in, type, 4, "frame type");
+  frame.type.assign(type, 4);
+  frame.version = get_u32(in, "frame version");
+  const std::uint64_t len = get_u64(in, "frame length");
+  if (len > kMaxFramePayload) {
+    throw CorruptFrameError("declared payload length " + std::to_string(len) +
+                            " exceeds the frame cap");
+  }
+  frame.payload.resize(static_cast<std::size_t>(len));
+  if (len > 0) get_exact(in, frame.payload.data(), frame.payload.size(), "frame payload");
+  const std::uint64_t stored = get_u64(in, "frame checksum");
+  if (stored != frame_checksum(frame.type, frame.version, frame.payload)) {
+    throw CorruptFrameError("checksum mismatch in '" + frame.type + "' frame");
+  }
+  if (!expected_type.empty() && frame.type != expected_type) {
+    throw CorruptFrameError("expected a '" + std::string(expected_type) + "' frame, found '" +
+                            frame.type + "'");
+  }
+  return frame;
 }
 
 }  // namespace dmm::io

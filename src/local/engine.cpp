@@ -3,46 +3,175 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "local/checkpoint.hpp"
+#include "local/faults.hpp"
 #include "local/program_pool.hpp"
 
 namespace dmm::local {
 
+void NodeProgram::save_state(std::string& /*out*/) const {
+  throw std::logic_error(
+      "NodeProgram::save_state: this program does not support checkpointing");
+}
+
+void NodeProgram::load_state(std::string_view /*in*/) {
+  throw std::logic_error(
+      "NodeProgram::load_state: this program does not support checkpointing");
+}
+
+namespace {
+
+/// Snapshot of the engine state after a completed round; shared between the
+/// checkpoint sink and (structurally) FlatEngine::snapshot.
+EngineCheckpoint capture_checkpoint(const graph::EdgeColouredGraph& g, int round,
+                                    int running, const RunResult& result,
+                                    const std::vector<char>& halted,
+                                    const std::vector<char>& down,
+                                    const std::vector<char>& dead, ProgramPool& pool) {
+  EngineCheckpoint cp;
+  cp.node_count = g.node_count();
+  cp.k = g.k();
+  cp.edge_hash = graph_fingerprint(g);
+  cp.round = round;
+  cp.running = running;
+  cp.crashes = result.crashes;
+  cp.restarts = result.restarts;
+  cp.messages_dropped = result.messages_dropped;
+  cp.max_message_bytes = result.max_message_bytes;
+  cp.total_message_bytes = result.total_message_bytes;
+  cp.messages_sent = result.messages_sent;
+  cp.outputs = result.outputs;
+  cp.halt_round.assign(result.halt_round.begin(), result.halt_round.end());
+  cp.halted.assign(halted.begin(), halted.end());
+  cp.down.assign(down.begin(), down.end());
+  cp.dead.assign(dead.begin(), dead.end());
+  const auto n = static_cast<std::size_t>(g.node_count());
+  for (std::size_t v = 0; v < n; ++v) {
+    if (halted[v] || dead[v]) continue;
+    std::string blob;
+    pool[v]->save_state(blob);
+    cp.program_state.push_back(std::move(blob));
+  }
+  return cp;
+}
+
+}  // namespace
+
 RunResult run_sync(const graph::EdgeColouredGraph& g, const ProgramSource& source,
                    int max_rounds) {
+  return run_sync(g, source, max_rounds, FaultOptions{});
+}
+
+RunResult run_sync(const graph::EdgeColouredGraph& g, const ProgramSource& source,
+                   int max_rounds, const FaultOptions& faults,
+                   const CheckpointOptions& checkpoint) {
   const int n = g.node_count();
+  const FaultPlan* plan =
+      (faults.plan != nullptr && !faults.plan->empty()) ? faults.plan : nullptr;
+  if (plan != nullptr) plan->require_fits(n);
+
   RunResult result;
   result.outputs.assign(static_cast<std::size_t>(n), kUnmatched);
   result.halt_round.assign(static_cast<std::size_t>(n), -1);
 
   std::vector<char> halted(static_cast<std::size_t>(n), 0);
+  std::vector<char> down(static_cast<std::size_t>(n), 0);
+  std::vector<char> dead(static_cast<std::size_t>(n), 0);
   int running = n;
+  int start_round = 0;
+
   // Setup phase (timed into init_ns): batch-construct the programs into
   // the pool, then deliver each node its initial knowledge.
   ProgramPool pool;
   const auto init_start = std::chrono::steady_clock::now();
   pool.reserve(static_cast<std::size_t>(n));
   source.build(static_cast<std::size_t>(n), pool);
-  for (graph::NodeIndex v = 0; v < n; ++v) {
-    if (pool[static_cast<std::size_t>(v)]->init(g.incident_colours(v))) {
-      halted[static_cast<std::size_t>(v)] = 1;
-      result.halt_round[static_cast<std::size_t>(v)] = 0;
-      result.outputs[static_cast<std::size_t>(v)] = pool[static_cast<std::size_t>(v)]->output();
-      --running;
+  if (checkpoint.resume != nullptr) {
+    const EngineCheckpoint& cp = *checkpoint.resume;
+    cp.require_matches(g);
+    // init still runs on every node — it hands each program its initial
+    // knowledge, from which graph-shaped state is re-derived.  The round-0
+    // halt decisions it reports are already recorded in the checkpoint, so
+    // they are ignored here; load_state below overwrites the dynamic state.
+    for (graph::NodeIndex v = 0; v < n; ++v) {
+      pool[static_cast<std::size_t>(v)]->init(g.incident_colours(v));
+    }
+    for (std::size_t v = 0; v < static_cast<std::size_t>(n); ++v) {
+      result.outputs[v] = cp.outputs[v];
+      result.halt_round[v] = cp.halt_round[v];
+      halted[v] = static_cast<char>(cp.halted[v]);
+      down[v] = static_cast<char>(cp.down[v]);
+      dead[v] = static_cast<char>(cp.dead[v]);
+    }
+    running = cp.running;
+    start_round = cp.round;
+    result.crashes = cp.crashes;
+    result.restarts = cp.restarts;
+    result.messages_dropped = cp.messages_dropped;
+    result.max_message_bytes = static_cast<std::size_t>(cp.max_message_bytes);
+    result.total_message_bytes = static_cast<std::size_t>(cp.total_message_bytes);
+    result.messages_sent = static_cast<std::size_t>(cp.messages_sent);
+    std::size_t blob = 0;
+    for (std::size_t v = 0; v < static_cast<std::size_t>(n); ++v) {
+      if (halted[v] || dead[v]) continue;
+      pool[v]->load_state(cp.program_state[blob++]);
+    }
+  } else {
+    for (graph::NodeIndex v = 0; v < n; ++v) {
+      if (pool[static_cast<std::size_t>(v)]->init(g.incident_colours(v))) {
+        halted[static_cast<std::size_t>(v)] = 1;
+        result.halt_round[static_cast<std::size_t>(v)] = 0;
+        result.outputs[static_cast<std::size_t>(v)] = pool[static_cast<std::size_t>(v)]->output();
+        --running;
+      }
     }
   }
   result.init_ns = static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
                                            std::chrono::steady_clock::now() - init_start)
                                            .count());
 
-  for (int round = 1; running > 0; ++round) {
+  // Fault-event cursor.  On a resume the checkpointed flags already
+  // reflect every event up to start_round, so the cursor skips them.
+  std::size_t ev = plan != nullptr ? plan->first_event_at(start_round + 1) : 0;
+
+  for (int round = start_round + 1; running > 0; ++round) {
     if (round > max_rounds) {
       throw std::runtime_error("run_sync: algorithm did not halt within max_rounds");
     }
+    // Phase 0: apply this round's fault events before the send phase.  A
+    // crash aimed at a halted or dead node is a no-op; a permanent crash
+    // removes the node from the run (output stays ⊥, halt_round −1).
+    if (plan != nullptr) {
+      const std::vector<FaultEvent>& events = plan->events();
+      while (ev < events.size() && events[ev].round <= round) {
+        const FaultEvent& e = events[ev++];
+        if (e.node < 0 || e.node >= n) {
+          throw std::invalid_argument("FaultPlan: event targets a node outside the graph");
+        }
+        const auto v = static_cast<std::size_t>(e.node);
+        if (e.up) {
+          if (!halted[v] && !dead[v] && down[v]) {
+            down[v] = 0;
+            ++result.restarts;
+          }
+        } else {
+          if (!halted[v] && !dead[v]) {
+            down[v] = 1;
+            ++result.crashes;
+            if (e.permanent) {
+              dead[v] = 1;
+              --running;
+            }
+          }
+        }
+      }
+    }
     // Phase 1: collect outgoing messages.  Halted nodes re-announce their
-    // final output (visible per the paper's output announcement).
+    // final output (visible per the paper's output announcement); down and
+    // dead nodes send nothing.
     std::vector<std::map<Colour, Message>> outgoing(static_cast<std::size_t>(n));
     for (graph::NodeIndex v = 0; v < n; ++v) {
-      if (halted[static_cast<std::size_t>(v)]) continue;
+      if (halted[static_cast<std::size_t>(v)] || down[static_cast<std::size_t>(v)]) continue;
       outgoing[static_cast<std::size_t>(v)] = pool[static_cast<std::size_t>(v)]->send(round);
       for (const auto& [colour, message] : outgoing[static_cast<std::size_t>(v)]) {
         result.max_message_bytes = std::max(result.max_message_bytes, message.size());
@@ -53,30 +182,48 @@ RunResult run_sync(const graph::EdgeColouredGraph& g, const ProgramSource& sourc
     // Phase 2: build every inbox from the state at the *start* of the
     // round, then deliver.  A node halting in this round must not leak its
     // decision to same-round receivers — all nodes act simultaneously.
+    // Down/dead receivers get no inbox; a down/dead sender reads as absent
+    // on the shared edge.  Drops hit only messages actually in flight
+    // (running sender, running receiver, message present) — halted
+    // announcements are environment, not messages, and are never dropped.
     std::vector<std::map<Colour, Message>> inboxes(static_cast<std::size_t>(n));
     for (graph::NodeIndex v = 0; v < n; ++v) {
-      if (halted[static_cast<std::size_t>(v)]) continue;
+      if (halted[static_cast<std::size_t>(v)] || down[static_cast<std::size_t>(v)]) continue;
       for (Colour c : g.incident_colours(v)) {
         const graph::NodeIndex u = *g.neighbour(v, c);
         if (halted[static_cast<std::size_t>(u)]) {
           inboxes[static_cast<std::size_t>(v)][c] =
               std::string(1, kHaltedPrefix) +
               std::to_string(static_cast<int>(result.outputs[static_cast<std::size_t>(u)]));
+        } else if (down[static_cast<std::size_t>(u)]) {
+          inboxes[static_cast<std::size_t>(v)][c] = Message{};
         } else {
           auto it = outgoing[static_cast<std::size_t>(u)].find(c);
-          inboxes[static_cast<std::size_t>(v)][c] =
-              it == outgoing[static_cast<std::size_t>(u)].end() ? Message{} : it->second;
+          if (it == outgoing[static_cast<std::size_t>(u)].end()) {
+            inboxes[static_cast<std::size_t>(v)][c] = Message{};
+          } else if (plan != nullptr && plan->drops(round, u, c)) {
+            inboxes[static_cast<std::size_t>(v)][c] = Message{};
+            ++result.messages_dropped;
+          } else {
+            inboxes[static_cast<std::size_t>(v)][c] = it->second;
+          }
         }
       }
     }
     for (graph::NodeIndex v = 0; v < n; ++v) {
-      if (halted[static_cast<std::size_t>(v)]) continue;
+      if (halted[static_cast<std::size_t>(v)] || down[static_cast<std::size_t>(v)]) continue;
       if (pool[static_cast<std::size_t>(v)]->receive(round, inboxes[static_cast<std::size_t>(v)])) {
         halted[static_cast<std::size_t>(v)] = 1;
         result.halt_round[static_cast<std::size_t>(v)] = round;
         result.outputs[static_cast<std::size_t>(v)] = pool[static_cast<std::size_t>(v)]->output();
         --running;
       }
+    }
+    // Round `round` is now complete — the only point a checkpoint can be
+    // captured (checkpoint.hpp explains why round boundaries suffice).
+    if (checkpoint.every > 0 && checkpoint.sink && running > 0 &&
+        round % checkpoint.every == 0) {
+      checkpoint.sink(capture_checkpoint(g, round, running, result, halted, down, dead, pool));
     }
   }
   for (int r : result.halt_round) result.rounds = std::max(result.rounds, r);

@@ -33,6 +33,8 @@ using Message = std::string;
 
 struct FlatPlane;  // flat_engine.cpp
 class FlatEngine;
+class FaultPlan;          // faults.hpp
+struct EngineCheckpoint;  // checkpoint.hpp
 
 /// Running totals for the paper's message-size accounting; shared between
 /// the engines and the flat-plane writers.  Cache-line aligned: the flat
@@ -135,6 +137,16 @@ class NodeProgram {
   // (tests/test_flat_engine.cpp) pins the two paths together.
   virtual void send_flat(int round, FlatOutbox& out);
   virtual bool receive_flat(int round, const FlatInbox& in);
+
+  // Checkpoint hooks (optional; checkpoint.hpp).  save_state serialises
+  // everything the program's future behaviour depends on *beyond* what
+  // init re-derives from the graph; load_state restores it after init ran
+  // on a resumed engine.  The defaults throw std::logic_error, so
+  // checkpointing a program that has not implemented them fails loudly
+  // instead of resuming with silently reset state (greedy and flooding
+  // implement both).
+  virtual void save_state(std::string& out) const;
+  virtual void load_state(std::string_view in);
 };
 
 inline constexpr char kHaltedPrefix = '!';
@@ -200,6 +212,12 @@ struct RunResult {
   std::size_t max_message_bytes = 0;
   std::size_t total_message_bytes = 0;
   std::size_t messages_sent = 0;
+  // Fault accounting (faults.hpp): crash events applied, restarts applied,
+  // and messages dropped in flight.  All zero on fault-free runs.  Part of
+  // engine equivalence — both engines must agree on every faulty run.
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t messages_dropped = 0;
   // Wall-clock of the setup phase (program construction + init calls —
   // and, on the flat engine, CSR construction, chunk planning and the
   // worker-pool spawn, which all happen in the engine constructor), the
@@ -215,11 +233,35 @@ struct RunResult {
   std::size_t threads_spawned = 0;
 };
 
+/// Fault injection for a run: a borrowed FaultPlan (faults.hpp).  The plan
+/// must outlive the run; nullptr or an empty plan means a fault-free run.
+struct FaultOptions {
+  const FaultPlan* plan = nullptr;
+};
+
+/// Checkpointing for a run (checkpoint.hpp).  When `every` > 0 and `sink`
+/// is set, the engine hands a full EngineCheckpoint to `sink` after every
+/// `every`-th completed round (while any node is still running).  `resume`
+/// restores a previously captured checkpoint before the first round; the
+/// run then continues at checkpoint.round + 1 and — given the same graph,
+/// program and fault plan — finishes with a RunResult bit-identical to the
+/// uninterrupted run's (tests/test_faults.cpp).
+struct CheckpointOptions {
+  int every = 0;
+  std::function<void(const EngineCheckpoint&)> sink;
+  const EngineCheckpoint* resume = nullptr;
+};
+
 /// Runs one copy of the program on every node until all have halted or
 /// max_rounds is exceeded (which throws — a distributed algorithm that does
 /// not halt is a bug).
 RunResult run_sync(const graph::EdgeColouredGraph& g, const ProgramSource& source,
                    int max_rounds);
+
+/// As above, with fault injection and checkpointing.
+RunResult run_sync(const graph::EdgeColouredGraph& g, const ProgramSource& source,
+                   int max_rounds, const FaultOptions& faults,
+                   const CheckpointOptions& checkpoint = {});
 
 /// The library's simulation engines.  kSync is the reference oracle
 /// (per-round std::map inboxes, engine.cpp); kFlat is the high-throughput
@@ -233,6 +275,11 @@ enum class EngineKind {
 /// Dispatches to run_sync or run_flat (with default options).
 RunResult run(EngineKind kind, const graph::EdgeColouredGraph& g,
               const ProgramSource& source, int max_rounds);
+
+/// As above, with fault injection and checkpointing.
+RunResult run(EngineKind kind, const graph::EdgeColouredGraph& g,
+              const ProgramSource& source, int max_rounds, const FaultOptions& faults,
+              const CheckpointOptions& checkpoint = {});
 
 /// "sync" / "flat".
 const char* engine_kind_name(EngineKind kind) noexcept;

@@ -9,7 +9,8 @@
 #include <stdexcept>
 #include <thread>
 
-#include "local/program_pool.hpp"
+#include "local/checkpoint.hpp"
+#include "local/faults.hpp"
 
 namespace dmm::local {
 
@@ -25,6 +26,8 @@ constexpr std::uint8_t kSpillLen = 0xff;
 constexpr std::size_t kChunksPerWorker = 16;
 constexpr std::size_t kMinAutoChunkSlots = 1024;
 
+}  // namespace
+
 /// Persistent phase-dispatch pool: `spawn` threads are created once and
 /// parked on a condition variable; every run() call wakes them for one
 /// phase and the calling thread participates as worker 0.  Dispatch is a
@@ -33,16 +36,16 @@ constexpr std::size_t kMinAutoChunkSlots = 1024;
 /// vouch for it.  The first exception from any worker (including worker 0)
 /// wins and is rethrown on the calling thread after the phase barrier,
 /// preserving the serial engine's fail-fast contract.
-class WorkerPool {
+class FlatWorkerPool {
  public:
-  explicit WorkerPool(int spawn) {
+  explicit FlatWorkerPool(int spawn) {
     threads_.reserve(static_cast<std::size_t>(spawn));
     for (int i = 0; i < spawn; ++i) {
       threads_.emplace_back([this, id = i + 1] { worker_main(id); });
     }
   }
 
-  ~WorkerPool() {
+  ~FlatWorkerPool() {
     {
       const std::lock_guard<std::mutex> lock(mu_);
       stop_ = true;
@@ -51,8 +54,8 @@ class WorkerPool {
     for (std::thread& t : threads_) t.join();
   }
 
-  WorkerPool(const WorkerPool&) = delete;
-  WorkerPool& operator=(const WorkerPool&) = delete;
+  FlatWorkerPool(const FlatWorkerPool&) = delete;
+  FlatWorkerPool& operator=(const FlatWorkerPool&) = delete;
 
   std::size_t spawned() const noexcept { return threads_.size(); }
 
@@ -128,8 +131,6 @@ class WorkerPool {
   bool stop_ = false;
 };
 
-}  // namespace
-
 /// One directed-edge message slot, sender-major: node v's outgoing message
 /// on its i-th port lives at slot row[v] + i, so the send phase streams
 /// sequentially and only the receive phase gathers.  A slot is live only
@@ -162,8 +163,10 @@ struct FlatPlane {
   void new_round() {
     for (auto& arena : arenas) arena.clear();
   }
+};
 
-  void wipe_stamps() { std::fill(slots.begin(), slots.end(), FlatSlot{}); }
+struct alignas(64) FlatEngine::ChunkCursor {
+  std::atomic<std::int64_t> next{0};
 };
 
 void FlatOutbox::set(int port, std::string_view bytes) {
@@ -253,426 +256,556 @@ bool NodeProgram::receive_flat(int round, const FlatInbox& in) {
   return receive(round, inbox);
 }
 
-class FlatEngine {
- public:
-  FlatEngine(const graph::EdgeColouredGraph& g, const ProgramSource& source,
-             int max_rounds, const FlatEngineOptions& options)
-      : g_(g), source_(source), max_rounds_(max_rounds) {
-    // Everything the constructor does — CSR construction, chunk planning,
-    // spawning the persistent pool — is setup work, timed into build_ns_
-    // and folded into RunResult::init_ns by run() (the old engine started
-    // the clock inside run() and under-reported init by the whole CSR).
-    const auto build_start = std::chrono::steady_clock::now();
-    n_ = g.node_count();
-    // Worker clamp: never more workers than nodes (an empty partition buys
-    // nothing and the n = 0 / threads = 8 edge used to depend on every
-    // phase tolerating it), never more than the one-byte spill-arena index
-    // can address, and never fewer than one.
-    workers_ = std::max(1, std::min(options.threads, kMaxFlatWorkers));
-    if (workers_ > n_) workers_ = std::max(1, n_);
-    steal_ = options.steal;
-    build_csr();
-    if (workers_ > 1) {
-      plan_chunks(options.chunk_slots);
-      // The pool is spawned exactly once per engine and parked between
-      // phases — per-round thread creations are zero by construction.
-      pool_threads_ = std::make_unique<WorkerPool>(workers_ - 1);
-    }
-    build_ns_ =
-        static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                                std::chrono::steady_clock::now() - build_start)
-                                .count());
+FlatEngine::FlatEngine(const graph::EdgeColouredGraph& g, const ProgramSource& source,
+                       int max_rounds, const FlatEngineOptions& options)
+    : g_(g), source_(source), max_rounds_(max_rounds) {
+  // Everything the constructor does — CSR construction, chunk planning,
+  // spawning the persistent pool — is setup work, timed into build_ns_
+  // and folded into RunResult::init_ns by run() (the old engine started
+  // the clock inside run() and under-reported init by the whole CSR).
+  const auto build_start = std::chrono::steady_clock::now();
+  n_ = g.node_count();
+  // Worker clamp: never more workers than nodes (an empty partition buys
+  // nothing and the n = 0 / threads = 8 edge used to depend on every
+  // phase tolerating it), never more than the one-byte spill-arena index
+  // can address, and never fewer than one.
+  workers_ = std::max(1, std::min(options.threads, kMaxFlatWorkers));
+  if (workers_ > n_) workers_ = std::max(1, n_);
+  steal_ = options.steal;
+  build_csr();
+  if (workers_ > 1) {
+    plan_chunks(options.chunk_slots);
+    // The pool is spawned exactly once per engine and parked between
+    // phases — per-round thread creations are zero by construction.
+    pool_threads_ = std::make_unique<FlatWorkerPool>(workers_ - 1);
   }
+  plane_ = std::make_unique<FlatPlane>();
+  build_ns_ =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - build_start)
+                              .count());
+}
 
-  RunResult run() {
-    RunResult result;
-    result.outputs.assign(static_cast<std::size_t>(n_), kUnmatched);
-    result.halt_round.assign(static_cast<std::size_t>(n_), -1);
-    halted_.assign(static_cast<std::size_t>(n_), 0);
-    announcements_.assign(static_cast<std::size_t>(n_), {});
-    pool_.clear();
-    pool_.reserve(static_cast<std::size_t>(n_));
+FlatEngine::~FlatEngine() = default;
 
-    // Setup phase (timed into init_ns): batch-construct every program in
-    // the pool's arena, then hand each node a pointer straight into its
-    // CSR colour row — no per-node vector is materialised.
-    const auto init_start = std::chrono::steady_clock::now();
-    source_.build(static_cast<std::size_t>(n_), pool_);
-    int running = n_;
+void FlatEngine::initialise(const EngineCheckpoint* cp) {
+  result_ = RunResult{};
+  result_.outputs.assign(static_cast<std::size_t>(n_), kUnmatched);
+  result_.halt_round.assign(static_cast<std::size_t>(n_), -1);
+  halted_.assign(static_cast<std::size_t>(n_), 0);
+  down_.assign(static_cast<std::size_t>(n_), 0);
+  dead_.assign(static_cast<std::size_t>(n_), 0);
+  announcements_.assign(static_cast<std::size_t>(n_), {});
+  pool_.clear();
+  pool_.reserve(static_cast<std::size_t>(n_));
+
+  // Setup phase (timed into init_ns): batch-construct every program in
+  // the pool's arena, then hand each node a pointer straight into its
+  // CSR colour row — no per-node vector is materialised.
+  const auto init_start = std::chrono::steady_clock::now();
+  source_.build(static_cast<std::size_t>(n_), pool_);
+  running_ = n_;
+  round_ = 0;
+  if (cp != nullptr) {
+    // init still runs on every node — programs re-derive graph-shaped
+    // state from it; the round-0 halt decisions it reports are already in
+    // the checkpoint, and load_state overwrites the dynamic state.
+    for (graph::NodeIndex v = 0; v < n_; ++v) {
+      const std::size_t begin = row_[static_cast<std::size_t>(v)];
+      pool_[static_cast<std::size_t>(v)]->init_flat(port_colour_.data() + begin, degree(v));
+    }
+    for (std::size_t v = 0; v < static_cast<std::size_t>(n_); ++v) {
+      result_.outputs[v] = cp->outputs[v];
+      result_.halt_round[v] = cp->halt_round[v];
+      halted_[v] = static_cast<char>(cp->halted[v]);
+      down_[v] = static_cast<char>(cp->down[v]);
+      dead_[v] = static_cast<char>(cp->dead[v]);
+    }
+    running_ = cp->running;
+    round_ = cp->round;
+    result_.crashes = cp->crashes;
+    result_.restarts = cp->restarts;
+    result_.messages_dropped = cp->messages_dropped;
+    result_.max_message_bytes = static_cast<std::size_t>(cp->max_message_bytes);
+    result_.total_message_bytes = static_cast<std::size_t>(cp->total_message_bytes);
+    result_.messages_sent = static_cast<std::size_t>(cp->messages_sent);
+    std::size_t blob = 0;
+    for (std::size_t v = 0; v < static_cast<std::size_t>(n_); ++v) {
+      if (halted_[v] || dead_[v]) continue;
+      pool_[v]->load_state(cp->program_state[blob++]);
+    }
+  } else {
     for (graph::NodeIndex v = 0; v < n_; ++v) {
       const std::size_t begin = row_[static_cast<std::size_t>(v)];
       if (pool_[static_cast<std::size_t>(v)]->init_flat(port_colour_.data() + begin,
                                                         degree(v))) {
-        halt(result, v, /*round=*/0);
-        --running;
+        halt(v, /*round=*/0);
+        --running_;
       }
     }
-    result.init_ns =
-        build_ns_ +
-        static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                                std::chrono::steady_clock::now() - init_start)
-                                .count());
-    result.threads_spawned = pool_threads_ ? pool_threads_->spawned() : 0;
+  }
+  result_.init_ns =
+      build_ns_ +
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - init_start)
+                              .count());
+  result_.threads_spawned = pool_threads_ ? pool_threads_->spawned() : 0;
 
-    // Everything the rounds need is built lazily: a 0-round algorithm on a
-    // million nodes never pays for the message plane.
-    bool planes_ready = false;
-    std::vector<MessageStats> stats(static_cast<std::size_t>(workers_));
-    std::vector<std::vector<graph::NodeIndex>> newly_halted(
-        static_cast<std::size_t>(workers_));
+  // Everything the rounds need is built lazily: a 0-round algorithm on a
+  // million nodes never pays for the message plane.
+  planes_ready_ = false;
+  stats_.assign(static_cast<std::size_t>(workers_), MessageStats{});
+  newly_halted_.assign(static_cast<std::size_t>(workers_), {});
+}
 
-    for (int round = 1; running > 0; ++round) {
-      if (round > max_rounds_) {
-        throw std::runtime_error("run_flat: algorithm did not halt within max_rounds");
+RunResult FlatEngine::run() { return run(FaultOptions{}); }
+
+RunResult FlatEngine::run(const FaultOptions& faults, const CheckpointOptions& checkpoint) {
+  plan_ = (faults.plan != nullptr && !faults.plan->empty()) ? faults.plan : nullptr;
+  if (plan_ != nullptr) plan_->require_fits(n_);
+  faulty_ = plan_ != nullptr;
+  drop_mask_ = plan_ != nullptr && plan_->has_drops();
+  if (checkpoint.resume != nullptr) restore(*checkpoint.resume);
+  if (!primed_) initialise(nullptr);
+  primed_ = false;
+  // On a resume the checkpointed flags already reflect every fault event
+  // up to round_, so the cursor skips them.
+  ev_ = plan_ != nullptr ? plan_->first_event_at(round_ + 1) : 0;
+
+  while (running_ > 0) {
+    const int round = round_ + 1;
+    if (round > max_rounds_) {
+      throw std::runtime_error("run_flat: algorithm did not halt within max_rounds");
+    }
+    step_round(round);
+    round_ = round;
+    // Round `round` is now complete — the only point a checkpoint can be
+    // captured (checkpoint.hpp explains why round boundaries suffice).
+    if (checkpoint.every > 0 && checkpoint.sink && running_ > 0 &&
+        round % checkpoint.every == 0) {
+      checkpoint.sink(snapshot());
+    }
+  }
+  return finalise();
+}
+
+void FlatEngine::step_round(int round) {
+  round_now_ = round;
+  // Phase 0: apply this round's fault events before the send phase.  A
+  // crash aimed at a halted or dead node is a no-op; a permanent crash
+  // removes the node from the run (output stays ⊥, halt_round −1).
+  if (plan_ != nullptr) {
+    const std::vector<FaultEvent>& events = plan_->events();
+    while (ev_ < events.size() && events[ev_].round <= round) {
+      const FaultEvent& e = events[ev_++];
+      if (e.node < 0 || e.node >= n_) {
+        throw std::invalid_argument("FaultPlan: event targets a node outside the graph");
       }
-      if (!planes_ready) {
-        plane_.configure(port_colour_.size(), workers_);
-        // Round-0 halts rendered no announcements yet; render the ones
-        // with a live audience now.
-        for (graph::NodeIndex v = 0; v < n_; ++v) {
-          if (halted_[static_cast<std::size_t>(v)]) render_announcement(result, v);
+      const auto v = static_cast<std::size_t>(e.node);
+      if (e.up) {
+        if (!halted_[v] && !dead_[v] && down_[v]) {
+          down_[v] = 0;
+          ++result_.restarts;
         }
-        planes_ready = true;
-      }
-      // One contiguous plane, reused every round: the round stamp plays the
-      // role of the classic send/recv buffer swap — a slot whose stamp is
-      // not this round's tag is last round's (or older) data and reads as
-      // absent, so nothing needs clearing.  Tags cycle through 1..255; the
-      // plane is wiped when the cycle restarts so a stale stamp can never
-      // alias.
-      const auto stamp = static_cast<std::uint8_t>(1 + (round - 1) % 255);
-      if (round > 1 && stamp == 1) wipe_running_rows();
-      FlatPlane& plane = plane_;
-      plane.new_round();
-
-      // Phase 1: running nodes stream this round's messages into their own
-      // slot rows.  A chunk (contiguous node range) is claimed by exactly
-      // one worker per phase, so no two workers ever touch the same slot.
-      for_chunks([&](int worker, graph::NodeIndex begin, graph::NodeIndex end) {
-        FlatOutbox out;
-        out.plane_ = &plane;
-        out.arena_ = static_cast<std::uint8_t>(worker);
-        out.stats_ = &stats[static_cast<std::size_t>(worker)];
-        out.stamp_ = stamp;
-        for (graph::NodeIndex v = begin; v < end; ++v) {
-          if (halted_[static_cast<std::size_t>(v)]) continue;
-          out.base_ = row_[static_cast<std::size_t>(v)];
-          out.colours_ = port_colour_.data() + out.base_;
-          out.count_ = degree(v);
-          pool_[static_cast<std::size_t>(v)]->send_flat(round, out);
-        }
-      });
-
-      // Phase 2: hand each running node a lazy view over its peers' slots,
-      // reflecting the start-of-round halted state (a node halting this
-      // round must not leak its decision to same-round receivers).  New
-      // halts are collected per worker and applied after the barrier.
-      for_chunks([&](int worker, graph::NodeIndex begin, graph::NodeIndex end) {
-        for (graph::NodeIndex v = begin; v < end; ++v) {
-          if (halted_[static_cast<std::size_t>(v)]) continue;
-          const std::size_t row = row_[static_cast<std::size_t>(v)];
-          FlatInbox in;
-          in.engine_ = this;
-          in.plane_ = &plane;
-          in.colours_ = port_colour_.data() + row;
-          in.row_ = row;
-          in.count_ = degree(v);
-          in.stamp_ = stamp;
-          if (pool_[static_cast<std::size_t>(v)]->receive_flat(round, in)) {
-            newly_halted[static_cast<std::size_t>(worker)].push_back(v);
+      } else {
+        if (!halted_[v] && !dead_[v]) {
+          down_[v] = 1;
+          ++result_.crashes;
+          if (e.permanent) {
+            dead_[v] = 1;
+            --running_;
           }
         }
-      });
-
-      for (auto& batch : newly_halted) {
-        for (graph::NodeIndex v : batch) {
-          halt(result, v, round);
-          --running;
-        }
-      }
-      // Render after every same-round halt is marked, so the audience
-      // check sees the final halted state.
-      for (auto& batch : newly_halted) {
-        for (graph::NodeIndex v : batch) render_announcement(result, v);
-        batch.clear();
       }
     }
-
-    for (const MessageStats& s : stats) {
-      result.max_message_bytes = std::max(result.max_message_bytes, s.max_bytes);
-      result.total_message_bytes += s.total_bytes;
-      result.messages_sent += s.sent;
-    }
-    for (int r : result.halt_round) result.rounds = std::max(result.rounds, r);
-    return result;
   }
-
- private:
-  void build_csr() {
-    // Built straight from the edge list: one counting pass, one scatter
-    // pass into an interleaved scratch (one cache miss per half-edge, not
-    // two), then a sequential split + per-row insertion sort by colour.
-    // Never calls incident_colours/neighbour, which allocate per node.
-    const std::vector<graph::Edge>& edges = g_.edges();
-    std::vector<int> degrees(static_cast<std::size_t>(n_), 0);
-    for (const graph::Edge& e : edges) {
-      ++degrees[static_cast<std::size_t>(e.u)];
-      ++degrees[static_cast<std::size_t>(e.v)];
-    }
-    row_ = flat_row_offsets(degrees);
-    const std::size_t slot_count = row_[static_cast<std::size_t>(n_)];
-    struct Half {
-      Colour colour;
-      graph::NodeIndex peer;
-    };
-    std::vector<Half> halves(slot_count);
-    {
-      std::vector<std::size_t> cursor(row_.begin(), row_.end() - 1);
-      for (const graph::Edge& e : edges) {
-        halves[cursor[static_cast<std::size_t>(e.u)]++] = {e.colour, e.v};
-        halves[cursor[static_cast<std::size_t>(e.v)]++] = {e.colour, e.u};
-      }
-    }
-    // Ports must ascend by colour within a row (that is what defines the
-    // port order seen by programs); rows have at most k entries.
+  if (!planes_ready_) {
+    plane_->configure(port_colour_.size(), workers_);
+    // Halts recorded before the first simulated round (round-0 halts, or
+    // everything a restored checkpoint carries) rendered no announcements
+    // yet; render the ones with a live audience now.
     for (graph::NodeIndex v = 0; v < n_; ++v) {
-      const std::size_t begin = row_[static_cast<std::size_t>(v)];
-      const std::size_t end = row_[static_cast<std::size_t>(v) + 1];
-      for (std::size_t i = begin + 1; i < end; ++i) {
-        const Half h = halves[i];
-        std::size_t j = i;
-        for (; j > begin && halves[j - 1].colour > h.colour; --j) halves[j] = halves[j - 1];
-        halves[j] = h;
+      if (halted_[static_cast<std::size_t>(v)]) render_announcement(v);
+    }
+    planes_ready_ = true;
+  }
+  // One contiguous plane, reused every round: the round stamp plays the
+  // role of the classic send/recv buffer swap — a slot whose stamp is
+  // not this round's tag is last round's (or older) data and reads as
+  // absent, so nothing needs clearing.  Tags cycle through 1..255; the
+  // plane is wiped when the cycle restarts so a stale stamp can never
+  // alias.  (A restored engine starts mid-cycle on a freshly zeroed
+  // plane — stamp 0 never matches a round tag, so that reads as absent
+  // exactly like the uninterrupted run's stale-stamp slots.)
+  const auto stamp = static_cast<std::uint8_t>(1 + (round - 1) % 255);
+  if (round > 1 && stamp == 1) wipe_running_rows();
+  FlatPlane& plane = *plane_;
+  plane.new_round();
+
+  // Phase 1: running nodes stream this round's messages into their own
+  // slot rows; down and dead nodes send nothing.  A chunk (contiguous node
+  // range) is claimed by exactly one worker per phase, so no two workers
+  // ever touch the same slot.
+  for_chunks([&](int worker, graph::NodeIndex begin, graph::NodeIndex end) {
+    FlatOutbox out;
+    out.plane_ = &plane;
+    out.arena_ = static_cast<std::uint8_t>(worker);
+    out.stats_ = &stats_[static_cast<std::size_t>(worker)];
+    out.stamp_ = stamp;
+    for (graph::NodeIndex v = begin; v < end; ++v) {
+      if (halted_[static_cast<std::size_t>(v)] || down_[static_cast<std::size_t>(v)]) continue;
+      out.base_ = row_[static_cast<std::size_t>(v)];
+      out.colours_ = port_colour_.data() + out.base_;
+      out.count_ = degree(v);
+      pool_[static_cast<std::size_t>(v)]->send_flat(round, out);
+    }
+  });
+
+  // Drop accounting: one serial pass over the freshly stamped slots,
+  // counting exactly what run_sync counts while building its inboxes — a
+  // message actually in flight (running sender wrote the port, running
+  // receiver on the other end) whose (round, sender, colour) hash says
+  // drop.  The count is therefore read-independent: a program that never
+  // reads the port still loses (and counts) the same messages.  Delivery
+  // masking happens separately in resolve().
+  if (drop_mask_) {
+    for (graph::NodeIndex u = 0; u < n_; ++u) {
+      if (halted_[static_cast<std::size_t>(u)] || down_[static_cast<std::size_t>(u)]) continue;
+      const std::size_t begin = row_[static_cast<std::size_t>(u)];
+      const std::size_t end = row_[static_cast<std::size_t>(u) + 1];
+      for (std::size_t s = begin; s < end; ++s) {
+        if (plane.slots[s].stamp != stamp) continue;
+        const graph::NodeIndex r = peer_node_[s];
+        if (halted_[static_cast<std::size_t>(r)] || down_[static_cast<std::size_t>(r)]) continue;
+        if (plan_->drops(round, u, port_colour_[s])) ++result_.messages_dropped;
       }
     }
-    port_colour_.resize(slot_count);
-    peer_node_.resize(slot_count);
-    for (std::size_t s = 0; s < slot_count; ++s) {
-      port_colour_[s] = halves[s].colour;
-      peer_node_[s] = halves[s].peer;
+  }
+
+  // Phase 2: hand each running node a lazy view over its peers' slots,
+  // reflecting the start-of-round halted state (a node halting this
+  // round must not leak its decision to same-round receivers).  New
+  // halts are collected per worker and applied after the barrier.
+  for_chunks([&](int worker, graph::NodeIndex begin, graph::NodeIndex end) {
+    for (graph::NodeIndex v = begin; v < end; ++v) {
+      if (halted_[static_cast<std::size_t>(v)] || down_[static_cast<std::size_t>(v)]) continue;
+      const std::size_t row = row_[static_cast<std::size_t>(v)];
+      FlatInbox in;
+      in.engine_ = this;
+      in.plane_ = &plane;
+      in.colours_ = port_colour_.data() + row;
+      in.row_ = row;
+      in.count_ = degree(v);
+      in.stamp_ = stamp;
+      if (pool_[static_cast<std::size_t>(v)]->receive_flat(round, in)) {
+        newly_halted_[static_cast<std::size_t>(worker)].push_back(v);
+      }
+    }
+  });
+
+  for (auto& batch : newly_halted_) {
+    for (graph::NodeIndex v : batch) {
+      halt(v, round);
+      --running_;
     }
   }
-
-  int degree(graph::NodeIndex v) const noexcept {
-    return static_cast<int>(row_[static_cast<std::size_t>(v) + 1] -
-                            row_[static_cast<std::size_t>(v)]);
+  // Render after every same-round halt is marked, so the audience
+  // check sees the final halted state.
+  for (auto& batch : newly_halted_) {
+    for (graph::NodeIndex v : batch) render_announcement(v);
+    batch.clear();
   }
+}
 
- public:
-  /// Lazy inbox resolution (FlatInbox::at): the message delivered into
-  /// receiver slot s this round.  The sender's slot is found by a binary
-  /// search of its (tiny, colour-sorted) row — programs typically read far
-  /// fewer ports than there are slots, so no in-slot table is kept.
-  std::string_view resolve(const FlatPlane& plane, std::size_t s,
-                           std::uint8_t stamp) const noexcept {
-    const graph::NodeIndex u = peer_node_[s];
-    if (halted_[static_cast<std::size_t>(u)]) {
-      return announcements_[static_cast<std::size_t>(u)];
+RunResult FlatEngine::finalise() {
+  for (const MessageStats& s : stats_) {
+    result_.max_message_bytes = std::max(result_.max_message_bytes, s.max_bytes);
+    result_.total_message_bytes += s.total_bytes;
+    result_.messages_sent += s.sent;
+  }
+  stats_.assign(static_cast<std::size_t>(workers_), MessageStats{});
+  for (int r : result_.halt_round) result_.rounds = std::max(result_.rounds, r);
+  return std::move(result_);
+}
+
+EngineCheckpoint FlatEngine::snapshot() const {
+  EngineCheckpoint cp;
+  cp.node_count = n_;
+  cp.k = g_.k();
+  cp.edge_hash = graph_fingerprint(g_);
+  cp.round = round_;
+  cp.running = running_;
+  cp.crashes = result_.crashes;
+  cp.restarts = result_.restarts;
+  cp.messages_dropped = result_.messages_dropped;
+  // The per-worker stats are merged into the checkpoint exactly like
+  // finalise merges them into the RunResult — both folds are commutative,
+  // so the checkpointed totals equal run_sync's inline accounting.
+  std::size_t max_bytes = result_.max_message_bytes;
+  std::size_t total_bytes = result_.total_message_bytes;
+  std::size_t sent = result_.messages_sent;
+  for (const MessageStats& s : stats_) {
+    max_bytes = std::max(max_bytes, s.max_bytes);
+    total_bytes += s.total_bytes;
+    sent += s.sent;
+  }
+  cp.max_message_bytes = max_bytes;
+  cp.total_message_bytes = total_bytes;
+  cp.messages_sent = sent;
+  cp.outputs = result_.outputs;
+  cp.halt_round.assign(result_.halt_round.begin(), result_.halt_round.end());
+  cp.halted.assign(halted_.begin(), halted_.end());
+  cp.down.assign(down_.begin(), down_.end());
+  cp.dead.assign(dead_.begin(), dead_.end());
+  for (std::size_t v = 0; v < static_cast<std::size_t>(n_); ++v) {
+    if (halted_[v] || dead_[v]) continue;
+    std::string blob;
+    pool_[v]->save_state(blob);
+    cp.program_state.push_back(std::move(blob));
+  }
+  return cp;
+}
+
+void FlatEngine::checkpoint(std::ostream& out) const { snapshot().write(out); }
+
+void FlatEngine::restore(const EngineCheckpoint& cp) {
+  cp.require_matches(g_);
+  initialise(&cp);
+  primed_ = true;
+}
+
+void FlatEngine::restore(std::istream& in) { restore(EngineCheckpoint::read(in)); }
+
+void FlatEngine::build_csr() {
+  // Built straight from the edge list: one counting pass, one scatter
+  // pass into an interleaved scratch (one cache miss per half-edge, not
+  // two), then a sequential split + per-row insertion sort by colour.
+  // Never calls incident_colours/neighbour, which allocate per node.
+  const std::vector<graph::Edge>& edges = g_.edges();
+  std::vector<int> degrees(static_cast<std::size_t>(n_), 0);
+  for (const graph::Edge& e : edges) {
+    ++degrees[static_cast<std::size_t>(e.u)];
+    ++degrees[static_cast<std::size_t>(e.v)];
+  }
+  row_ = flat_row_offsets(degrees);
+  const std::size_t slot_count = row_[static_cast<std::size_t>(n_)];
+  struct Half {
+    Colour colour;
+    graph::NodeIndex peer;
+  };
+  std::vector<Half> halves(slot_count);
+  {
+    std::vector<std::size_t> cursor(row_.begin(), row_.end() - 1);
+    for (const graph::Edge& e : edges) {
+      halves[cursor[static_cast<std::size_t>(e.u)]++] = {e.colour, e.v};
+      halves[cursor[static_cast<std::size_t>(e.v)]++] = {e.colour, e.u};
     }
-    const std::size_t u_row = row_[static_cast<std::size_t>(u)];
-    const std::size_t u_end = row_[static_cast<std::size_t>(u) + 1];
-    const auto begin = port_colour_.begin() + static_cast<std::ptrdiff_t>(u_row);
-    const auto end = port_colour_.begin() + static_cast<std::ptrdiff_t>(u_end);
-    const auto it = std::lower_bound(begin, end, port_colour_[s]);
-    return slot_view(plane, u_row + static_cast<std::size_t>(it - begin), stamp);
   }
-
- private:
-
-  std::string_view slot_view(const FlatPlane& plane, std::size_t s,
-                             std::uint8_t stamp) const noexcept {
-    const FlatSlot& slot = plane.slots[s];
-    if (slot.stamp != stamp) return {};
-    if (slot.len != kSpillLen) return {slot.payload, slot.len};
-    // Unpack the {offset:40, arena:8} spill address written by
-    // FlatOutbox::set; the offset expands into a 64-bit cursor.
-    std::uint64_t off = 0;
-    for (int i = 0; i < 5; ++i) {
-      off |= static_cast<std::uint64_t>(static_cast<unsigned char>(slot.payload[i])) << (8 * i);
-    }
-    const auto arena = static_cast<unsigned char>(slot.payload[5]);
-    std::uint32_t len = 0;
-    const char* base = plane.arenas[arena].data() + off;
-    std::memcpy(&len, base, sizeof(len));
-    return {base + sizeof(len), len};
-  }
-
-  void halt(RunResult& result, graph::NodeIndex v, int round) {
-    halted_[static_cast<std::size_t>(v)] = 1;
-    result.halt_round[static_cast<std::size_t>(v)] = round;
-    result.outputs[static_cast<std::size_t>(v)] =
-        pool_[static_cast<std::size_t>(v)]->output();
-  }
-
-  /// Announcement cache: rendered once per halted node — and only for nodes
-  /// with a still-running neighbour, since nobody else ever reads the slot
-  /// (run_sync re-renders this string per edge per round).
-  void render_announcement(const RunResult& result, graph::NodeIndex v) {
+  // Ports must ascend by colour within a row (that is what defines the
+  // port order seen by programs); rows have at most k entries.
+  for (graph::NodeIndex v = 0; v < n_; ++v) {
     const std::size_t begin = row_[static_cast<std::size_t>(v)];
     const std::size_t end = row_[static_cast<std::size_t>(v) + 1];
-    bool audience = false;
-    for (std::size_t s = begin; s < end && !audience; ++s) {
-      audience = !halted_[static_cast<std::size_t>(peer_node_[s])];
+    for (std::size_t i = begin + 1; i < end; ++i) {
+      const Half h = halves[i];
+      std::size_t j = i;
+      for (; j > begin && halves[j - 1].colour > h.colour; --j) halves[j] = halves[j - 1];
+      halves[j] = h;
     }
-    if (!audience) return;
-    announcements_[static_cast<std::size_t>(v)] =
-        std::string(1, kHaltedPrefix) +
-        std::to_string(static_cast<int>(result.outputs[static_cast<std::size_t>(v)]));
   }
+  port_colour_.resize(slot_count);
+  peer_node_.resize(slot_count);
+  for (std::size_t s = 0; s < slot_count; ++s) {
+    port_colour_[s] = halves[s].colour;
+    peer_node_[s] = halves[s].peer;
+  }
+}
 
-  /// The tag cycle restarted: every stamp value is about to be reused, so
-  /// stale slots must be cleared — but only in rows whose sender is still
-  /// running.  A halted node never writes again, and resolve() serves its
-  /// cached announcement without ever reading its slots, so halted rows
-  /// are dead storage; the old full-plane wipe rewrote them every cycle
-  /// (pinned by the two-tag-cycle regression in tests/test_flat_stress.cpp).
-  void wipe_running_rows() {
+std::string_view FlatEngine::resolve(const FlatPlane& plane, std::size_t s,
+                                     std::uint8_t stamp) const noexcept {
+  const graph::NodeIndex u = peer_node_[s];
+  if (halted_[static_cast<std::size_t>(u)]) {
+    return announcements_[static_cast<std::size_t>(u)];
+  }
+  // A down (or dead) sender reads as absent on the shared edge.
+  if (faulty_ && down_[static_cast<std::size_t>(u)]) return {};
+  const std::size_t u_row = row_[static_cast<std::size_t>(u)];
+  const std::size_t u_end = row_[static_cast<std::size_t>(u) + 1];
+  const auto begin = port_colour_.begin() + static_cast<std::ptrdiff_t>(u_row);
+  const auto end = port_colour_.begin() + static_cast<std::ptrdiff_t>(u_end);
+  const auto it = std::lower_bound(begin, end, port_colour_[s]);
+  const std::string_view view =
+      slot_view(plane, u_row + static_cast<std::size_t>(it - begin), stamp);
+  // Drop masking: a message the sender actually wrote this round reads as
+  // absent when the (round, sender, colour) hash says drop.  Counting
+  // happened in the serial pass of step_round; this is delivery only.
+  if (drop_mask_ && !view.empty() && plan_->drops(round_now_, u, port_colour_[s])) {
+    return {};
+  }
+  return view;
+}
+
+std::string_view FlatEngine::slot_view(const FlatPlane& plane, std::size_t s,
+                                       std::uint8_t stamp) const noexcept {
+  const FlatSlot& slot = plane.slots[s];
+  if (slot.stamp != stamp) return {};
+  if (slot.len != kSpillLen) return {slot.payload, slot.len};
+  // Unpack the {offset:40, arena:8} spill address written by
+  // FlatOutbox::set; the offset expands into a 64-bit cursor.
+  std::uint64_t off = 0;
+  for (int i = 0; i < 5; ++i) {
+    off |= static_cast<std::uint64_t>(static_cast<unsigned char>(slot.payload[i])) << (8 * i);
+  }
+  const auto arena = static_cast<unsigned char>(slot.payload[5]);
+  std::uint32_t len = 0;
+  const char* base = plane.arenas[arena].data() + off;
+  std::memcpy(&len, base, sizeof(len));
+  return {base + sizeof(len), len};
+}
+
+void FlatEngine::halt(graph::NodeIndex v, int round) {
+  halted_[static_cast<std::size_t>(v)] = 1;
+  result_.halt_round[static_cast<std::size_t>(v)] = round;
+  result_.outputs[static_cast<std::size_t>(v)] =
+      pool_[static_cast<std::size_t>(v)]->output();
+}
+
+/// Announcement cache: rendered once per halted node — and only for nodes
+/// with a non-halted neighbour, since nobody else ever reads the slot
+/// (run_sync re-renders this string per edge per round).  A down peer
+/// counts as audience: it may restart and read the announcement later.
+void FlatEngine::render_announcement(graph::NodeIndex v) {
+  const std::size_t begin = row_[static_cast<std::size_t>(v)];
+  const std::size_t end = row_[static_cast<std::size_t>(v) + 1];
+  bool audience = false;
+  for (std::size_t s = begin; s < end && !audience; ++s) {
+    audience = !halted_[static_cast<std::size_t>(peer_node_[s])];
+  }
+  if (!audience) return;
+  announcements_[static_cast<std::size_t>(v)] =
+      std::string(1, kHaltedPrefix) +
+      std::to_string(static_cast<int>(result_.outputs[static_cast<std::size_t>(v)]));
+}
+
+/// The tag cycle restarted: every stamp value is about to be reused, so
+/// stale slots must be cleared — but only in rows whose sender is still
+/// running.  A halted node never writes again, and resolve() serves its
+/// cached announcement without ever reading its slots, so halted rows
+/// are dead storage; the old full-plane wipe rewrote them every cycle
+/// (pinned by the two-tag-cycle regression in tests/test_flat_stress.cpp).
+/// Down rows are wiped too: a down node may restart mid-cycle and leave
+/// unwritten ports whose stale stamps must never alias a fresh tag.
+void FlatEngine::wipe_running_rows() {
+  for (graph::NodeIndex v = 0; v < n_; ++v) {
+    if (halted_[static_cast<std::size_t>(v)]) continue;
+    const std::size_t begin = row_[static_cast<std::size_t>(v)];
+    const std::size_t end = row_[static_cast<std::size_t>(v) + 1];
+    std::fill(plane_->slots.begin() + static_cast<std::ptrdiff_t>(begin),
+              plane_->slots.begin() + static_cast<std::ptrdiff_t>(end), FlatSlot{});
+  }
+}
+
+/// Pre-splits the node range into chunks of roughly `target` slot
+/// (directed-edge) weight — a node costs 1 + degree, so a run of
+/// max-degree hub rows splits into many chunks while the same node count
+/// of leaves packs into one.  The chunk list is then divided into one
+/// contiguous run per worker, balanced by cumulative weight; each run
+/// gets a cache-line-isolated atomic cursor that for_chunks resets per
+/// phase and workers drain (and steal from) with fetch_add.
+void FlatEngine::plan_chunks(std::size_t chunk_slots) {
+  const std::size_t total =
+      row_[static_cast<std::size_t>(n_)] + static_cast<std::size_t>(n_);
+  std::size_t target = chunk_slots;
+  if (target == 0) {
+    target = std::max(kMinAutoChunkSlots,
+                      total / (static_cast<std::size_t>(workers_) * kChunksPerWorker));
+  }
+  chunks_.clear();
+  std::vector<std::size_t> weight;  // per chunk, for the run split below
+  {
+    graph::NodeIndex begin = 0;
+    std::size_t acc = 0;
     for (graph::NodeIndex v = 0; v < n_; ++v) {
-      if (halted_[static_cast<std::size_t>(v)]) continue;
-      const std::size_t begin = row_[static_cast<std::size_t>(v)];
-      const std::size_t end = row_[static_cast<std::size_t>(v) + 1];
-      std::fill(plane_.slots.begin() + static_cast<std::ptrdiff_t>(begin),
-                plane_.slots.begin() + static_cast<std::ptrdiff_t>(end), FlatSlot{});
-    }
-  }
-
-  /// Pre-splits the node range into chunks of roughly `target` slot
-  /// (directed-edge) weight — a node costs 1 + degree, so a run of
-  /// max-degree hub rows splits into many chunks while the same node count
-  /// of leaves packs into one.  The chunk list is then divided into one
-  /// contiguous run per worker, balanced by cumulative weight; each run
-  /// gets a cache-line-isolated atomic cursor that for_chunks resets per
-  /// phase and workers drain (and steal from) with fetch_add.
-  void plan_chunks(std::size_t chunk_slots) {
-    const std::size_t total =
-        row_[static_cast<std::size_t>(n_)] + static_cast<std::size_t>(n_);
-    std::size_t target = chunk_slots;
-    if (target == 0) {
-      target = std::max(kMinAutoChunkSlots,
-                        total / (static_cast<std::size_t>(workers_) * kChunksPerWorker));
-    }
-    chunks_.clear();
-    std::vector<std::size_t> weight;  // per chunk, for the run split below
-    {
-      graph::NodeIndex begin = 0;
-      std::size_t acc = 0;
-      for (graph::NodeIndex v = 0; v < n_; ++v) {
-        acc += 1 + static_cast<std::size_t>(degree(v));
-        if (acc >= target) {
-          chunks_.push_back({begin, v + 1});
-          weight.push_back(acc);
-          begin = v + 1;
-          acc = 0;
-        }
-      }
-      if (begin < n_) {
-        chunks_.push_back({begin, n_});
+      acc += 1 + static_cast<std::size_t>(degree(v));
+      if (acc >= target) {
+        chunks_.push_back({begin, v + 1});
         weight.push_back(acc);
+        begin = v + 1;
+        acc = 0;
       }
     }
-    // Contiguous per-worker runs with balanced cumulative weight: worker w
-    // owns chunks [run_begin_[w], run_end_[w]).  Runs may be empty (fewer
-    // chunks than workers); the drain loop tolerates that.
-    run_begin_.assign(static_cast<std::size_t>(workers_), 0);
-    run_end_.assign(static_cast<std::size_t>(workers_), 0);
-    cursors_ = std::make_unique<ChunkCursor[]>(static_cast<std::size_t>(workers_));
-    std::size_t cut = 0;
-    std::size_t carried = 0;
-    for (int w = 0; w < workers_; ++w) {
-      const std::size_t share =
-          total * static_cast<std::size_t>(w + 1) / static_cast<std::size_t>(workers_);
-      run_begin_[static_cast<std::size_t>(w)] = static_cast<std::int64_t>(cut);
-      while (cut < chunks_.size() && carried + weight[cut] <= share) {
-        carried += weight[cut];
-        ++cut;
-      }
-      if (w + 1 == workers_) cut = chunks_.size();  // the tail always lands somewhere
-      run_end_[static_cast<std::size_t>(w)] = static_cast<std::int64_t>(cut);
+    if (begin < n_) {
+      chunks_.push_back({begin, n_});
+      weight.push_back(acc);
     }
   }
-
-  /// Runs fn(worker, begin, end) over the planned chunks, in-line when
-  /// workers_ == 1.  Each worker drains its own chunk run through an
-  /// atomic cursor, then (when stealing is on) round-robins through the
-  /// other workers' cursors until every run is dry — so a worker stuck on
-  /// hub-heavy chunks cannot leave the rest idle.  `worker` is always the
-  /// *executing* worker: stats, spill arenas and halt batches stay
-  /// worker-indexed no matter whose chunk is being run, which is what
-  /// keeps results schedule-independent.  Exceptions propagate through
-  /// the pool's first-exception-wins barrier, matching the serial
-  /// engine's fail-fast contract.
-  template <class F>
-  void for_chunks(const F& fn) {
-    if (workers_ == 1) {
-      fn(0, 0, n_);
-      return;
+  // Contiguous per-worker runs with balanced cumulative weight: worker w
+  // owns chunks [run_begin_[w], run_end_[w]).  Runs may be empty (fewer
+  // chunks than workers); the drain loop tolerates that.
+  run_begin_.assign(static_cast<std::size_t>(workers_), 0);
+  run_end_.assign(static_cast<std::size_t>(workers_), 0);
+  cursors_ = std::make_unique<ChunkCursor[]>(static_cast<std::size_t>(workers_));
+  std::size_t cut = 0;
+  std::size_t carried = 0;
+  for (int w = 0; w < workers_; ++w) {
+    const std::size_t share =
+        total * static_cast<std::size_t>(w + 1) / static_cast<std::size_t>(workers_);
+    run_begin_[static_cast<std::size_t>(w)] = static_cast<std::int64_t>(cut);
+    while (cut < chunks_.size() && carried + weight[cut] <= share) {
+      carried += weight[cut];
+      ++cut;
     }
-    for (int w = 0; w < workers_; ++w) {
-      cursors_[static_cast<std::size_t>(w)].next.store(run_begin_[static_cast<std::size_t>(w)],
-                                                       std::memory_order_relaxed);
-    }
-    auto phase = [&](int worker) {
-      drain(worker, worker, fn);
-      if (!steal_) return;
-      for (int step = 1; step < workers_; ++step) {
-        drain((worker + step) % workers_, worker, fn);
-      }
-    };
-    pool_threads_->run(phase);
+    if (w + 1 == workers_) cut = chunks_.size();  // the tail always lands somewhere
+    run_end_[static_cast<std::size_t>(w)] = static_cast<std::int64_t>(cut);
   }
+}
 
-  /// Claims chunks from `victim`'s run until its cursor passes the end and
-  /// executes them as `worker`.  The cursor is a relaxed fetch_add:
-  /// claimed values are unique, overshoot past the end is harmless (the
-  /// cursor is reset before the next phase), and the pool's phase barrier
-  /// provides all cross-phase ordering.
-  template <class F>
-  void drain(int victim, int worker, const F& fn) {
-    const std::int64_t end = run_end_[static_cast<std::size_t>(victim)];
-    std::atomic<std::int64_t>& cursor = cursors_[static_cast<std::size_t>(victim)].next;
-    for (;;) {
-      const std::int64_t c = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (c >= end) return;
-      const Chunk& chunk = chunks_[static_cast<std::size_t>(c)];
-      fn(worker, chunk.begin, chunk.end);
-    }
+/// Runs fn(worker, begin, end) over the planned chunks, in-line when
+/// workers_ == 1.  Each worker drains its own chunk run through an
+/// atomic cursor, then (when stealing is on) round-robins through the
+/// other workers' cursors until every run is dry — so a worker stuck on
+/// hub-heavy chunks cannot leave the rest idle.  `worker` is always the
+/// *executing* worker: stats, spill arenas and halt batches stay
+/// worker-indexed no matter whose chunk is being run, which is what
+/// keeps results schedule-independent.  Exceptions propagate through
+/// the pool's first-exception-wins barrier, matching the serial
+/// engine's fail-fast contract.
+template <class F>
+void FlatEngine::for_chunks(const F& fn) {
+  if (workers_ == 1) {
+    fn(0, 0, n_);
+    return;
   }
-
-  struct Chunk {
-    graph::NodeIndex begin;
-    graph::NodeIndex end;
+  for (int w = 0; w < workers_; ++w) {
+    cursors_[static_cast<std::size_t>(w)].next.store(run_begin_[static_cast<std::size_t>(w)],
+                                                     std::memory_order_relaxed);
+  }
+  auto phase = [&](int worker) {
+    drain(worker, worker, fn);
+    if (!steal_) return;
+    for (int step = 1; step < workers_; ++step) {
+      drain((worker + step) % workers_, worker, fn);
+    }
   };
-  struct alignas(64) ChunkCursor {
-    std::atomic<std::int64_t> next{0};
-  };
+  pool_threads_->run(phase);
+}
 
-  const graph::EdgeColouredGraph& g_;
-  const ProgramSource& source_;
-  int max_rounds_;
-  int n_ = 0;
-  int workers_ = 1;
-  bool steal_ = true;
-  double build_ns_ = 0.0;
-
-  // Chunk plan (workers_ > 1 only): contiguous node ranges of roughly
-  // equal slot weight, split into one contiguous run per worker.
-  std::vector<Chunk> chunks_;
-  std::vector<std::int64_t> run_begin_;
-  std::vector<std::int64_t> run_end_;
-  std::unique_ptr<ChunkCursor[]> cursors_;
-  std::unique_ptr<WorkerPool> pool_threads_;  // workers_ - 1 parked threads
-
-  std::vector<std::size_t> row_;             // n+1 offsets, sender-major CSR
-  std::vector<Colour> port_colour_;          // per slot
-  std::vector<graph::NodeIndex> peer_node_;  // per slot: the port's neighbour
-
-  // Declared after the CSR vectors: programs may hold init_flat spans into
-  // port_colour_, so the pool (and its destructors) must go first.
-  ProgramPool pool_;
-  std::vector<char> halted_;
-  std::vector<std::string> announcements_;
-  FlatPlane plane_;
-};
+/// Claims chunks from `victim`'s run until its cursor passes the end and
+/// executes them as `worker`.  The cursor is a relaxed fetch_add:
+/// claimed values are unique, overshoot past the end is harmless (the
+/// cursor is reset before the next phase), and the pool's phase barrier
+/// provides all cross-phase ordering.
+template <class F>
+void FlatEngine::drain(int victim, int worker, const F& fn) {
+  const std::int64_t end = run_end_[static_cast<std::size_t>(victim)];
+  std::atomic<std::int64_t>& cursor = cursors_[static_cast<std::size_t>(victim)].next;
+  for (;;) {
+    const std::int64_t c = cursor.fetch_add(1, std::memory_order_relaxed);
+    if (c >= end) return;
+    const Chunk& chunk = chunks_[static_cast<std::size_t>(c)];
+    fn(worker, chunk.begin, chunk.end);
+  }
+}
 
 std::vector<std::size_t> flat_row_offsets(const std::vector<int>& degrees) {
   std::vector<std::size_t> offsets(degrees.size() + 1, 0);
@@ -695,6 +828,12 @@ RunResult run_flat(const graph::EdgeColouredGraph& g, const ProgramSource& sourc
   return FlatEngine(g, source, max_rounds, options).run();
 }
 
+RunResult run_flat(const graph::EdgeColouredGraph& g, const ProgramSource& source,
+                   int max_rounds, const FlatEngineOptions& options,
+                   const FaultOptions& faults, const CheckpointOptions& checkpoint) {
+  return FlatEngine(g, source, max_rounds, options).run(faults, checkpoint);
+}
+
 RunResult run(EngineKind kind, const graph::EdgeColouredGraph& g,
               const ProgramSource& source, int max_rounds) {
   switch (kind) {
@@ -704,6 +843,18 @@ RunResult run(EngineKind kind, const graph::EdgeColouredGraph& g,
       break;
   }
   return run_sync(g, source, max_rounds);
+}
+
+RunResult run(EngineKind kind, const graph::EdgeColouredGraph& g,
+              const ProgramSource& source, int max_rounds, const FaultOptions& faults,
+              const CheckpointOptions& checkpoint) {
+  switch (kind) {
+    case EngineKind::kFlat:
+      return run_flat(g, source, max_rounds, {}, faults, checkpoint);
+    case EngineKind::kSync:
+      break;
+  }
+  return run_sync(g, source, max_rounds, faults, checkpoint);
 }
 
 const char* engine_kind_name(EngineKind kind) noexcept {

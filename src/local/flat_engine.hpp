@@ -38,9 +38,14 @@
 // across a schedule-perturbation grid (threads × chunk_slots × steal).
 #pragma once
 
+#include <iosfwd>
+
 #include "local/engine.hpp"
+#include "local/program_pool.hpp"
 
 namespace dmm::local {
+
+class FlatWorkerPool;  // flat_engine.cpp: persistent phase-dispatch pool
 
 /// Messages at most this long are stored inline in the slot buffer (slots
 /// are 8 bytes, so the whole plane stays cache-resident even at a million
@@ -87,7 +92,136 @@ constexpr std::size_t flat_slot(std::size_t row, int port) noexcept {
   return row + static_cast<std::size_t>(port);
 }
 
+/// The engine object behind run_flat, exposed so a run can be checkpointed
+/// and resumed (checkpoint.hpp): construct once (CSR build, chunk planning,
+/// worker-pool spawn), then either run() to completion — optionally under a
+/// FaultPlan, with a CheckpointOptions sink observing round boundaries — or
+/// restore() a previously captured checkpoint and run() the remainder.
+/// Checkpoints are engine-agnostic: a FlatEngine restores what run_sync
+/// captured and vice versa (tests/test_faults.cpp).
+class FlatEngine {
+ public:
+  FlatEngine(const graph::EdgeColouredGraph& g, const ProgramSource& source,
+             int max_rounds, const FlatEngineOptions& options);
+  ~FlatEngine();
+
+  FlatEngine(const FlatEngine&) = delete;
+  FlatEngine& operator=(const FlatEngine&) = delete;
+
+  /// Runs to completion.  When the engine was primed by restore(), the run
+  /// continues at checkpoint.round + 1 and finishes with a RunResult
+  /// bit-identical to the uninterrupted run's.
+  RunResult run();
+  RunResult run(const FaultOptions& faults, const CheckpointOptions& checkpoint = {});
+
+  /// The engine state after the last completed round, as the same
+  /// engine-agnostic checkpoint run_sync captures; checkpoint() writes it
+  /// to `out` in the checksummed io/serialize frame format.  Only valid
+  /// while a run is in progress (i.e. from a CheckpointOptions sink).
+  EngineCheckpoint snapshot() const;
+  void checkpoint(std::ostream& out) const;
+
+  /// Primes the engine with a checkpoint captured on the same instance (by
+  /// either engine); throws CheckpointError on a fingerprint mismatch and
+  /// io::CorruptFrameError on byte damage.  The next run() resumes it.
+  void restore(const EngineCheckpoint& cp);
+  void restore(std::istream& in);
+
+  /// Lazy inbox resolution (FlatInbox::at): the message delivered into
+  /// receiver slot s this round.  The sender's slot is found by a binary
+  /// search of its (tiny, colour-sorted) row — programs typically read far
+  /// fewer ports than there are slots, so no in-slot table is kept.  Under
+  /// faults this is also where delivery is masked: a down sender reads as
+  /// absent, and a dropped message reads as absent without the sender's
+  /// slot ever being touched.
+  std::string_view resolve(const FlatPlane& plane, std::size_t s,
+                           std::uint8_t stamp) const noexcept;
+
+ private:
+  void build_csr();
+
+  int degree(graph::NodeIndex v) const noexcept {
+    return static_cast<int>(row_[static_cast<std::size_t>(v) + 1] -
+                            row_[static_cast<std::size_t>(v)]);
+  }
+
+  /// Builds programs and per-run state; `cp` != nullptr overlays a restored
+  /// checkpoint (init still runs — programs re-derive graph-shaped state —
+  /// then load_state overwrites the dynamic part).
+  void initialise(const EngineCheckpoint* cp);
+  void step_round(int round);
+  RunResult finalise();
+
+  std::string_view slot_view(const FlatPlane& plane, std::size_t s,
+                             std::uint8_t stamp) const noexcept;
+  void halt(graph::NodeIndex v, int round);
+  void render_announcement(graph::NodeIndex v);
+  void wipe_running_rows();
+  void plan_chunks(std::size_t chunk_slots);
+  template <class F>
+  void for_chunks(const F& fn);
+  template <class F>
+  void drain(int victim, int worker, const F& fn);
+
+  struct Chunk {
+    graph::NodeIndex begin;
+    graph::NodeIndex end;
+  };
+  struct ChunkCursor;  // cache-line-isolated atomic claim cursor (flat_engine.cpp)
+
+  const graph::EdgeColouredGraph& g_;
+  const ProgramSource& source_;
+  int max_rounds_;
+  int n_ = 0;
+  int workers_ = 1;
+  bool steal_ = true;
+  double build_ns_ = 0.0;
+
+  // Chunk plan (workers_ > 1 only): contiguous node ranges of roughly
+  // equal slot weight, split into one contiguous run per worker.
+  std::vector<Chunk> chunks_;
+  std::vector<std::int64_t> run_begin_;
+  std::vector<std::int64_t> run_end_;
+  std::unique_ptr<ChunkCursor[]> cursors_;
+  std::unique_ptr<FlatWorkerPool> pool_threads_;  // workers_ - 1 parked threads
+
+  std::vector<std::size_t> row_;             // n+1 offsets, sender-major CSR
+  std::vector<Colour> port_colour_;          // per slot
+  std::vector<graph::NodeIndex> peer_node_;  // per slot: the port's neighbour
+
+  // Declared after the CSR vectors: programs may hold init_flat spans into
+  // port_colour_, so the pool (and its destructors) must go first.
+  ProgramPool pool_;
+
+  // Per-run state, owned by the engine so snapshot()/restore() can reach
+  // it between rounds.
+  RunResult result_;
+  int running_ = 0;
+  int round_ = 0;  // last completed round
+  bool primed_ = false;
+  bool planes_ready_ = false;
+  std::vector<MessageStats> stats_;  // per worker, merged by finalise/snapshot
+  std::vector<std::vector<graph::NodeIndex>> newly_halted_;  // per worker
+  std::vector<char> halted_;
+  std::vector<char> down_;  // includes dead nodes (a dead node stays down)
+  std::vector<char> dead_;
+  std::vector<std::string> announcements_;
+  std::unique_ptr<FlatPlane> plane_;
+
+  // Fault context of the current run (set by run(), read by resolve()).
+  const FaultPlan* plan_ = nullptr;
+  bool faulty_ = false;
+  bool drop_mask_ = false;
+  int round_now_ = 0;
+  std::size_t ev_ = 0;  // fault-event cursor
+};
+
 RunResult run_flat(const graph::EdgeColouredGraph& g, const ProgramSource& source,
                    int max_rounds, const FlatEngineOptions& options = {});
+
+/// As above, with fault injection and checkpointing.
+RunResult run_flat(const graph::EdgeColouredGraph& g, const ProgramSource& source,
+                   int max_rounds, const FlatEngineOptions& options,
+                   const FaultOptions& faults, const CheckpointOptions& checkpoint = {});
 
 }  // namespace dmm::local

@@ -65,15 +65,34 @@ std::map<Colour, Message> FloodingProgram::send(int round) {
 bool FloodingProgram::receive(int round, const std::map<Colour, Message>& inbox) {
   colsys::ColourSystem next(k_, view_.valid_radius() + 1);
   for (Colour c : incident_) {
-    const colsys::ColourSystem part = io::read_system(inbox.at(c));
-    graft_below(part, next, next.add_child(next.root(), c));
+    const colsys::NodeId branch = next.add_child(next.root(), c);
+    const Message& m = inbox.at(c);
+    // Under faults a neighbour may contribute nothing this round (it is
+    // down, or its message was dropped), or only its halted announcement;
+    // either way the branch stays a bare stub — the view keeps growing
+    // with that subtree missing (recovery semantics: docs/faults.md).
+    // Fault-free runs never take this branch: flooding nodes all halt in
+    // the same round, so every inbox entry is a serialised view.
+    if (m.empty() || m.front() == kHaltedPrefix) continue;
+    graft_below(io::read_system(m), next, branch);
   }
   view_ = std::move(next);
-  if (round == running_time_) {
+  // `>=`, not `==`: a node that was down at round running_time_ halts at
+  // its first completed round after restarting, evaluating on the (partial)
+  // view it actually accumulated.  Equivalent fault-free.
+  if (round >= running_time_) {
     output_ = algorithm_->evaluate(view_);
     return true;
   }
   return false;
+}
+
+void FloodingProgram::save_state(std::string& out) const {
+  out.append(io::write_system(view_));
+}
+
+void FloodingProgram::load_state(std::string_view in) {
+  view_ = io::read_system(std::string(in));
 }
 
 void FloodingProgramFactory::make_programs(std::size_t count, ProgramPool& pool) const {

@@ -35,6 +35,11 @@ class FloodingProgram final : public NodeProgram {
   std::map<Colour, Message> send(int round) override;
   bool receive(int round, const std::map<Colour, Message>& inbox) override;
   Colour output() const override { return output_; }
+  // Checkpoint hooks: the dynamic state is exactly the accumulated view
+  // (the text format of io/serialize.hpp); everything else is re-derived
+  // by init or fixed at construction.
+  void save_state(std::string& out) const override;
+  void load_state(std::string_view in) override;
 
  private:
   bool start();

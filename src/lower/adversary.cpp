@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "graph/generators.hpp"
+#include "io/serialize.hpp"
 #include "local/view_engine.hpp"
 
 namespace dmm::lower {
@@ -38,14 +40,29 @@ std::string LowerBoundResult::summary() const {
 
 std::optional<Certificate> hunt_violation(const Template& tmpl, Evaluator& eval,
                                           int norm_limit) {
+  return hunt_violation(tmpl, eval, norm_limit, HuntControl{});
+}
+
+std::optional<Certificate> hunt_violation(const Template& tmpl, Evaluator& eval,
+                                          int norm_limit, const HuntControl& control) {
   const int r = eval.algorithm().running_time();
   if (!tmpl.tree().is_exact()) {
     norm_limit = std::min(norm_limit, tmpl.valid_radius() - (r + 2));
   }
+  const std::vector<NodeId> nodes = tmpl.tree().nodes_up_to(norm_limit);
+  const std::size_t start = std::min(control.start_index, nodes.size());
   // Warm the memo in parallel; the serial sweep below still takes every
   // decision (and finds the same first breach, since answers are pure).
-  eval.prefetch(tmpl, tmpl.tree().nodes_up_to(norm_limit));
-  for (NodeId v : tmpl.tree().nodes_up_to(norm_limit)) {
+  eval.prefetch(tmpl, std::vector<NodeId>(nodes.begin() + static_cast<std::ptrdiff_t>(start),
+                                          nodes.end()));
+  for (std::size_t i = start; i < nodes.size(); ++i) {
+    // Checkpoint *before* probing node i, so `continue` paths below cannot
+    // skew the cadence: resuming at i re-probes exactly the unvisited tail.
+    if (control.checkpoint_every > 0 && control.sink && i > start &&
+        (i - start) % control.checkpoint_every == 0) {
+      control.sink(i);
+    }
+    const NodeId v = nodes[i];
     CheckedOutput co = evaluate_checked(eval, tmpl, v);
     if (co.violation) return co.violation;
     const std::vector<Colour> incident = tmpl.tree().colours_at(v);
@@ -225,6 +242,37 @@ LowerBoundResult run_adversary(int k, const local::LocalAlgorithm& algorithm,
   if (auto cert = hunt_violation(pair.t, eval, limit)) return finish(std::move(*cert));
   return finish(Inconclusive{
       "final pair degenerate (A(U,e) = A(V,e)) and no local breach within budget"});
+}
+
+namespace {
+
+constexpr std::uint32_t kHuntCheckpointVersion = 1;
+
+}  // namespace
+
+void save_hunt_checkpoint(std::ostream& out, const Template& tmpl, int norm_limit,
+                          std::size_t next_index, const Evaluator& eval) {
+  io::ByteWriter w;
+  w.bytes(io::write_template(tmpl));
+  w.svarint(norm_limit);
+  w.varint(next_index);
+  io::write_frame(out, "HUNT", kHuntCheckpointVersion, w.buffer());
+  eval.save(out);
+}
+
+HuntCheckpoint load_hunt_checkpoint(std::istream& in, Evaluator& eval) {
+  const io::Frame frame = io::read_frame(in, "HUNT");
+  if (frame.version != kHuntCheckpointVersion) {
+    throw std::runtime_error("load_hunt_checkpoint: unsupported hunt checkpoint version " +
+                             std::to_string(frame.version));
+  }
+  io::ByteReader reader(frame.payload);
+  Template tmpl = io::read_template(std::string(reader.bytes()));
+  const int norm_limit = static_cast<int>(reader.svarint());
+  const std::size_t next_index = static_cast<std::size_t>(reader.varint());
+  reader.expect_done("hunt checkpoint");
+  eval.load(in);
+  return HuntCheckpoint{std::move(tmpl), norm_limit, next_index};
 }
 
 Lemma4Result run_lemma4(const local::LocalAlgorithm& algorithm) {

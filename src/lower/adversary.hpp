@@ -27,6 +27,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
 #include <string>
 #include <variant>
 #include <vector>
@@ -110,5 +113,39 @@ Lemma4Result run_lemma4(const local::LocalAlgorithm& algorithm);
 /// Bounded hunt for a concrete (M1)/(M2)/(M3)/Lemma-9 breach on the
 /// realisation of a template; probes all nodes with norm ≤ norm_limit.
 std::optional<Certificate> hunt_violation(const Template& tmpl, Evaluator& eval, int norm_limit);
+
+/// Resumable-sweep control for hunt_violation (ISSUE 8): start the serial
+/// sweep at index `start_index` of nodes_up_to(norm_limit) and call
+/// `sink(next_index)` after every `checkpoint_every` probed nodes while the
+/// sweep is still unfinished — the natural place to save_hunt_checkpoint.
+/// Because the evaluator's answers are pure and memoised, a resumed hunt
+/// probes the remaining nodes with the exact evaluation history of the
+/// uninterrupted run: same certificate (or none), same counters.
+struct HuntControl {
+  std::size_t start_index = 0;
+  std::size_t checkpoint_every = 0;
+  std::function<void(std::size_t next_index)> sink;
+};
+
+std::optional<Certificate> hunt_violation(const Template& tmpl, Evaluator& eval,
+                                          int norm_limit, const HuntControl& control);
+
+/// A persisted hunt position: the template under interrogation, the norm
+/// limit, and the index of the next node to probe.  Serialised as a "HUNT"
+/// frame followed by the evaluator's "EVAL" frame on the same stream
+/// (io/serialize.hpp), so corruption anywhere is detected on load.
+struct HuntCheckpoint {
+  Template tmpl;
+  int norm_limit = 0;
+  std::size_t next_index = 0;
+};
+
+void save_hunt_checkpoint(std::ostream& out, const Template& tmpl, int norm_limit,
+                          std::size_t next_index, const Evaluator& eval);
+
+/// Reads the hunt frame and loads the evaluator memo into `eval` (which
+/// must be freshly constructed for the same algorithm — see
+/// Evaluator::load).
+HuntCheckpoint load_hunt_checkpoint(std::istream& in, Evaluator& eval);
 
 }  // namespace dmm::lower

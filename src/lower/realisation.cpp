@@ -3,8 +3,121 @@
 #include <algorithm>
 #include <deque>
 #include <thread>
+#include <utility>
+
+#include "io/serialize.hpp"
 
 namespace dmm::lower {
+
+namespace {
+constexpr std::uint32_t kEvaluatorStateVersion = 1;
+}  // namespace
+
+void Evaluator::save(std::ostream& out) const {
+  io::ByteWriter w;
+  w.bytes(algorithm_.name());
+  w.u8(memoise_ ? 1 : 0);
+  w.u8(orbit_ ? 1 : 0);
+  w.varint(evaluations_);
+  w.varint(memo_hits_);
+  w.varint(answers_);
+  // The interned canonical views, in id order: re-interning them in the
+  // same order on load reproduces the identical ViewId assignment.
+  w.varint(static_cast<std::uint64_t>(store_.size()));
+  for (colsys::ViewId id = 0; id < store_.size(); ++id) {
+    const std::vector<std::uint8_t>& key = store_.bytes(id);
+    w.bytes(std::string_view(reinterpret_cast<const char*>(key.data()), key.size()));
+  }
+  w.bytes(std::string_view(reinterpret_cast<const char*>(memo_.data()), memo_.size()));
+  w.varint(static_cast<std::uint64_t>(store_.orbit_count()));
+  for (colsys::OrbitId id = 0; id < store_.orbit_count(); ++id) {
+    const std::vector<std::uint8_t>& key = store_.orbit_bytes(id);
+    w.bytes(std::string_view(reinterpret_cast<const char*>(key.data()), key.size()));
+  }
+  w.varint(orbit_memo_.size());
+  for (const OrbitEntry& entry : orbit_memo_) {
+    w.varint(entry.stabiliser.size());
+    for (const colsys::ColourPerm& p : entry.stabiliser) {
+      w.bytes(std::string_view(reinterpret_cast<const char*>(p.data()), p.size()));
+    }
+    // unordered_map iteration order is not deterministic; sort by rank so
+    // the byte stream is a pure function of the memo contents.
+    std::vector<std::pair<std::uint32_t, Colour>> answers(entry.answers.begin(),
+                                                          entry.answers.end());
+    std::sort(answers.begin(), answers.end());
+    w.varint(answers.size());
+    for (const auto& [rank, colour] : answers) {
+      w.varint(rank);
+      w.u8(colour);
+    }
+    w.u8(entry.rep_answer);
+  }
+  io::write_frame(out, "EVAL", kEvaluatorStateVersion, w.buffer());
+}
+
+void Evaluator::load(std::istream& in) {
+  if (evaluations_ != 0 || memo_hits_ != 0 || store_.size() != 0 ||
+      store_.orbit_count() != 0) {
+    throw std::runtime_error("Evaluator::load: requires a freshly constructed evaluator");
+  }
+  const io::Frame frame = io::read_frame(in, "EVAL");
+  if (frame.version != kEvaluatorStateVersion) {
+    throw std::runtime_error("Evaluator::load: unsupported state version " +
+                             std::to_string(frame.version));
+  }
+  io::ByteReader r(frame.payload);
+  const std::string_view name = r.bytes();
+  if (name != algorithm_.name()) {
+    throw std::runtime_error("Evaluator::load: state was captured for algorithm '" +
+                             std::string(name) + "', this evaluator runs '" +
+                             algorithm_.name() + "'");
+  }
+  if ((r.u8() != 0) != memoise_ || (r.u8() != 0) != orbit_) {
+    throw std::runtime_error("Evaluator::load: memo-mode mismatch");
+  }
+  evaluations_ = r.varint();
+  memo_hits_ = r.varint();
+  answers_ = r.varint();
+  const std::uint64_t views = r.varint();
+  std::vector<std::uint8_t> key;
+  for (std::uint64_t i = 0; i < views; ++i) {
+    const std::string_view bytes = r.bytes();
+    key.assign(bytes.begin(), bytes.end());
+    store_.intern(key);
+  }
+  const std::string_view memo = r.bytes();
+  if (memo.size() > static_cast<std::size_t>(store_.size())) {
+    throw std::runtime_error("Evaluator::load: memo longer than the view store");
+  }
+  memo_.assign(memo.begin(), memo.end());
+  const std::uint64_t orbits = r.varint();
+  for (std::uint64_t i = 0; i < orbits; ++i) {
+    const std::string_view bytes = r.bytes();
+    key.assign(bytes.begin(), bytes.end());
+    store_.intern_orbit_canonical(key);
+  }
+  const std::uint64_t entries = r.varint();
+  if (entries > orbits) {
+    throw std::runtime_error("Evaluator::load: more orbit entries than orbits");
+  }
+  orbit_memo_.assign(entries, OrbitEntry{});
+  for (OrbitEntry& entry : orbit_memo_) {
+    const std::uint64_t stab = r.varint();
+    entry.stabiliser.resize(stab);
+    for (colsys::ColourPerm& p : entry.stabiliser) {
+      const std::string_view bytes = r.bytes();
+      p.assign(bytes.begin(), bytes.end());
+    }
+    const std::uint64_t count = r.varint();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const auto rank = static_cast<std::uint32_t>(r.varint());
+      const Colour colour = r.u8();
+      entry.answers.emplace(rank, colour);
+    }
+    entry.rep_answer = r.u8();
+  }
+  r.expect_done("evaluator state");
+}
 
 ColourSystem realisation_ball(const Template& tmpl, NodeId t, int radius) {
   const ColourSystem& T = tmpl.tree();

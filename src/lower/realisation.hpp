@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -110,6 +111,17 @@ class Evaluator {
   const local::LocalAlgorithm& algorithm() const noexcept { return algorithm_; }
   int radius() const { return algorithm_.running_time() + 1; }
   int threads() const noexcept { return threads_; }
+
+  /// Serialises the whole memo state — interned canonical views, answers,
+  /// orbit tables, counters — as one checksummed "EVAL" frame
+  /// (io/serialize.hpp), so an interrupted adversary hunt can resume with
+  /// the exact evaluation history of the uninterrupted run.  load()
+  /// requires a freshly constructed evaluator with the same algorithm name
+  /// and memo modes (throws std::runtime_error otherwise; byte damage
+  /// raises io::CorruptFrameError).  Serial-path only: the caller must not
+  /// run concurrent evaluations while saving or loading.
+  void save(std::ostream& out) const;
+  void load(std::istream& in);
 
   bool orbit_memo() const noexcept { return orbit_; }
 

@@ -24,6 +24,9 @@ inline void expect_same_result(const RunResult& expected, const RunResult& actua
   EXPECT_EQ(expected.max_message_bytes, actual.max_message_bytes) << context;
   EXPECT_EQ(expected.total_message_bytes, actual.total_message_bytes) << context;
   EXPECT_EQ(expected.messages_sent, actual.messages_sent) << context;
+  EXPECT_EQ(expected.crashes, actual.crashes) << context;
+  EXPECT_EQ(expected.restarts, actual.restarts) << context;
+  EXPECT_EQ(expected.messages_dropped, actual.messages_dropped) << context;
 }
 
 }  // namespace dmm::local

@@ -1,7 +1,7 @@
 // The BENCH_*.json trajectory files are consumed by scripts across PRs, so
 // the writer is under test: stable field names, exact round-trips, finite
-// wall times, and an explicitly enumerated experiment set (the seed has no
-// e9/e10/e12 — nothing may assume "e1..e17").
+// wall times, and an explicitly enumerated experiment set (e10/e12 are
+// real numbering gaps — nothing may assume "e1..e17").
 #include "bench_json.hpp"
 
 #include <gtest/gtest.h>
@@ -35,6 +35,11 @@ Record sample() {
   r.orbits = 3330;
   r.orbit_reduction = 23.64;
   r.reps_generated = 3330;
+  r.crashes = 4;
+  r.restarts = 3;
+  r.messages_dropped = 17;
+  r.checkpoint_bytes = 2048;
+  r.restore_ms = 0.75;
   return r;
 }
 
@@ -47,7 +52,9 @@ TEST(BenchJson, StableFieldNamesAndOrder) {
             "\"csp_nodes\":135864,\"memo_hits\":11,\"threads\":2,"
             "\"init_ms\":1.5,\"rss_bytes\":104857600,"
             "\"orbits\":3330,\"orbit_reduction\":23.640000000000001,"
-            "\"reps_generated\":3330}");
+            "\"reps_generated\":3330,\"crashes\":4,\"restarts\":3,"
+            "\"messages_dropped\":17,\"checkpoint_bytes\":2048,"
+            "\"restore_ms\":0.75}");
 }
 
 TEST(BenchJson, PipelineStatsDefaultToInert) {
@@ -67,6 +74,12 @@ TEST(BenchJson, PipelineStatsDefaultToInert) {
   EXPECT_EQ(r.orbit_reduction, 0.0);
   // dmm-bench-5 orderly-generation stats too.
   EXPECT_EQ(r.reps_generated, 0);
+  // dmm-bench-6 fault/recovery stats too.
+  EXPECT_EQ(r.crashes, 0);
+  EXPECT_EQ(r.restarts, 0);
+  EXPECT_EQ(r.messages_dropped, 0);
+  EXPECT_EQ(r.checkpoint_bytes, 0);
+  EXPECT_EQ(r.restore_ms, 0.0);
 }
 
 TEST(BenchJson, PeakRssIsPositiveOnLinux) {
@@ -104,6 +117,9 @@ TEST(BenchJson, RejectsNonFiniteWallTimes) {
   EXPECT_THROW(to_json(r), std::invalid_argument);
   r.orbit_reduction = std::numeric_limits<double>::infinity();
   EXPECT_THROW(to_json(r), std::invalid_argument);
+  r = sample();
+  r.restore_ms = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(to_json(r), std::invalid_argument);
 }
 
 TEST(BenchJson, RejectsMalformedRecords) {
@@ -120,6 +136,10 @@ TEST(BenchJson, RejectsMalformedRecords) {
   const std::string::size_type cut5 = current.find(",\"reps_generated\"");
   ASSERT_NE(cut5, std::string::npos);
   EXPECT_THROW(parse_record(current.substr(0, cut5) + "}"), std::invalid_argument);
+  // And a dmm-bench-5 record (fault/recovery stats absent).
+  const std::string::size_type cut6 = current.find(",\"crashes\"");
+  ASSERT_NE(cut6, std::string::npos);
+  EXPECT_THROW(parse_record(current.substr(0, cut6) + "}"), std::invalid_argument);
   // A record whose orbits field is present but mis-ordered is rejected too.
   std::string swapped = current;
   swapped.replace(swapped.find("\"orbits\""), 8, "\"orbitz\"");
@@ -127,9 +147,10 @@ TEST(BenchJson, RejectsMalformedRecords) {
 }
 
 TEST(BenchJson, ExperimentSetIsExplicit) {
-  // 14 experiments ship in the seed; the numbering gaps are real.
-  EXPECT_EQ(std::end(kExperiments) - std::begin(kExperiments), 14);
-  for (const char* gap : {"e9", "e10", "e12"}) {
+  // 15 experiments exist (e9 arrived with the fault layer); the remaining
+  // numbering gaps are real.
+  EXPECT_EQ(std::end(kExperiments) - std::begin(kExperiments), 15);
+  for (const char* gap : {"e10", "e12"}) {
     EXPECT_FALSE(known_experiment(gap)) << gap;
   }
   for (const char* e : kExperiments) {
@@ -143,7 +164,7 @@ TEST(BenchJson, HarnessRejectsUnknownExperiments) {
   int argc = 1;
   char binary[] = "bench";
   char* argv[] = {binary, nullptr};
-  EXPECT_THROW(Harness("e9", argc, argv), std::invalid_argument);
+  EXPECT_THROW(Harness("e10", argc, argv), std::invalid_argument);
   EXPECT_THROW(Harness("bogus", argc, argv), std::invalid_argument);
 }
 
@@ -175,7 +196,7 @@ TEST(BenchJson, HarnessStripsItsFlagsAndWrites) {
   std::stringstream content;
   content << in.rdbuf();
   const std::string text = content.str();
-  EXPECT_NE(text.find("\"schema\":\"dmm-bench-5\""), std::string::npos);
+  EXPECT_NE(text.find("\"schema\":\"dmm-bench-6\""), std::string::npos);
   EXPECT_NE(text.find("\"experiment\":\"e1\""), std::string::npos);
   // Each stored record is embedded verbatim, so the file parses record by
   // record with the same parser the round-trip test uses.

@@ -1,7 +1,10 @@
 // dmm_cli — command-line driver for the library.
 //
 //   dmm_cli greedy     --instance <spec> [--engine <sync|flat>] [--threads <n>]
-//                      [--chunk-slots <n>] [--no-steal]
+//                      [--chunk-slots <n>] [--no-steal] [--faults <spec>]
+//                      [--checkpoint <path>] [--checkpoint-every <rounds>]
+//                      [--max-rounds <n>] [--round-sleep-ms <ms>] [--json]
+//   dmm_cli resume     <checkpoint-path> --instance <spec> [greedy options]
 //   dmm_cli adversary  --k <k> --algorithm <spec> [--certificate-out <path>] [--no-memo]
 //                      [--optimistic] [--threads <n>] [--orbits]
 //   dmm_cli views      <k> <d> <rho> [--threads <n>] [--json] [--max-views <n>] [--orbits]
@@ -33,10 +36,30 @@
 //   truncated:<k>:<r>    radius-limited greedy (refuted when r < k-1)
 //   firstcolour:<k>      the 0-round heuristic
 //   arbitrary:<k>:<r>:<seed>
+//
+// Fault specs (--faults, docs/faults.md):
+//   crash=<p>,down=<a>-<b>,perm=<p>,drop=<p>,horizon=<r>,seed=<s>
+// e.g. --faults crash=0.02,down=1-3,perm=0.25,drop=0.01,seed=7.  With
+// faults injected the matching may legitimately be broken at crashed
+// nodes, so `greedy --faults` exits 0 regardless of the verification
+// verdict (the verdict is still printed / emitted in --json).
+//
+// --checkpoint <path> writes an EngineCheckpoint to <path> every
+// --checkpoint-every rounds (default 1), atomically (tmp + rename), so a
+// SIGKILL at any moment leaves a loadable file.  `dmm_cli resume <path>
+// --instance <spec> ...` continues such a run to completion; given the
+// same instance, engine family and --faults spec, the finished run is
+// bit-identical to the uninterrupted one (the CI fault-recovery step
+// diffs the outputs_fnv of both).  --round-sleep-ms slows the run down
+// (sleeping inside the checkpoint sink only) so a kill lands mid-run.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
+#include <thread>
 
 #include "core/dmm.hpp"
 
@@ -130,45 +153,153 @@ bool flag(const std::vector<std::string>& args, const std::string& name) {
   return false;
 }
 
-int cmd_greedy(const std::vector<std::string>& args) {
+/// FNV-1a over the per-node outputs and halt rounds — the one-line
+/// fingerprint the CI fault-recovery step diffs between an interrupted
+/// and an uninterrupted run.
+std::uint64_t outputs_fnv(const local::RunResult& run) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const local::Colour c : run.outputs) mix(c);
+  for (const int r : run.halt_round) mix(static_cast<std::uint32_t>(r));
+  return h;
+}
+
+/// Atomic checkpoint write: a SIGKILL between any two instructions leaves
+/// either the previous complete file or the new one, never a torn frame.
+void write_checkpoint_file(const local::EngineCheckpoint& ck, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+  if (!out) fail("cannot open checkpoint file " + tmp);
+  ck.write(out);
+  out.close();
+  if (!out) fail("cannot write checkpoint file " + tmp);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    fail("cannot move checkpoint into place at " + path);
+  }
+}
+
+/// Shared body of `greedy` and `resume <path>`: run greedy on the chosen
+/// engine with optional fault injection and checkpointing.
+int run_greedy(const std::vector<std::string>& args, const std::string& resume_path) {
+  const char* cmd = resume_path.empty() ? "greedy" : "resume";
   const std::string spec = option(args, "--instance");
-  if (spec.empty()) fail("greedy: --instance required");
+  if (spec.empty()) fail(std::string(cmd) + ": --instance required");
   const std::string engine_spec = option(args, "--engine", "sync");
   const auto engine = local::parse_engine_kind(engine_spec);
-  if (!engine) fail("greedy: unknown engine '" + engine_spec + "' (sync|flat)");
+  if (!engine) fail(std::string(cmd) + ": unknown engine '" + engine_spec + "' (sync|flat)");
   const int threads = std::stoi(option(args, "--threads", "1"));
   if (threads > 1 && *engine != local::EngineKind::kFlat) {
-    fail("greedy: --threads requires --engine flat");
+    fail(std::string(cmd) + ": --threads requires --engine flat");
   }
   // Scheduling knobs of the flat engine's persistent pool (results are
   // identical for every setting; these tune throughput on skewed graphs).
   const long chunk_slots = std::stol(option(args, "--chunk-slots", "0"));
-  if (chunk_slots < 0) fail("greedy: --chunk-slots must be >= 0");
+  if (chunk_slots < 0) fail(std::string(cmd) + ": --chunk-slots must be >= 0");
   const bool no_steal = flag(args, "--no-steal");
   if ((chunk_slots > 0 || no_steal) && *engine != local::EngineKind::kFlat) {
-    fail("greedy: --chunk-slots/--no-steal require --engine flat");
+    fail(std::string(cmd) + ": --chunk-slots/--no-steal require --engine flat");
   }
   const graph::EdgeColouredGraph g = parse_instance(spec);
+
+  // Fault injection: the plan is seeded and schedule-independent, so the
+  // same --faults spec names the same plan on both engines and across a
+  // kill/resume boundary.
+  local::FaultPlan plan;
+  const std::string fault_spec = option(args, "--faults");
+  if (!fault_spec.empty()) {
+    plan = local::FaultPlan::random(g, local::parse_fault_spec(fault_spec));
+  }
+  const local::FaultOptions faults{&plan};
+
+  // A restarted node still has to finish its protocol, so faulty runs get
+  // headroom past the last restart round by default.
+  int max_rounds = std::max(g.k() + 1, plan.max_restart_round() + g.k() + 2);
+  const std::string max_rounds_opt = option(args, "--max-rounds");
+  if (!max_rounds_opt.empty()) max_rounds = std::stoi(max_rounds_opt);
+
+  local::CheckpointOptions checkpoint;
+  const std::string ckpt_path = option(args, "--checkpoint", resume_path);
+  const int sleep_ms = std::stoi(option(args, "--round-sleep-ms", "0"));
+  if (!ckpt_path.empty()) {
+    checkpoint.every = std::stoi(option(args, "--checkpoint-every", "1"));
+    if (checkpoint.every < 1) fail(std::string(cmd) + ": --checkpoint-every must be >= 1");
+    checkpoint.sink = [&](const local::EngineCheckpoint& ck) {
+      if (sleep_ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      write_checkpoint_file(ck, ckpt_path);
+    };
+  } else if (sleep_ms > 0) {
+    fail(std::string(cmd) + ": --round-sleep-ms requires --checkpoint");
+  }
+
+  local::EngineCheckpoint restored;
+  if (!resume_path.empty()) {
+    std::ifstream in(resume_path, std::ios::binary);
+    if (!in) fail("resume: cannot read " + resume_path);
+    restored = local::EngineCheckpoint::read(in);
+    restored.require_matches(g);  // a wrong --instance fails here, loudly
+    checkpoint.resume = &restored;
+  }
+
   local::RunResult run;
   if (*engine == local::EngineKind::kFlat) {
     local::FlatEngineOptions options;
     options.threads = threads;
     options.chunk_slots = static_cast<std::size_t>(chunk_slots);
     options.steal = !no_steal;
-    run = local::run_flat(g, algo::greedy_program_factory(), g.k() + 1, options);
+    run = local::run_flat(g, algo::greedy_program_factory(), max_rounds, options, faults,
+                          checkpoint);
   } else {
-    run = local::run_sync(g, algo::greedy_program_factory(), g.k() + 1);
+    run = local::run_sync(g, algo::greedy_program_factory(), max_rounds, faults, checkpoint);
   }
   const verify::MatchingReport report = verify::check_outputs(g, run.outputs);
-  std::cout << "instance: " << spec << " (n=" << g.node_count() << ", k=" << g.k() << ")\n";
-  std::cout << "engine: " << local::engine_kind_name(*engine);
-  if (threads > 1) std::cout << " (threads=" << threads << ")";
-  std::cout << "\n";
-  std::cout << "rounds: " << run.rounds << " (bound k-1 = " << g.k() - 1 << ")\n";
-  std::cout << "matched edges: " << verify::matched_edges(g, run.outputs).size() << "\n";
-  std::cout << "max message: " << run.max_message_bytes << " byte(s)\n";
-  std::cout << "verification: " << report.describe() << "\n";
+  const std::size_t matched = verify::matched_edges(g, run.outputs).size();
+  if (flag(args, "--json")) {
+    char fnv[32];
+    std::snprintf(fnv, sizeof fnv, "%016llx",
+                  static_cast<unsigned long long>(outputs_fnv(run)));
+    std::cout << "{\"instance\":\"" << spec << "\",\"engine\":\""
+              << local::engine_kind_name(*engine) << "\",\"threads\":" << threads
+              << ",\"rounds\":" << run.rounds << ",\"matched_edges\":" << matched
+              << ",\"crashes\":" << run.crashes << ",\"restarts\":" << run.restarts
+              << ",\"messages_dropped\":" << run.messages_dropped
+              << ",\"valid\":" << (report.ok() ? "true" : "false") << ",\"outputs_fnv\":\""
+              << fnv << "\"}\n";
+  } else {
+    std::cout << "instance: " << spec << " (n=" << g.node_count() << ", k=" << g.k() << ")\n";
+    std::cout << "engine: " << local::engine_kind_name(*engine);
+    if (threads > 1) std::cout << " (threads=" << threads << ")";
+    std::cout << "\n";
+    if (!resume_path.empty()) {
+      std::cout << "resumed: " << resume_path << " (rounds 1.." << restored.round
+                << " already complete)\n";
+    }
+    std::cout << "rounds: " << run.rounds << " (bound k-1 = " << g.k() - 1 << ")\n";
+    if (!plan.empty()) {
+      std::cout << "faults: " << run.crashes << " crash(es), " << run.restarts
+                << " restart(s), " << run.messages_dropped << " message(s) dropped\n";
+    }
+    std::cout << "matched edges: " << matched << "\n";
+    std::cout << "max message: " << run.max_message_bytes << " byte(s)\n";
+    std::cout << "verification: " << report.describe() << "\n";
+  }
+  // Crashed nodes legitimately break the matching at their edges, so a
+  // faulty run reports the verdict but does not fail on it.
+  if (!plan.empty()) return 0;
   return report.ok() ? 0 : 1;
+}
+
+int cmd_greedy(const std::vector<std::string>& args) { return run_greedy(args, ""); }
+
+int cmd_resume(const std::vector<std::string>& args) {
+  if (args.empty() || args[0].rfind("--", 0) == 0) {
+    fail("resume: usage: resume <checkpoint-path> --instance <spec> [greedy options]");
+  }
+  return run_greedy({args.begin() + 1, args.end()}, args[0]);
 }
 
 int cmd_adversary(const std::vector<std::string>& args) {
@@ -341,7 +472,8 @@ int cmd_export_dot(const std::vector<std::string>& args) {
 }
 
 void usage() {
-  std::cout << "usage: dmm_cli <greedy|adversary|views|lemma4|check|export-dot> [options]\n"
+  std::cout << "usage: dmm_cli <greedy|resume|adversary|views|lemma4|check|export-dot> "
+               "[options]\n"
                "see the header of tools/dmm_cli.cpp for specs\n";
 }
 
@@ -356,6 +488,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 2, argv + argc);
   try {
     if (command == "greedy") return cmd_greedy(args);
+    if (command == "resume") return cmd_resume(args);
     if (command == "adversary") return cmd_adversary(args);
     if (command == "views") return cmd_views(args);
     if (command == "lemma4") return cmd_lemma4(args);

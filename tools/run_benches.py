@@ -1,10 +1,10 @@
 #!/usr/bin/env python3
 """Run every bench binary and validate the BENCH_*.json trajectory files.
 
-The experiment set is enumerated explicitly (the seed ships no e9, e10 or
-e12 — see docs/benchmarks.md), mirroring bench/bench_json.hpp; a new bench
-binary must be added to both lists, which this script cross-checks against
-the binaries it actually finds.
+The experiment set is enumerated explicitly (e10 and e12 are real
+numbering gaps — see docs/benchmarks.md), mirroring bench/bench_json.hpp;
+a new bench binary must be added to both lists, which this script
+cross-checks against the binaries it actually finds.
 
 Usage:
   tools/run_benches.py --bin-dir build [--out-dir build/bench-json] [--smoke]
@@ -18,8 +18,10 @@ google-benchmark loops); without it the full benchmark suites run too.
 BENCH_*.json of the same name in DIR, matching records by the
 (instance, engine, threads) triple — e14 records the same instance once
 per engine and per worker count, so the instance label alone is not a key.
-Counter fields (csp_nodes, reps_generated) must be exactly equal,
-orbit_reduction must agree to relative tolerance, and wall_ns may not
+Counter fields (csp_nodes, reps_generated, and the e9 fault/recovery
+counters crashes, restarts, messages_dropped, checkpoint_bytes) must be
+exactly equal, orbit_reduction must agree to relative tolerance, and
+restore_ms is never gated (a wall measurement), while wall_ns may not
 exceed the baseline by more than --wall-factor (checked only when the
 baseline row is slow enough to measure reliably).  Any violation fails the
 run — this is the CI gate against silent orbit-layer regressions.
@@ -34,7 +36,7 @@ import sys
 # Keep in sync with kExperiments in bench/bench_json.hpp.
 EXPERIMENTS = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8",
-    "e11", "e13", "e14", "e15", "e16", "e17",
+    "e9", "e11", "e13", "e14", "e15", "e16", "e17",
 ]
 
 RECORD_FIELDS = {
@@ -60,6 +62,12 @@ RECORD_FIELDS = {
     "orbit_reduction": (int, float),
     # dmm-bench-5: orderly-generation stats (canonical reps built).
     "reps_generated": int,
+    # dmm-bench-6: fault/recovery stats (e9; zero on fault-free rows).
+    "crashes": int,
+    "restarts": int,
+    "messages_dropped": int,
+    "checkpoint_bytes": int,
+    "restore_ms": (int, float),
 }
 
 # Fields the --baseline regression gate diffs, with their comparison mode.
@@ -76,6 +84,17 @@ def compare_records(name: str, current: dict, baseline: dict, wall_factor: float
         if baseline[field] > 0 and current[field] != baseline[field]:
             errors.append(
                 f"{name}: {field} changed {baseline[field]} -> {current[field]}"
+            )
+    # The e9 fault/recovery counters are pure functions of the seeded plan
+    # (and checkpoint_bytes of the checkpointed state), so any drift is a
+    # behaviour change.  .get keeps pre-dmm-bench-6 baselines (no such
+    # fields) valid: absent baseline counters gate against zero, which is
+    # what the new writer emits on fault-free rows.
+    for field in ("crashes", "restarts", "messages_dropped", "checkpoint_bytes"):
+        if current.get(field, 0) != baseline.get(field, 0):
+            errors.append(
+                f"{name}: {field} changed {baseline.get(field, 0)} -> "
+                f"{current.get(field, 0)}"
             )
     base_red = baseline["orbit_reduction"]
     if base_red > 0:
@@ -206,7 +225,7 @@ def validate_orderly_scale_row(path: pathlib.Path) -> None:
 def validate(path: pathlib.Path, experiment: str) -> int:
     with path.open() as fh:
         data = json.load(fh)
-    if data.get("schema") != "dmm-bench-5":
+    if data.get("schema") != "dmm-bench-6":
         raise SystemExit(f"error: {path}: bad schema {data.get('schema')!r}")
     if data.get("experiment") != experiment:
         raise SystemExit(f"error: {path}: experiment mismatch {data.get('experiment')!r}")
@@ -223,6 +242,8 @@ def validate(path: pathlib.Path, experiment: str) -> int:
             raise SystemExit(f"error: {path}: NaN wall_ns: {record}")
         if record["orbit_reduction"] != record["orbit_reduction"]:
             raise SystemExit(f"error: {path}: NaN orbit_reduction: {record}")
+        if record["restore_ms"] != record["restore_ms"]:
+            raise SystemExit(f"error: {path}: NaN restore_ms: {record}")
         if record["orbits"] > 0 and record["orbit_reduction"] < 1:
             raise SystemExit(
                 f"error: {path}: orbit record with a reduction below 1x: {record}"
