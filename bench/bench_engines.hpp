@@ -36,6 +36,10 @@ inline local::RunResult record_engine_run(Harness& harness, const std::string& i
   // construction + init), and where the process RSS peaked.
   record.init_ms = run.init_ns / 1e6;
   record.rss_bytes = peak_rss_bytes();
+  // dmm-bench-7: the per-phase wall-clock split (measurement only — these
+  // fields are excluded from engine equivalence and never gated).
+  record.send_ms = run.send_ns / 1e6;
+  record.receive_ms = run.receive_ns / 1e6;
   harness.add(std::move(record));
   return run;
 }

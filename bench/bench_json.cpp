@@ -133,6 +133,15 @@ std::string to_json(const Record& record) {
     throw std::invalid_argument("bench_json: restore_ms must be finite (instance '" +
                                 record.instance + "')");
   }
+  if (!std::isfinite(record.send_ms) || !std::isfinite(record.receive_ms)) {
+    throw std::invalid_argument("bench_json: send_ms/receive_ms must be finite (instance '" +
+                                record.instance + "')");
+  }
+  if (!std::isfinite(record.tenant_p50_ms) || !std::isfinite(record.tenant_p99_ms) ||
+      !std::isfinite(record.fairness_ratio)) {
+    throw std::invalid_argument("bench_json: tenant latency stats must be finite (instance '" +
+                                record.instance + "')");
+  }
   char wall[64];
   std::snprintf(wall, sizeof wall, "%.17g", record.wall_ns);
   char init[64];
@@ -141,6 +150,16 @@ std::string to_json(const Record& record) {
   std::snprintf(reduction, sizeof reduction, "%.17g", record.orbit_reduction);
   char restore[64];
   std::snprintf(restore, sizeof restore, "%.17g", record.restore_ms);
+  char send[64];
+  std::snprintf(send, sizeof send, "%.17g", record.send_ms);
+  char receive[64];
+  std::snprintf(receive, sizeof receive, "%.17g", record.receive_ms);
+  char p50[64];
+  std::snprintf(p50, sizeof p50, "%.17g", record.tenant_p50_ms);
+  char p99[64];
+  std::snprintf(p99, sizeof p99, "%.17g", record.tenant_p99_ms);
+  char fairness[64];
+  std::snprintf(fairness, sizeof fairness, "%.17g", record.fairness_ratio);
   std::ostringstream out;
   out << "{\"instance\":\"" << escape(record.instance) << "\""
       << ",\"n\":" << record.n << ",\"m\":" << record.m << ",\"k\":" << record.k
@@ -155,7 +174,10 @@ std::string to_json(const Record& record) {
       << ",\"crashes\":" << record.crashes << ",\"restarts\":" << record.restarts
       << ",\"messages_dropped\":" << record.messages_dropped
       << ",\"checkpoint_bytes\":" << record.checkpoint_bytes
-      << ",\"restore_ms\":" << restore << "}";
+      << ",\"restore_ms\":" << restore << ",\"send_ms\":" << send
+      << ",\"receive_ms\":" << receive << ",\"sessions\":" << record.sessions
+      << ",\"tenant_p50_ms\":" << p50 << ",\"tenant_p99_ms\":" << p99
+      << ",\"fairness_ratio\":" << fairness << "}";
   return out.str();
 }
 
@@ -231,6 +253,24 @@ Record parse_record(const std::string& json) {
   in.expect(',');
   in.key("restore_ms");
   r.restore_ms = in.number_value();
+  in.expect(',');
+  in.key("send_ms");
+  r.send_ms = in.number_value();
+  in.expect(',');
+  in.key("receive_ms");
+  r.receive_ms = in.number_value();
+  in.expect(',');
+  in.key("sessions");
+  r.sessions = static_cast<long long>(in.number_value());
+  in.expect(',');
+  in.key("tenant_p50_ms");
+  r.tenant_p50_ms = in.number_value();
+  in.expect(',');
+  in.key("tenant_p99_ms");
+  r.tenant_p99_ms = in.number_value();
+  in.expect(',');
+  in.key("fairness_ratio");
+  r.fairness_ratio = in.number_value();
   in.expect('}');
   return r;
 }
@@ -239,8 +279,8 @@ Harness::Harness(std::string experiment, int& argc, char** argv)
     : experiment_(std::move(experiment)) {
   if (!known_experiment(experiment_)) {
     throw std::invalid_argument("bench_json: unknown experiment '" + experiment_ +
-                                "' (the set is enumerated in bench_json.hpp; e10/e12 "
-                                "do not exist)");
+                                "' (the set is enumerated in bench_json.hpp; e12 "
+                                "does not exist)");
   }
   if (const char* env = std::getenv("DMM_BENCH_JSON_DIR")) directory_ = env;
   // Strip harness flags so google-benchmark's own parser never sees them.
@@ -300,7 +340,7 @@ int Harness::write() const {
     std::fprintf(stderr, "bench_json: cannot write %s\n", path().c_str());
     return 2;
   }
-  out << "{\"schema\":\"dmm-bench-6\",\"experiment\":\"" << escape(experiment_)
+  out << "{\"schema\":\"dmm-bench-7\",\"experiment\":\"" << escape(experiment_)
       << "\",\"records\":[";
   for (std::size_t i = 0; i < records_.size(); ++i) {
     if (i) out << ",";

@@ -3,14 +3,15 @@
 //
 // File format (one JSON object per file):
 //
-//   {"schema":"dmm-bench-6","experiment":"e14","records":[
+//   {"schema":"dmm-bench-7","experiment":"e14","records":[
 //     {"instance":"random n=100000 k=4","n":100000,"m":159862,"k":4,
 //      "rounds":3,"wall_ns":12345678.0,"engine":"flat",
 //      "max_message_bytes":1,"views":0,"pairs":0,"csp_nodes":0,
 //      "memo_hits":0,"threads":1,"init_ms":1.25,"rss_bytes":104857600,
 //      "orbits":0,"orbit_reduction":0,"reps_generated":0,"crashes":0,
 //      "restarts":0,"messages_dropped":0,"checkpoint_bytes":0,
-//      "restore_ms":0}, ...]}
+//      "restore_ms":0,"send_ms":4.5,"receive_ms":6.25,"sessions":0,
+//      "tenant_p50_ms":0,"tenant_p99_ms":0,"fairness_ratio":0}, ...]}
 //
 // Schema history: dmm-bench-2 appended the lower-bound pipeline stats —
 // views, pairs, csp_nodes, memo_hits, threads — to every record (zero / 1
@@ -31,7 +32,14 @@
 // RunResult fault counters — exact, so they gate on equality),
 // checkpoint_bytes (serialised EngineCheckpoint size; deterministic) and
 // restore_ms (wall-clock of EngineCheckpoint::read + engine restore; a
-// measurement, never gated).  All zero on fault-free rows.
+// measurement, never gated).  All zero on fault-free rows.  dmm-bench-7
+// (this PR) appends the session/front-end stats: send_ms / receive_ms (the
+// engines' per-phase wall-clock split, RunResult::send_ns/receive_ns; pure
+// measurements, never gated or part of engine equivalence) and the e10
+// multi-tenant front-end columns — sessions (completed sessions behind the
+// row; exact, gates on equality), tenant_p50_ms / tenant_p99_ms (sojourn
+// latency percentiles across tenants) and fairness_ratio (max/min tenant
+// mean sojourn; wall-banded).  All zero on rows without a service.
 //
 // The record field names are part of the schema and locked by
 // tests/test_bench_json.cpp; wall times must be finite (NaN is a
@@ -39,8 +47,9 @@
 // downstream parser).
 //
 // The experiment set is enumerated explicitly — the seed shipped no e9,
-// e10 or e12; e9 now exists (bench_e9_faults.cpp), e10 and e12 remain
-// gaps (docs/benchmarks.md), so nothing may iterate "e1..e17".
+// e10 or e12; e9 (bench_e9_faults.cpp) and e10 (bench_e10_frontend.cpp)
+// now exist, e12 remains a gap (docs/benchmarks.md), so nothing may
+// iterate "e1..e17".
 #pragma once
 
 #include <cstddef>
@@ -53,7 +62,7 @@ namespace dmm::benchjson {
 /// Every experiment that exists in this repository, in bench/ file order.
 inline constexpr const char* kExperiments[] = {
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8",
-    "e9", "e11", "e13", "e14", "e15", "e16", "e17",
+    "e9", "e10", "e11", "e13", "e14", "e15", "e16", "e17",
 };
 
 bool known_experiment(const std::string& experiment);
@@ -87,6 +96,13 @@ struct Record {
   long long messages_dropped = 0;    // messages dropped in flight
   long long checkpoint_bytes = 0;    // serialised EngineCheckpoint size
   double restore_ms = 0.0;           // read + restore wall-clock (not gated)
+  // Session/front-end stats (dmm-bench-7); zero where not applicable.
+  double send_ms = 0.0;              // engine send-phase wall-clock (not gated)
+  double receive_ms = 0.0;           // engine receive-phase wall-clock (not gated)
+  long long sessions = 0;            // completed service sessions (exact)
+  double tenant_p50_ms = 0.0;        // median tenant sojourn latency (not gated)
+  double tenant_p99_ms = 0.0;        // p99 tenant sojourn latency (not gated)
+  double fairness_ratio = 0.0;       // max/min tenant mean sojourn (banded)
 
   bool operator==(const Record&) const = default;
 };

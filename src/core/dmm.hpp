@@ -40,6 +40,7 @@
 #include "local/faults.hpp"
 #include "local/flat_engine.hpp"
 #include "local/flooding.hpp"
+#include "local/runtime.hpp"
 #include "local/view_engine.hpp"
 #include "lower/adversary.hpp"
 #include "lower/critical_pair.hpp"
@@ -53,6 +54,7 @@
 #include "pn/adapter.hpp"
 #include "pn/pn_engine.hpp"
 #include "pn/port_network.hpp"
+#include "svc/service.hpp"
 #include "util/logstar.hpp"
 #include "util/rng.hpp"
 #include "verify/matching.hpp"

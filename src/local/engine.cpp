@@ -55,112 +55,123 @@ EngineCheckpoint capture_checkpoint(const graph::EdgeColouredGraph& g, int round
   return cp;
 }
 
-}  // namespace
-
-RunResult run_sync(const graph::EdgeColouredGraph& g, const ProgramSource& source,
-                   int max_rounds) {
-  return run_sync(g, source, max_rounds, FaultOptions{});
+double elapsed_ns(std::chrono::steady_clock::time_point since) {
+  return static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                 std::chrono::steady_clock::now() - since)
+                                 .count());
 }
 
-RunResult run_sync(const graph::EdgeColouredGraph& g, const ProgramSource& source,
-                   int max_rounds, const FaultOptions& faults,
-                   const CheckpointOptions& checkpoint) {
-  const int n = g.node_count();
-  const FaultPlan* plan =
-      (faults.plan != nullptr && !faults.plan->empty()) ? faults.plan : nullptr;
-  if (plan != nullptr) plan->require_fits(n);
+/// run_sync, stepwise.  The constructor is the old function's setup phase
+/// (program construction, init delivery, checkpoint resume); step() is one
+/// iteration of its round loop, verbatim.  run_sync itself is now a thin
+/// loop over this class, so a stepped run is the closed run.
+class SyncSession final : public Session {
+ public:
+  SyncSession(const graph::EdgeColouredGraph& g, const ProgramSource& source,
+              const RunOptions& options)
+      : g_(g),
+        n_(g.node_count()),
+        max_rounds_(options.max_rounds),
+        every_(options.checkpoint.every),
+        sink_(options.checkpoint.sink) {
+    plan_ = (options.faults.plan != nullptr && !options.faults.plan->empty())
+                ? options.faults.plan
+                : nullptr;
+    if (plan_ != nullptr) plan_->require_fits(n_);
 
-  RunResult result;
-  result.outputs.assign(static_cast<std::size_t>(n), kUnmatched);
-  result.halt_round.assign(static_cast<std::size_t>(n), -1);
+    result_.outputs.assign(static_cast<std::size_t>(n_), kUnmatched);
+    result_.halt_round.assign(static_cast<std::size_t>(n_), -1);
+    halted_.assign(static_cast<std::size_t>(n_), 0);
+    down_.assign(static_cast<std::size_t>(n_), 0);
+    dead_.assign(static_cast<std::size_t>(n_), 0);
+    running_ = n_;
+    round_ = 0;
 
-  std::vector<char> halted(static_cast<std::size_t>(n), 0);
-  std::vector<char> down(static_cast<std::size_t>(n), 0);
-  std::vector<char> dead(static_cast<std::size_t>(n), 0);
-  int running = n;
-  int start_round = 0;
-
-  // Setup phase (timed into init_ns): batch-construct the programs into
-  // the pool, then deliver each node its initial knowledge.
-  ProgramPool pool;
-  const auto init_start = std::chrono::steady_clock::now();
-  pool.reserve(static_cast<std::size_t>(n));
-  source.build(static_cast<std::size_t>(n), pool);
-  if (checkpoint.resume != nullptr) {
-    const EngineCheckpoint& cp = *checkpoint.resume;
-    cp.require_matches(g);
-    // init still runs on every node — it hands each program its initial
-    // knowledge, from which graph-shaped state is re-derived.  The round-0
-    // halt decisions it reports are already recorded in the checkpoint, so
-    // they are ignored here; load_state below overwrites the dynamic state.
-    for (graph::NodeIndex v = 0; v < n; ++v) {
-      pool[static_cast<std::size_t>(v)]->init(g.incident_colours(v));
-    }
-    for (std::size_t v = 0; v < static_cast<std::size_t>(n); ++v) {
-      result.outputs[v] = cp.outputs[v];
-      result.halt_round[v] = cp.halt_round[v];
-      halted[v] = static_cast<char>(cp.halted[v]);
-      down[v] = static_cast<char>(cp.down[v]);
-      dead[v] = static_cast<char>(cp.dead[v]);
-    }
-    running = cp.running;
-    start_round = cp.round;
-    result.crashes = cp.crashes;
-    result.restarts = cp.restarts;
-    result.messages_dropped = cp.messages_dropped;
-    result.max_message_bytes = static_cast<std::size_t>(cp.max_message_bytes);
-    result.total_message_bytes = static_cast<std::size_t>(cp.total_message_bytes);
-    result.messages_sent = static_cast<std::size_t>(cp.messages_sent);
-    std::size_t blob = 0;
-    for (std::size_t v = 0; v < static_cast<std::size_t>(n); ++v) {
-      if (halted[v] || dead[v]) continue;
-      pool[v]->load_state(cp.program_state[blob++]);
-    }
-  } else {
-    for (graph::NodeIndex v = 0; v < n; ++v) {
-      if (pool[static_cast<std::size_t>(v)]->init(g.incident_colours(v))) {
-        halted[static_cast<std::size_t>(v)] = 1;
-        result.halt_round[static_cast<std::size_t>(v)] = 0;
-        result.outputs[static_cast<std::size_t>(v)] = pool[static_cast<std::size_t>(v)]->output();
-        --running;
+    // Setup phase (timed into init_ns): batch-construct the programs into
+    // the pool, then deliver each node its initial knowledge.
+    const auto init_start = std::chrono::steady_clock::now();
+    pool_.reserve(static_cast<std::size_t>(n_));
+    source.build(static_cast<std::size_t>(n_), pool_);
+    if (options.checkpoint.resume != nullptr) {
+      const EngineCheckpoint& cp = *options.checkpoint.resume;
+      cp.require_matches(g_);
+      // init still runs on every node — it hands each program its initial
+      // knowledge, from which graph-shaped state is re-derived.  The
+      // round-0 halt decisions it reports are already recorded in the
+      // checkpoint, so they are ignored here; load_state below overwrites
+      // the dynamic state.
+      for (graph::NodeIndex v = 0; v < n_; ++v) {
+        pool_[static_cast<std::size_t>(v)]->init(g_.incident_colours(v));
+      }
+      for (std::size_t v = 0; v < static_cast<std::size_t>(n_); ++v) {
+        result_.outputs[v] = cp.outputs[v];
+        result_.halt_round[v] = cp.halt_round[v];
+        halted_[v] = static_cast<char>(cp.halted[v]);
+        down_[v] = static_cast<char>(cp.down[v]);
+        dead_[v] = static_cast<char>(cp.dead[v]);
+      }
+      running_ = cp.running;
+      round_ = cp.round;
+      result_.crashes = cp.crashes;
+      result_.restarts = cp.restarts;
+      result_.messages_dropped = cp.messages_dropped;
+      result_.max_message_bytes = static_cast<std::size_t>(cp.max_message_bytes);
+      result_.total_message_bytes = static_cast<std::size_t>(cp.total_message_bytes);
+      result_.messages_sent = static_cast<std::size_t>(cp.messages_sent);
+      std::size_t blob = 0;
+      for (std::size_t v = 0; v < static_cast<std::size_t>(n_); ++v) {
+        if (halted_[v] || dead_[v]) continue;
+        pool_[v]->load_state(cp.program_state[blob++]);
+      }
+    } else {
+      for (graph::NodeIndex v = 0; v < n_; ++v) {
+        if (pool_[static_cast<std::size_t>(v)]->init(g_.incident_colours(v))) {
+          halted_[static_cast<std::size_t>(v)] = 1;
+          result_.halt_round[static_cast<std::size_t>(v)] = 0;
+          result_.outputs[static_cast<std::size_t>(v)] =
+              pool_[static_cast<std::size_t>(v)]->output();
+          --running_;
+        }
       }
     }
+    result_.init_ns = elapsed_ns(init_start);
+
+    // Fault-event cursor.  On a resume the checkpointed flags already
+    // reflect every event up to round_, so the cursor skips them.
+    ev_ = plan_ != nullptr ? plan_->first_event_at(round_ + 1) : 0;
   }
-  result.init_ns = static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                                           std::chrono::steady_clock::now() - init_start)
-                                           .count());
 
-  // Fault-event cursor.  On a resume the checkpointed flags already
-  // reflect every event up to start_round, so the cursor skips them.
-  std::size_t ev = plan != nullptr ? plan->first_event_at(start_round + 1) : 0;
+  bool done() const noexcept override { return running_ == 0; }
+  int round() const noexcept override { return round_; }
 
-  for (int round = start_round + 1; running > 0; ++round) {
-    if (round > max_rounds) {
+  void step() override {
+    const int round = round_ + 1;
+    if (round > max_rounds_) {
       throw std::runtime_error("run_sync: algorithm did not halt within max_rounds");
     }
     // Phase 0: apply this round's fault events before the send phase.  A
     // crash aimed at a halted or dead node is a no-op; a permanent crash
     // removes the node from the run (output stays ⊥, halt_round −1).
-    if (plan != nullptr) {
-      const std::vector<FaultEvent>& events = plan->events();
-      while (ev < events.size() && events[ev].round <= round) {
-        const FaultEvent& e = events[ev++];
-        if (e.node < 0 || e.node >= n) {
+    if (plan_ != nullptr) {
+      const std::vector<FaultEvent>& events = plan_->events();
+      while (ev_ < events.size() && events[ev_].round <= round) {
+        const FaultEvent& e = events[ev_++];
+        if (e.node < 0 || e.node >= n_) {
           throw std::invalid_argument("FaultPlan: event targets a node outside the graph");
         }
         const auto v = static_cast<std::size_t>(e.node);
         if (e.up) {
-          if (!halted[v] && !dead[v] && down[v]) {
-            down[v] = 0;
-            ++result.restarts;
+          if (!halted_[v] && !dead_[v] && down_[v]) {
+            down_[v] = 0;
+            ++result_.restarts;
           }
         } else {
-          if (!halted[v] && !dead[v]) {
-            down[v] = 1;
-            ++result.crashes;
+          if (!halted_[v] && !dead_[v]) {
+            down_[v] = 1;
+            ++result_.crashes;
             if (e.permanent) {
-              dead[v] = 1;
-              --running;
+              dead_[v] = 1;
+              --running_;
             }
           }
         }
@@ -169,16 +180,18 @@ RunResult run_sync(const graph::EdgeColouredGraph& g, const ProgramSource& sourc
     // Phase 1: collect outgoing messages.  Halted nodes re-announce their
     // final output (visible per the paper's output announcement); down and
     // dead nodes send nothing.
-    std::vector<std::map<Colour, Message>> outgoing(static_cast<std::size_t>(n));
-    for (graph::NodeIndex v = 0; v < n; ++v) {
-      if (halted[static_cast<std::size_t>(v)] || down[static_cast<std::size_t>(v)]) continue;
-      outgoing[static_cast<std::size_t>(v)] = pool[static_cast<std::size_t>(v)]->send(round);
+    const auto send_start = std::chrono::steady_clock::now();
+    std::vector<std::map<Colour, Message>> outgoing(static_cast<std::size_t>(n_));
+    for (graph::NodeIndex v = 0; v < n_; ++v) {
+      if (halted_[static_cast<std::size_t>(v)] || down_[static_cast<std::size_t>(v)]) continue;
+      outgoing[static_cast<std::size_t>(v)] = pool_[static_cast<std::size_t>(v)]->send(round);
       for (const auto& [colour, message] : outgoing[static_cast<std::size_t>(v)]) {
-        result.max_message_bytes = std::max(result.max_message_bytes, message.size());
-        result.total_message_bytes += message.size();
-        ++result.messages_sent;
+        result_.max_message_bytes = std::max(result_.max_message_bytes, message.size());
+        result_.total_message_bytes += message.size();
+        ++result_.messages_sent;
       }
     }
+    result_.send_ns += elapsed_ns(send_start);
     // Phase 2: build every inbox from the state at the *start* of the
     // round, then deliver.  A node halting in this round must not leak its
     // decision to same-round receivers — all nodes act simultaneously.
@@ -186,48 +199,97 @@ RunResult run_sync(const graph::EdgeColouredGraph& g, const ProgramSource& sourc
     // on the shared edge.  Drops hit only messages actually in flight
     // (running sender, running receiver, message present) — halted
     // announcements are environment, not messages, and are never dropped.
-    std::vector<std::map<Colour, Message>> inboxes(static_cast<std::size_t>(n));
-    for (graph::NodeIndex v = 0; v < n; ++v) {
-      if (halted[static_cast<std::size_t>(v)] || down[static_cast<std::size_t>(v)]) continue;
-      for (Colour c : g.incident_colours(v)) {
-        const graph::NodeIndex u = *g.neighbour(v, c);
-        if (halted[static_cast<std::size_t>(u)]) {
+    const auto receive_start = std::chrono::steady_clock::now();
+    std::vector<std::map<Colour, Message>> inboxes(static_cast<std::size_t>(n_));
+    for (graph::NodeIndex v = 0; v < n_; ++v) {
+      if (halted_[static_cast<std::size_t>(v)] || down_[static_cast<std::size_t>(v)]) continue;
+      for (Colour c : g_.incident_colours(v)) {
+        const graph::NodeIndex u = *g_.neighbour(v, c);
+        if (halted_[static_cast<std::size_t>(u)]) {
           inboxes[static_cast<std::size_t>(v)][c] =
               std::string(1, kHaltedPrefix) +
-              std::to_string(static_cast<int>(result.outputs[static_cast<std::size_t>(u)]));
-        } else if (down[static_cast<std::size_t>(u)]) {
+              std::to_string(static_cast<int>(result_.outputs[static_cast<std::size_t>(u)]));
+        } else if (down_[static_cast<std::size_t>(u)]) {
           inboxes[static_cast<std::size_t>(v)][c] = Message{};
         } else {
           auto it = outgoing[static_cast<std::size_t>(u)].find(c);
           if (it == outgoing[static_cast<std::size_t>(u)].end()) {
             inboxes[static_cast<std::size_t>(v)][c] = Message{};
-          } else if (plan != nullptr && plan->drops(round, u, c)) {
+          } else if (plan_ != nullptr && plan_->drops(round, u, c)) {
             inboxes[static_cast<std::size_t>(v)][c] = Message{};
-            ++result.messages_dropped;
+            ++result_.messages_dropped;
           } else {
             inboxes[static_cast<std::size_t>(v)][c] = it->second;
           }
         }
       }
     }
-    for (graph::NodeIndex v = 0; v < n; ++v) {
-      if (halted[static_cast<std::size_t>(v)] || down[static_cast<std::size_t>(v)]) continue;
-      if (pool[static_cast<std::size_t>(v)]->receive(round, inboxes[static_cast<std::size_t>(v)])) {
-        halted[static_cast<std::size_t>(v)] = 1;
-        result.halt_round[static_cast<std::size_t>(v)] = round;
-        result.outputs[static_cast<std::size_t>(v)] = pool[static_cast<std::size_t>(v)]->output();
-        --running;
+    for (graph::NodeIndex v = 0; v < n_; ++v) {
+      if (halted_[static_cast<std::size_t>(v)] || down_[static_cast<std::size_t>(v)]) continue;
+      if (pool_[static_cast<std::size_t>(v)]->receive(round,
+                                                      inboxes[static_cast<std::size_t>(v)])) {
+        halted_[static_cast<std::size_t>(v)] = 1;
+        result_.halt_round[static_cast<std::size_t>(v)] = round;
+        result_.outputs[static_cast<std::size_t>(v)] =
+            pool_[static_cast<std::size_t>(v)]->output();
+        --running_;
       }
     }
+    result_.receive_ns += elapsed_ns(receive_start);
+    round_ = round;
     // Round `round` is now complete — the only point a checkpoint can be
     // captured (checkpoint.hpp explains why round boundaries suffice).
-    if (checkpoint.every > 0 && checkpoint.sink && running > 0 &&
-        round % checkpoint.every == 0) {
-      checkpoint.sink(capture_checkpoint(g, round, running, result, halted, down, dead, pool));
+    if (every_ > 0 && sink_ && running_ > 0 && round % every_ == 0) {
+      sink_(capture_checkpoint(g_, round, running_, result_, halted_, down_, dead_, pool_));
     }
   }
-  for (int r : result.halt_round) result.rounds = std::max(result.rounds, r);
-  return result;
+
+  RunResult result() override {
+    for (int r : result_.halt_round) result_.rounds = std::max(result_.rounds, r);
+    return std::move(result_);
+  }
+
+ private:
+  const graph::EdgeColouredGraph& g_;
+  int n_;
+  int max_rounds_;
+  int every_;
+  std::function<void(const EngineCheckpoint&)> sink_;
+  const FaultPlan* plan_ = nullptr;
+  ProgramPool pool_;
+  RunResult result_;
+  std::vector<char> halted_;
+  std::vector<char> down_;
+  std::vector<char> dead_;
+  int running_ = 0;
+  int round_ = 0;  // last completed round
+  std::size_t ev_ = 0;  // fault-event cursor
+};
+
+}  // namespace
+
+std::unique_ptr<Session> make_sync_session(const graph::EdgeColouredGraph& g,
+                                           const ProgramSource& source,
+                                           const RunOptions& options) {
+  return std::make_unique<SyncSession>(g, source, options);
+}
+
+RunResult run_sync(const graph::EdgeColouredGraph& g, const ProgramSource& source,
+                   int max_rounds) {
+  return run_sync(g, source, RunOptions{max_rounds, {}, {}});
+}
+
+RunResult run_sync(const graph::EdgeColouredGraph& g, const ProgramSource& source,
+                   int max_rounds, const FaultOptions& faults,
+                   const CheckpointOptions& checkpoint) {
+  return run_sync(g, source, RunOptions{max_rounds, faults, checkpoint});
+}
+
+RunResult run_sync(const graph::EdgeColouredGraph& g, const ProgramSource& source,
+                   const RunOptions& options) {
+  SyncSession session(g, source, options);
+  while (!session.done()) session.step();
+  return session.result();
 }
 
 }  // namespace dmm::local

@@ -35,6 +35,7 @@ struct FlatPlane;  // flat_engine.cpp
 class FlatEngine;
 class FaultPlan;          // faults.hpp
 struct EngineCheckpoint;  // checkpoint.hpp
+class Runtime;            // runtime.hpp
 
 /// Running totals for the paper's message-size accounting; shared between
 /// the engines and the flat-plane writers.  Cache-line aligned: the flat
@@ -224,12 +225,23 @@ struct RunResult {
   // part the pooled allocator exists to shrink; surfaced as `init_ms` in
   // the BENCH_*.json schema.  Not part of engine equivalence.
   double init_ns = 0.0;
-  // Worker threads created over the whole run.  The flat engine spawns
-  // its persistent pool (threads − 1 workers beyond the caller) exactly
-  // once in the constructor and parks it between phases, so this stays
-  // constant in the round count — the old engine spawned/joined a fresh
-  // set every phase of every round.  0 on every serial path (run_sync,
-  // threads = 1).  Not part of engine equivalence.
+  // Wall-clock of the send and receive phases summed over every round
+  // (fault phase 0 and checkpoint sinks excluded), surfaced as
+  // `send_ms`/`receive_ms` in the BENCH_*.json schema so the per-phase
+  // bench gate can tell a regressed send path from a regressed gather.
+  // Not part of engine equivalence.
+  double send_ns = 0.0;
+  double receive_ns = 0.0;
+  // Worker threads created over the whole run.  A standalone flat engine
+  // spawns its persistent pool (threads − 1 workers beyond the caller)
+  // exactly once in the constructor and parks it between phases, so this
+  // stays constant in the round count — the old engine spawned/joined a
+  // fresh set every phase of every round.  A runtime-backed engine
+  // (runtime.hpp) reports only the threads the shared pool spawned on ITS
+  // behalf: the one session that triggered the lazy spawn reports
+  // threads − 1, every other session 0 — so the sum over N sessions stays
+  // threads − 1 (one pool per process).  0 on every serial path
+  // (run_sync, threads = 1).  Not part of engine equivalence.
   std::size_t threads_spawned = 0;
 };
 
@@ -252,6 +264,58 @@ struct CheckpointOptions {
   const EngineCheckpoint* resume = nullptr;
 };
 
+/// Everything a run is parameterised by, in one struct.  The historical
+/// (max_rounds, faults, checkpoint) overload pairs forward here; new code
+/// (and the Session API below) takes RunOptions directly.
+struct RunOptions {
+  /// Throw after this many rounds without global halt (a distributed
+  /// algorithm that does not halt is a bug).  Must be positive.
+  int max_rounds = 0;
+  FaultOptions faults;
+  CheckpointOptions checkpoint;
+};
+
+/// A round-stepped engine run.  A session is created primed (programs
+/// built, init delivered, any checkpoint resumed); each step() simulates
+/// exactly one synchronous round — send, receive, update, plus that
+/// round's fault events and checkpoint sink.  When done(), result() moves
+/// the finished RunResult out (call it once).
+///
+/// The run-to-completion entry points (run_sync / run_flat / run) are thin
+/// loops over a session, so a stepped run is bit-identical to a closed
+/// one — which is what lets a scheduler interleave steps of many sessions
+/// in any order and still hand every caller the standalone result
+/// (svc/service.hpp builds exactly that; tests/test_service.cpp pins it).
+class Session {
+ public:
+  virtual ~Session() = default;
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Simulates one round.  Throws (like the closed loops) when the round
+  /// would exceed max_rounds, and propagates program exceptions.  Must not
+  /// be called once done().
+  virtual void step() = 0;
+
+  /// True once every node has halted (or died permanently).
+  virtual bool done() const noexcept = 0;
+
+  /// The last completed round (0 before the first step).
+  virtual int round() const noexcept = 0;
+
+  /// Moves the finished RunResult out; valid once done(), once.
+  virtual RunResult result() = 0;
+
+ protected:
+  Session() = default;
+};
+
+/// A round-stepped run_sync (the reference oracle, stepwise).
+std::unique_ptr<Session> make_sync_session(const graph::EdgeColouredGraph& g,
+                                           const ProgramSource& source,
+                                           const RunOptions& options);
+
 /// Runs one copy of the program on every node until all have halted or
 /// max_rounds is exceeded (which throws — a distributed algorithm that does
 /// not halt is a bug).
@@ -262,6 +326,10 @@ RunResult run_sync(const graph::EdgeColouredGraph& g, const ProgramSource& sourc
 RunResult run_sync(const graph::EdgeColouredGraph& g, const ProgramSource& source,
                    int max_rounds, const FaultOptions& faults,
                    const CheckpointOptions& checkpoint = {});
+
+/// The primary form: both historical overloads forward here.
+RunResult run_sync(const graph::EdgeColouredGraph& g, const ProgramSource& source,
+                   const RunOptions& options);
 
 /// The library's simulation engines.  kSync is the reference oracle
 /// (per-round std::map inboxes, engine.cpp); kFlat is the high-throughput
@@ -280,6 +348,10 @@ RunResult run(EngineKind kind, const graph::EdgeColouredGraph& g,
 RunResult run(EngineKind kind, const graph::EdgeColouredGraph& g,
               const ProgramSource& source, int max_rounds, const FaultOptions& faults,
               const CheckpointOptions& checkpoint = {});
+
+/// The primary form: both historical overloads forward here.
+RunResult run(EngineKind kind, const graph::EdgeColouredGraph& g,
+              const ProgramSource& source, const RunOptions& options);
 
 /// "sync" / "flat".
 const char* engine_kind_name(EngineKind kind) noexcept;

@@ -3,11 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstring>
 #include <mutex>
 #include <stdexcept>
-#include <thread>
 
 #include "local/checkpoint.hpp"
 #include "local/faults.hpp"
@@ -26,110 +24,17 @@ constexpr std::uint8_t kSpillLen = 0xff;
 constexpr std::size_t kChunksPerWorker = 16;
 constexpr std::size_t kMinAutoChunkSlots = 1024;
 
+double phase_elapsed_ns(std::chrono::steady_clock::time_point since) {
+  return static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                 std::chrono::steady_clock::now() - since)
+                                 .count());
+}
+
 }  // namespace
 
-/// Persistent phase-dispatch pool: `spawn` threads are created once and
-/// parked on a condition variable; every run() call wakes them for one
-/// phase and the calling thread participates as worker 0.  Dispatch is a
-/// generation counter (seq_) under one mutex — deliberately boring,
-/// mutex-and-condvar-only synchronisation so the ThreadSanitizer leg can
-/// vouch for it.  The first exception from any worker (including worker 0)
-/// wins and is rethrown on the calling thread after the phase barrier,
-/// preserving the serial engine's fail-fast contract.
-class FlatWorkerPool {
- public:
-  explicit FlatWorkerPool(int spawn) {
-    threads_.reserve(static_cast<std::size_t>(spawn));
-    for (int i = 0; i < spawn; ++i) {
-      threads_.emplace_back([this, id = i + 1] { worker_main(id); });
-    }
-  }
-
-  ~FlatWorkerPool() {
-    {
-      const std::lock_guard<std::mutex> lock(mu_);
-      stop_ = true;
-    }
-    cv_work_.notify_all();
-    for (std::thread& t : threads_) t.join();
-  }
-
-  FlatWorkerPool(const FlatWorkerPool&) = delete;
-  FlatWorkerPool& operator=(const FlatWorkerPool&) = delete;
-
-  std::size_t spawned() const noexcept { return threads_.size(); }
-
-  /// Runs fn(worker) for every worker id in [0, spawned()]: id 0 inline on
-  /// the calling thread, the rest on the parked pool threads.  Returns
-  /// only after every worker finished the phase.
-  template <class F>
-  void run(F& fn) {
-    struct Thunk {
-      static void call(void* ctx, int worker) { (*static_cast<F*>(ctx))(worker); }
-    };
-    dispatch(&Thunk::call, &fn);
-  }
-
- private:
-  void dispatch(void (*call)(void*, int), void* ctx) {
-    {
-      const std::lock_guard<std::mutex> lock(mu_);
-      call_ = call;
-      ctx_ = ctx;
-      error_ = nullptr;
-      remaining_ = static_cast<int>(threads_.size());
-      ++seq_;
-    }
-    cv_work_.notify_all();
-    try {
-      call(ctx, 0);
-    } catch (...) {
-      const std::lock_guard<std::mutex> lock(mu_);
-      if (!error_) error_ = std::current_exception();
-    }
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_done_.wait(lock, [&] { return remaining_ == 0; });
-    if (error_) {
-      const std::exception_ptr error = error_;
-      error_ = nullptr;
-      lock.unlock();
-      std::rethrow_exception(error);
-    }
-  }
-
-  void worker_main(int id) {
-    std::uint64_t seen = 0;
-    std::unique_lock<std::mutex> lock(mu_);
-    for (;;) {
-      cv_work_.wait(lock, [&] { return stop_ || seq_ != seen; });
-      if (stop_) return;
-      seen = seq_;
-      void (*const call)(void*, int) = call_;
-      void* const ctx = ctx_;
-      lock.unlock();
-      std::exception_ptr error;
-      try {
-        call(ctx, id);
-      } catch (...) {
-        error = std::current_exception();
-      }
-      lock.lock();
-      if (error && !error_) error_ = error;
-      if (--remaining_ == 0) cv_done_.notify_one();
-    }
-  }
-
-  std::vector<std::thread> threads_;
-  std::mutex mu_;
-  std::condition_variable cv_work_;
-  std::condition_variable cv_done_;
-  void (*call_)(void*, int) = nullptr;
-  void* ctx_ = nullptr;
-  std::exception_ptr error_;
-  std::uint64_t seq_ = 0;
-  int remaining_ = 0;
-  bool stop_ = false;
-};
+// The persistent phase-dispatch pool lives in runtime.hpp as WorkerPool
+// since the shared-Runtime refactor: a standalone engine still owns a
+// private instance, a runtime-backed engine borrows the process-shared one.
 
 /// One directed-edge message slot, sender-major: node v's outgoing message
 /// on its i-th port lives at slot row[v] + i, so the send phase streams
@@ -151,17 +56,34 @@ static_assert(kFlatInlineBytes >= 6, "payload must hold a spill {offset, arena} 
 
 struct FlatPlane {
   std::vector<FlatSlot> slots;
-  std::vector<std::vector<char>> arenas;  // spill for unbounded messages, per worker
+  // Spill for unbounded messages, per worker.  A standalone engine owns
+  // its arenas (own_arenas); a runtime-backed engine points `arenas` at
+  // the shared Runtime set instead — spills are round-scoped scratch
+  // (cleared by new_round, read only within the same step, never reachable
+  // from a stale-stamped slot), and the runtime's borrow lock spans the
+  // whole step, so sharing them across sessions is safe and keeps the
+  // steady-state footprint one arena set per process, not per session.
+  std::vector<std::vector<char>> own_arenas;
+  std::vector<std::vector<char>>* arenas = &own_arenas;
 
-  void configure(std::size_t slot_count, int workers) {
+  void configure(std::size_t slot_count, int workers,
+                 std::vector<std::vector<char>>* shared) {
     slots.assign(slot_count, FlatSlot{});
-    arenas.resize(static_cast<std::size_t>(workers));
+    if (shared != nullptr) {
+      arenas = shared;
+      if (arenas->size() < static_cast<std::size_t>(workers)) {
+        arenas->resize(static_cast<std::size_t>(workers));
+      }
+    } else {
+      arenas = &own_arenas;
+      own_arenas.resize(static_cast<std::size_t>(workers));
+    }
   }
 
   /// Arena capacity is kept, so steady-state rounds allocate nothing; the
   /// slots themselves are invalidated by the round stamp, not by clearing.
   void new_round() {
-    for (auto& arena : arenas) arena.clear();
+    for (auto& arena : *arenas) arena.clear();
   }
 };
 
@@ -185,7 +107,7 @@ void FlatOutbox::set(int port, std::string_view bytes) {
     if (bytes.size() > 0xffffffffu) {
       throw std::length_error("FlatOutbox::set: message too long");
     }
-    std::vector<char>& arena = plane_->arenas[arena_];
+    std::vector<char>& arena = (*plane_->arenas)[arena_];
     const std::uint64_t off = arena.size();  // byte cursor: always 64-bit
     if (off > kMaxSpillOffset) {
       throw std::length_error("FlatOutbox::set: spill arena exceeds the 40-bit offset space");
@@ -257,8 +179,8 @@ bool NodeProgram::receive_flat(int round, const FlatInbox& in) {
 }
 
 FlatEngine::FlatEngine(const graph::EdgeColouredGraph& g, const ProgramSource& source,
-                       int max_rounds, const FlatEngineOptions& options)
-    : g_(g), source_(source), max_rounds_(max_rounds) {
+                       int max_rounds, const FlatEngineOptions& options, Runtime* runtime)
+    : g_(g), source_(source), max_rounds_(max_rounds), runtime_(runtime) {
   // Everything the constructor does — CSR construction, chunk planning,
   // spawning the persistent pool — is setup work, timed into build_ns_
   // and folded into RunResult::init_ns by run() (the old engine started
@@ -268,22 +190,26 @@ FlatEngine::FlatEngine(const graph::EdgeColouredGraph& g, const ProgramSource& s
   // Worker clamp: never more workers than nodes (an empty partition buys
   // nothing and the n = 0 / threads = 8 edge used to depend on every
   // phase tolerating it), never more than the one-byte spill-arena index
-  // can address, and never fewer than one.
-  workers_ = std::max(1, std::min(options.threads, kMaxFlatWorkers));
+  // can address, and never fewer than one.  A runtime-backed engine takes
+  // its worker budget from the shared runtime (the pool is process-wide
+  // and fixed-size), not from options.threads.
+  const int budget = runtime_ != nullptr ? runtime_->threads() : options.threads;
+  workers_ = std::max(1, std::min(budget, kMaxFlatWorkers));
   if (workers_ > n_) workers_ = std::max(1, n_);
   steal_ = options.steal;
   build_csr();
   if (workers_ > 1) {
     plan_chunks(options.chunk_slots);
-    // The pool is spawned exactly once per engine and parked between
-    // phases — per-round thread creations are zero by construction.
-    pool_threads_ = std::make_unique<FlatWorkerPool>(workers_ - 1);
+    if (runtime_ == nullptr) {
+      // The private pool is spawned exactly once per engine and parked
+      // between phases — per-round thread creations are zero by
+      // construction.  A runtime-backed engine spawns nothing: the shared
+      // pool is created lazily by the runtime, once per process.
+      pool_threads_ = std::make_unique<WorkerPool>(workers_ - 1);
+    }
   }
   plane_ = std::make_unique<FlatPlane>();
-  build_ns_ =
-      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                              std::chrono::steady_clock::now() - build_start)
-                              .count());
+  build_ns_ = phase_elapsed_ns(build_start);
 }
 
 FlatEngine::~FlatEngine() = default;
@@ -344,11 +270,7 @@ void FlatEngine::initialise(const EngineCheckpoint* cp) {
       }
     }
   }
-  result_.init_ns =
-      build_ns_ +
-      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                              std::chrono::steady_clock::now() - init_start)
-                              .count());
+  result_.init_ns = build_ns_ + phase_elapsed_ns(init_start);
   result_.threads_spawned = pool_threads_ ? pool_threads_->spawned() : 0;
 
   // Everything the rounds need is built lazily: a 0-round algorithm on a
@@ -361,35 +283,51 @@ void FlatEngine::initialise(const EngineCheckpoint* cp) {
 RunResult FlatEngine::run() { return run(FaultOptions{}); }
 
 RunResult FlatEngine::run(const FaultOptions& faults, const CheckpointOptions& checkpoint) {
-  plan_ = (faults.plan != nullptr && !faults.plan->empty()) ? faults.plan : nullptr;
+  begin(RunOptions{max_rounds_, faults, checkpoint});
+  while (!done()) step();
+  return finish();
+}
+
+void FlatEngine::begin(const RunOptions& options) {
+  if (options.max_rounds > 0) max_rounds_ = options.max_rounds;
+  plan_ = (options.faults.plan != nullptr && !options.faults.plan->empty())
+              ? options.faults.plan
+              : nullptr;
   if (plan_ != nullptr) plan_->require_fits(n_);
   faulty_ = plan_ != nullptr;
   drop_mask_ = plan_ != nullptr && plan_->has_drops();
-  if (checkpoint.resume != nullptr) restore(*checkpoint.resume);
+  if (options.checkpoint.resume != nullptr) restore(*options.checkpoint.resume);
   if (!primed_) initialise(nullptr);
   primed_ = false;
+  every_ = options.checkpoint.every;
+  sink_ = options.checkpoint.sink;
   // On a resume the checkpointed flags already reflect every fault event
   // up to round_, so the cursor skips them.
   ev_ = plan_ != nullptr ? plan_->first_event_at(round_ + 1) : 0;
+}
 
-  while (running_ > 0) {
-    const int round = round_ + 1;
-    if (round > max_rounds_) {
-      throw std::runtime_error("run_flat: algorithm did not halt within max_rounds");
-    }
-    step_round(round);
-    round_ = round;
-    // Round `round` is now complete — the only point a checkpoint can be
-    // captured (checkpoint.hpp explains why round boundaries suffice).
-    if (checkpoint.every > 0 && checkpoint.sink && running_ > 0 &&
-        round % checkpoint.every == 0) {
-      checkpoint.sink(snapshot());
-    }
+void FlatEngine::step() {
+  const int round = round_ + 1;
+  if (round > max_rounds_) {
+    throw std::runtime_error("run_flat: algorithm did not halt within max_rounds");
   }
-  return finalise();
+  step_round(round);
+  round_ = round;
+  // Round `round` is now complete — the only point a checkpoint can be
+  // captured (checkpoint.hpp explains why round boundaries suffice).
+  if (every_ > 0 && sink_ && running_ > 0 && round % every_ == 0) {
+    sink_(snapshot());
+  }
 }
 
 void FlatEngine::step_round(int round) {
+  // Borrow the shared runtime for the WHOLE step, not per phase: the spill
+  // arenas are shared across sessions and a payload spilled in the send
+  // phase is read in this step's receive phase — another session's step in
+  // between would clear it.  Standalone engines (runtime_ == nullptr) take
+  // no lock; their pool and arenas are private.
+  std::unique_lock<std::mutex> borrow;
+  if (runtime_ != nullptr) borrow = std::unique_lock<std::mutex>(runtime_->mutex());
   round_now_ = round;
   // Phase 0: apply this round's fault events before the send phase.  A
   // crash aimed at a halted or dead node is a no-op; a permanent crash
@@ -420,7 +358,8 @@ void FlatEngine::step_round(int round) {
     }
   }
   if (!planes_ready_) {
-    plane_->configure(port_colour_.size(), workers_);
+    plane_->configure(port_colour_.size(), workers_,
+                      runtime_ != nullptr ? &runtime_->arenas() : nullptr);
     // Halts recorded before the first simulated round (round-0 halts, or
     // everything a restored checkpoint carries) rendered no announcements
     // yet; render the ones with a live audience now.
@@ -446,6 +385,7 @@ void FlatEngine::step_round(int round) {
   // slot rows; down and dead nodes send nothing.  A chunk (contiguous node
   // range) is claimed by exactly one worker per phase, so no two workers
   // ever touch the same slot.
+  const auto send_start = std::chrono::steady_clock::now();
   for_chunks([&](int worker, graph::NodeIndex begin, graph::NodeIndex end) {
     FlatOutbox out;
     out.plane_ = &plane;
@@ -481,7 +421,9 @@ void FlatEngine::step_round(int round) {
       }
     }
   }
+  result_.send_ns += phase_elapsed_ns(send_start);
 
+  const auto receive_start = std::chrono::steady_clock::now();
   // Phase 2: hand each running node a lazy view over its peers' slots,
   // reflecting the start-of-round halted state (a node halting this
   // round must not leak its decision to same-round receivers).  New
@@ -515,9 +457,10 @@ void FlatEngine::step_round(int round) {
     for (graph::NodeIndex v : batch) render_announcement(v);
     batch.clear();
   }
+  result_.receive_ns += phase_elapsed_ns(receive_start);
 }
 
-RunResult FlatEngine::finalise() {
+RunResult FlatEngine::finish() {
   for (const MessageStats& s : stats_) {
     result_.max_message_bytes = std::max(result_.max_message_bytes, s.max_bytes);
     result_.total_message_bytes += s.total_bytes;
@@ -658,7 +601,7 @@ std::string_view FlatEngine::slot_view(const FlatPlane& plane, std::size_t s,
   }
   const auto arena = static_cast<unsigned char>(slot.payload[5]);
   std::uint32_t len = 0;
-  const char* base = plane.arenas[arena].data() + off;
+  const char* base = (*plane.arenas)[arena].data() + off;
   std::memcpy(&len, base, sizeof(len));
   return {base + sizeof(len), len};
 }
@@ -781,13 +724,25 @@ void FlatEngine::for_chunks(const F& fn) {
                                                      std::memory_order_relaxed);
   }
   auto phase = [&](int worker) {
+    // The shared pool may carry more parked threads than this engine has
+    // workers (the runtime budget is clamped per engine by node count);
+    // surplus workers sit the phase out.
+    if (worker >= workers_) return;
     drain(worker, worker, fn);
     if (!steal_) return;
     for (int step = 1; step < workers_; ++step) {
       drain((worker + step) % workers_, worker, fn);
     }
   };
-  pool_threads_->run(phase);
+  if (runtime_ != nullptr) {
+    // Lazy shared-pool spawn: exactly one session's call creates the
+    // threads and inherits them into its threads_spawned gauge; every
+    // other session adds 0, so the per-process sum stays threads - 1.
+    result_.threads_spawned += runtime_->ensure_pool();
+    runtime_->pool()->run(phase);
+  } else {
+    pool_threads_->run(phase);
+  }
 }
 
 /// Claims chunks from `victim`'s run until its cursor passes the end and
@@ -823,6 +778,30 @@ std::string_view FlatInbox::at(int port) const {
   return engine_->resolve(*plane_, flat_slot(row_, port), stamp_);
 }
 
+namespace {
+
+/// Session adapter over FlatEngine: the engine IS the stepped run; this
+/// class only owns it and forwards the Session verbs.
+class FlatSession final : public Session {
+ public:
+  FlatSession(const graph::EdgeColouredGraph& g, const ProgramSource& source,
+              const RunOptions& options, const FlatEngineOptions& engine_options,
+              Runtime* runtime)
+      : engine_(g, source, options.max_rounds, engine_options, runtime) {
+    engine_.begin(options);
+  }
+
+  void step() override { engine_.step(); }
+  bool done() const noexcept override { return engine_.done(); }
+  int round() const noexcept override { return engine_.round(); }
+  RunResult result() override { return engine_.finish(); }
+
+ private:
+  FlatEngine engine_;
+};
+
+}  // namespace
+
 RunResult run_flat(const graph::EdgeColouredGraph& g, const ProgramSource& source,
                    int max_rounds, const FlatEngineOptions& options) {
   return FlatEngine(g, source, max_rounds, options).run();
@@ -834,27 +813,56 @@ RunResult run_flat(const graph::EdgeColouredGraph& g, const ProgramSource& sourc
   return FlatEngine(g, source, max_rounds, options).run(faults, checkpoint);
 }
 
-RunResult run(EngineKind kind, const graph::EdgeColouredGraph& g,
-              const ProgramSource& source, int max_rounds) {
+RunResult run_flat(const graph::EdgeColouredGraph& g, const ProgramSource& source,
+                   const RunOptions& options, const FlatEngineOptions& engine_options,
+                   Runtime* runtime) {
+  FlatEngine engine(g, source, options.max_rounds, engine_options, runtime);
+  engine.begin(options);
+  while (!engine.done()) engine.step();
+  return engine.finish();
+}
+
+std::unique_ptr<Session> make_flat_session(const graph::EdgeColouredGraph& g,
+                                           const ProgramSource& source,
+                                           const RunOptions& options,
+                                           const FlatEngineOptions& engine_options,
+                                           Runtime* runtime) {
+  return std::make_unique<FlatSession>(g, source, options, engine_options, runtime);
+}
+
+std::unique_ptr<Session> make_session(EngineKind kind, const graph::EdgeColouredGraph& g,
+                                      const ProgramSource& source, const RunOptions& options,
+                                      const FlatEngineOptions& engine_options,
+                                      Runtime* runtime) {
   switch (kind) {
     case EngineKind::kFlat:
-      return run_flat(g, source, max_rounds);
+      return make_flat_session(g, source, options, engine_options, runtime);
     case EngineKind::kSync:
       break;
   }
-  return run_sync(g, source, max_rounds);
+  return make_sync_session(g, source, options);
+}
+
+RunResult run(EngineKind kind, const graph::EdgeColouredGraph& g,
+              const ProgramSource& source, int max_rounds) {
+  return run(kind, g, source, RunOptions{max_rounds, {}, {}});
 }
 
 RunResult run(EngineKind kind, const graph::EdgeColouredGraph& g,
               const ProgramSource& source, int max_rounds, const FaultOptions& faults,
               const CheckpointOptions& checkpoint) {
+  return run(kind, g, source, RunOptions{max_rounds, faults, checkpoint});
+}
+
+RunResult run(EngineKind kind, const graph::EdgeColouredGraph& g,
+              const ProgramSource& source, const RunOptions& options) {
   switch (kind) {
     case EngineKind::kFlat:
-      return run_flat(g, source, max_rounds, {}, faults, checkpoint);
+      return run_flat(g, source, options);
     case EngineKind::kSync:
       break;
   }
-  return run_sync(g, source, max_rounds, faults, checkpoint);
+  return run_sync(g, source, options);
 }
 
 const char* engine_kind_name(EngineKind kind) noexcept {

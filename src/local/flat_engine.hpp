@@ -42,10 +42,9 @@
 
 #include "local/engine.hpp"
 #include "local/program_pool.hpp"
+#include "local/runtime.hpp"
 
 namespace dmm::local {
-
-class FlatWorkerPool;  // flat_engine.cpp: persistent phase-dispatch pool
 
 /// Messages at most this long are stored inline in the slot buffer (slots
 /// are 8 bytes, so the whole plane stays cache-resident even at a million
@@ -58,8 +57,9 @@ inline constexpr std::size_t kFlatInlineBytes = 6;
 /// with an explicit length_error, never a silent 32-bit wrap.
 inline constexpr std::uint64_t kMaxSpillOffset = (std::uint64_t{1} << 40) - 1;
 
-/// Hard cap on flat-engine workers (the spill arena index is one byte).
-inline constexpr int kMaxFlatWorkers = 256;
+/// Hard cap on flat-engine workers (the spill arena index is one byte);
+/// the shared runtime carries the same cap for the same reason.
+inline constexpr int kMaxFlatWorkers = kMaxRuntimeWorkers;
 
 struct FlatEngineOptions {
   /// Workers for the send/receive phases; 1 (the default) runs in-line on
@@ -101,8 +101,16 @@ constexpr std::size_t flat_slot(std::size_t row, int port) noexcept {
 /// captured and vice versa (tests/test_faults.cpp).
 class FlatEngine {
  public:
+  /// With `runtime` == nullptr the engine owns a private worker pool
+  /// (options.threads workers, spawned in the constructor).  With a
+  /// runtime, the engine borrows the process-shared pool and spill arenas
+  /// instead: the worker count comes from runtime->threads(), nothing is
+  /// spawned here (the runtime spawns its pool lazily, once per process),
+  /// and each round step takes the runtime's borrow lock — so many
+  /// concurrent sessions multiplex on one pool (runtime.hpp).
   FlatEngine(const graph::EdgeColouredGraph& g, const ProgramSource& source,
-             int max_rounds, const FlatEngineOptions& options);
+             int max_rounds, const FlatEngineOptions& options,
+             Runtime* runtime = nullptr);
   ~FlatEngine();
 
   FlatEngine(const FlatEngine&) = delete;
@@ -110,9 +118,23 @@ class FlatEngine {
 
   /// Runs to completion.  When the engine was primed by restore(), the run
   /// continues at checkpoint.round + 1 and finishes with a RunResult
-  /// bit-identical to the uninterrupted run's.
+  /// bit-identical to the uninterrupted run's.  Implemented as
+  /// begin() + step() to completion + finish() — the stepped API below is
+  /// the engine; these are the thin loop.
   RunResult run();
   RunResult run(const FaultOptions& faults, const CheckpointOptions& checkpoint = {});
+
+  // Stepped session API (engine.hpp::Session wraps it via
+  // make_flat_session).  begin() primes a run: applies the options'
+  // fault plan, restores any checkpoint, builds programs and delivers
+  // init.  Each step() then simulates exactly one round (including that
+  // round's fault events and checkpoint sink); finish() moves the
+  // RunResult out once done().
+  void begin(const RunOptions& options);
+  void step();
+  bool done() const noexcept { return running_ == 0; }
+  int round() const noexcept { return round_; }
+  RunResult finish();
 
   /// The engine state after the last completed round, as the same
   /// engine-agnostic checkpoint run_sync captures; checkpoint() writes it
@@ -150,7 +172,6 @@ class FlatEngine {
   /// then load_state overwrites the dynamic part).
   void initialise(const EngineCheckpoint* cp);
   void step_round(int round);
-  RunResult finalise();
 
   std::string_view slot_view(const FlatPlane& plane, std::size_t s,
                              std::uint8_t stamp) const noexcept;
@@ -183,7 +204,8 @@ class FlatEngine {
   std::vector<std::int64_t> run_begin_;
   std::vector<std::int64_t> run_end_;
   std::unique_ptr<ChunkCursor[]> cursors_;
-  std::unique_ptr<FlatWorkerPool> pool_threads_;  // workers_ - 1 parked threads
+  std::unique_ptr<WorkerPool> pool_threads_;  // private pool (no runtime): workers_ - 1 parked threads
+  Runtime* runtime_ = nullptr;                // shared pool + arenas, borrowed per step
 
   std::vector<std::size_t> row_;             // n+1 offsets, sender-major CSR
   std::vector<Colour> port_colour_;          // per slot
@@ -208,12 +230,16 @@ class FlatEngine {
   std::vector<std::string> announcements_;
   std::unique_ptr<FlatPlane> plane_;
 
-  // Fault context of the current run (set by run(), read by resolve()).
+  // Fault context of the current run (set by begin(), read by resolve()).
   const FaultPlan* plan_ = nullptr;
   bool faulty_ = false;
   bool drop_mask_ = false;
   int round_now_ = 0;
   std::size_t ev_ = 0;  // fault-event cursor
+
+  // Checkpoint sink of the current run (set by begin(), fired by step()).
+  int every_ = 0;
+  std::function<void(const EngineCheckpoint&)> sink_;
 };
 
 RunResult run_flat(const graph::EdgeColouredGraph& g, const ProgramSource& source,
@@ -223,5 +249,26 @@ RunResult run_flat(const graph::EdgeColouredGraph& g, const ProgramSource& sourc
 RunResult run_flat(const graph::EdgeColouredGraph& g, const ProgramSource& source,
                    int max_rounds, const FlatEngineOptions& options,
                    const FaultOptions& faults, const CheckpointOptions& checkpoint = {});
+
+/// The primary form: the overloads above forward here.
+RunResult run_flat(const graph::EdgeColouredGraph& g, const ProgramSource& source,
+                   const RunOptions& options, const FlatEngineOptions& engine_options = {},
+                   Runtime* runtime = nullptr);
+
+/// A round-stepped flat run, optionally multiplexed on a shared Runtime.
+/// The graph, source, fault plan and runtime are borrowed and must outlive
+/// the session.
+std::unique_ptr<Session> make_flat_session(const graph::EdgeColouredGraph& g,
+                                           const ProgramSource& source,
+                                           const RunOptions& options,
+                                           const FlatEngineOptions& engine_options = {},
+                                           Runtime* runtime = nullptr);
+
+/// Engine-dispatching session factory (kSync ignores engine_options and
+/// runtime — the reference engine is always serial).
+std::unique_ptr<Session> make_session(EngineKind kind, const graph::EdgeColouredGraph& g,
+                                      const ProgramSource& source, const RunOptions& options,
+                                      const FlatEngineOptions& engine_options = {},
+                                      Runtime* runtime = nullptr);
 
 }  // namespace dmm::local

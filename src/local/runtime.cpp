@@ -1,0 +1,34 @@
+#include "local/runtime.hpp"
+
+#include <algorithm>
+
+namespace dmm::local {
+
+Runtime::Runtime(int threads)
+    : threads_(std::max(1, std::min(threads, kMaxRuntimeWorkers))) {
+  // Arenas exist from the start (they are cheap empty vectors); only the
+  // pool is lazy.  One arena per worker id, including the caller's id 0.
+  arenas_.resize(static_cast<std::size_t>(threads_));
+}
+
+Runtime::~Runtime() = default;
+
+std::size_t Runtime::ensure_pool() {
+  const std::lock_guard<std::mutex> lock(spawn_mu_);
+  if (pool_ != nullptr || threads_ <= 1) return 0;
+  pool_ = std::make_unique<WorkerPool>(threads_ - 1);
+  ++pool_spawns_;
+  return pool_->spawned();
+}
+
+std::uint64_t Runtime::pool_spawns() const {
+  const std::lock_guard<std::mutex> lock(spawn_mu_);
+  return pool_spawns_;
+}
+
+std::size_t Runtime::threads_spawned() const {
+  const std::lock_guard<std::mutex> lock(spawn_mu_);
+  return pool_ != nullptr ? pool_->spawned() : 0;
+}
+
+}  // namespace dmm::local

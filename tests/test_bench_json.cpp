@@ -1,7 +1,7 @@
 // The BENCH_*.json trajectory files are consumed by scripts across PRs, so
 // the writer is under test: stable field names, exact round-trips, finite
-// wall times, and an explicitly enumerated experiment set (e10/e12 are
-// real numbering gaps — nothing may assume "e1..e17").
+// wall times, and an explicitly enumerated experiment set (e12 is a real
+// numbering gap — nothing may assume "e1..e17").
 #include "bench_json.hpp"
 
 #include <gtest/gtest.h>
@@ -40,6 +40,12 @@ Record sample() {
   r.messages_dropped = 17;
   r.checkpoint_bytes = 2048;
   r.restore_ms = 0.75;
+  r.send_ms = 4.5;
+  r.receive_ms = 6.25;
+  r.sessions = 1000;
+  r.tenant_p50_ms = 12.5;
+  r.tenant_p99_ms = 31.25;
+  r.fairness_ratio = 1.125;
   return r;
 }
 
@@ -54,7 +60,9 @@ TEST(BenchJson, StableFieldNamesAndOrder) {
             "\"orbits\":3330,\"orbit_reduction\":23.640000000000001,"
             "\"reps_generated\":3330,\"crashes\":4,\"restarts\":3,"
             "\"messages_dropped\":17,\"checkpoint_bytes\":2048,"
-            "\"restore_ms\":0.75}");
+            "\"restore_ms\":0.75,\"send_ms\":4.5,\"receive_ms\":6.25,"
+            "\"sessions\":1000,\"tenant_p50_ms\":12.5,\"tenant_p99_ms\":31.25,"
+            "\"fairness_ratio\":1.125}");
 }
 
 TEST(BenchJson, PipelineStatsDefaultToInert) {
@@ -80,6 +88,13 @@ TEST(BenchJson, PipelineStatsDefaultToInert) {
   EXPECT_EQ(r.messages_dropped, 0);
   EXPECT_EQ(r.checkpoint_bytes, 0);
   EXPECT_EQ(r.restore_ms, 0.0);
+  // dmm-bench-7 session/front-end stats too.
+  EXPECT_EQ(r.send_ms, 0.0);
+  EXPECT_EQ(r.receive_ms, 0.0);
+  EXPECT_EQ(r.sessions, 0);
+  EXPECT_EQ(r.tenant_p50_ms, 0.0);
+  EXPECT_EQ(r.tenant_p99_ms, 0.0);
+  EXPECT_EQ(r.fairness_ratio, 0.0);
 }
 
 TEST(BenchJson, PeakRssIsPositiveOnLinux) {
@@ -120,6 +135,15 @@ TEST(BenchJson, RejectsNonFiniteWallTimes) {
   r = sample();
   r.restore_ms = std::numeric_limits<double>::quiet_NaN();
   EXPECT_THROW(to_json(r), std::invalid_argument);
+  r = sample();
+  r.send_ms = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(to_json(r), std::invalid_argument);
+  r = sample();
+  r.receive_ms = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(to_json(r), std::invalid_argument);
+  r = sample();
+  r.fairness_ratio = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(to_json(r), std::invalid_argument);
 }
 
 TEST(BenchJson, RejectsMalformedRecords) {
@@ -140,6 +164,10 @@ TEST(BenchJson, RejectsMalformedRecords) {
   const std::string::size_type cut6 = current.find(",\"crashes\"");
   ASSERT_NE(cut6, std::string::npos);
   EXPECT_THROW(parse_record(current.substr(0, cut6) + "}"), std::invalid_argument);
+  // And a dmm-bench-6 record (session/front-end stats absent).
+  const std::string::size_type cut7 = current.find(",\"send_ms\"");
+  ASSERT_NE(cut7, std::string::npos);
+  EXPECT_THROW(parse_record(current.substr(0, cut7) + "}"), std::invalid_argument);
   // A record whose orbits field is present but mis-ordered is rejected too.
   std::string swapped = current;
   swapped.replace(swapped.find("\"orbits\""), 8, "\"orbitz\"");
@@ -147,12 +175,10 @@ TEST(BenchJson, RejectsMalformedRecords) {
 }
 
 TEST(BenchJson, ExperimentSetIsExplicit) {
-  // 15 experiments exist (e9 arrived with the fault layer); the remaining
-  // numbering gaps are real.
-  EXPECT_EQ(std::end(kExperiments) - std::begin(kExperiments), 15);
-  for (const char* gap : {"e10", "e12"}) {
-    EXPECT_FALSE(known_experiment(gap)) << gap;
-  }
+  // 16 experiments exist (e9 arrived with the fault layer, e10 with the
+  // multi-tenant front-end); the remaining numbering gap is real.
+  EXPECT_EQ(std::end(kExperiments) - std::begin(kExperiments), 16);
+  EXPECT_FALSE(known_experiment("e12"));
   for (const char* e : kExperiments) {
     EXPECT_TRUE(known_experiment(e)) << e;
   }
@@ -164,7 +190,7 @@ TEST(BenchJson, HarnessRejectsUnknownExperiments) {
   int argc = 1;
   char binary[] = "bench";
   char* argv[] = {binary, nullptr};
-  EXPECT_THROW(Harness("e10", argc, argv), std::invalid_argument);
+  EXPECT_THROW(Harness("e12", argc, argv), std::invalid_argument);
   EXPECT_THROW(Harness("bogus", argc, argv), std::invalid_argument);
 }
 
@@ -196,7 +222,7 @@ TEST(BenchJson, HarnessStripsItsFlagsAndWrites) {
   std::stringstream content;
   content << in.rdbuf();
   const std::string text = content.str();
-  EXPECT_NE(text.find("\"schema\":\"dmm-bench-6\""), std::string::npos);
+  EXPECT_NE(text.find("\"schema\":\"dmm-bench-7\""), std::string::npos);
   EXPECT_NE(text.find("\"experiment\":\"e1\""), std::string::npos);
   // Each stored record is embedded verbatim, so the file parses record by
   // record with the same parser the round-trip test uses.

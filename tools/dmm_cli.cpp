@@ -5,6 +5,10 @@
 //                      [--checkpoint <path>] [--checkpoint-every <rounds>]
 //                      [--max-rounds <n>] [--round-sleep-ms <ms>] [--json]
 //   dmm_cli resume     <checkpoint-path> --instance <spec> [greedy options]
+//   dmm_cli serve      [--tenants <n>] [--jobs-per-tenant <n>] [--inflight <n>]
+//                      [--quantum <n>] [--threads <n>] [--engine <sync|flat>]
+//                      [--instance <spec>] [--faults <spec>] [--max-rounds <n>]
+//                      [--json]
 //   dmm_cli adversary  --k <k> --algorithm <spec> [--certificate-out <path>] [--no-memo]
 //                      [--optimistic] [--threads <n>] [--orbits]
 //   dmm_cli views      <k> <d> <rho> [--threads <n>] [--json] [--max-views <n>] [--orbits]
@@ -52,6 +56,12 @@
 // bit-identical to the uninterrupted one (the CI fault-recovery step
 // diffs the outputs_fnv of both).  --round-sleep-ms slows the run down
 // (sleeping inside the checkpoint sink only) so a kill lands mid-run.
+//
+// `serve` drives the multi-tenant front-end (svc::MatchingService,
+// docs/service.md): it submits --jobs-per-tenant copies of the greedy job
+// per tenant, interleaves all sessions on one shared Runtime, and diffs
+// every tenant's outputs_fnv against the same job run standalone — the CI
+// serve-smoke step asserts `all_match` and exits non-zero on divergence.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -302,6 +312,116 @@ int cmd_resume(const std::vector<std::string>& args) {
   return run_greedy({args.begin() + 1, args.end()}, args[0]);
 }
 
+/// Multi-tenant front-end driver: N tenants × J greedy jobs through one
+/// MatchingService, every result fingerprinted against the standalone run.
+int cmd_serve(const std::vector<std::string>& args) {
+  const int tenants = std::stoi(option(args, "--tenants", "3"));
+  const int jobs_per_tenant = std::stoi(option(args, "--jobs-per-tenant", "4"));
+  if (tenants < 1 || jobs_per_tenant < 1) {
+    fail("serve: --tenants and --jobs-per-tenant must be >= 1");
+  }
+  const std::string engine_spec = option(args, "--engine", "flat");
+  const auto engine = local::parse_engine_kind(engine_spec);
+  if (!engine) fail("serve: unknown engine '" + engine_spec + "' (sync|flat)");
+  const std::string spec = option(args, "--instance", "random:600:4:70:1");
+  const graph::EdgeColouredGraph g = parse_instance(spec);
+
+  local::FaultPlan plan;
+  const std::string fault_spec = option(args, "--faults");
+  if (!fault_spec.empty()) {
+    plan = local::FaultPlan::random(g, local::parse_fault_spec(fault_spec));
+  }
+  int max_rounds = std::max(g.k() + 1, plan.max_restart_round() + g.k() + 2);
+  const std::string max_rounds_opt = option(args, "--max-rounds");
+  if (!max_rounds_opt.empty()) max_rounds = std::stoi(max_rounds_opt);
+
+  // The oracle: the same job run standalone (closed-loop, private engine).
+  local::RunOptions ropts;
+  ropts.max_rounds = max_rounds;
+  if (!plan.empty()) ropts.faults.plan = &plan;
+  const local::RunResult standalone =
+      local::run(*engine, g, algo::greedy_program_factory(), ropts);
+  const std::uint64_t want = outputs_fnv(standalone);
+
+  svc::ServiceOptions opts;
+  opts.inflight = std::stoi(option(args, "--inflight", "8"));
+  opts.quantum = std::stoi(option(args, "--quantum", "4"));
+  opts.threads = std::stoi(option(args, "--threads", "2"));
+  svc::MatchingService service(opts);
+
+  std::vector<std::vector<std::future<local::RunResult>>> futures(
+      static_cast<std::size_t>(tenants));
+  for (int t = 0; t < tenants; ++t) {
+    std::vector<svc::Job> jobs(static_cast<std::size_t>(jobs_per_tenant));
+    for (svc::Job& job : jobs) {
+      job.graph = g;
+      job.source = algo::greedy_program_factory();
+      job.max_rounds = max_rounds;
+      job.engine = *engine;
+      job.faults = plan;
+    }
+    futures[static_cast<std::size_t>(t)] =
+        service.submit_batch("tenant-" + std::to_string(t), std::move(jobs));
+  }
+
+  std::vector<std::uint64_t> tenant_fnv(static_cast<std::size_t>(tenants), 0);
+  std::vector<bool> tenant_match(static_cast<std::size_t>(tenants), true);
+  bool all_match = true;
+  for (int t = 0; t < tenants; ++t) {
+    for (auto& future : futures[static_cast<std::size_t>(t)]) {
+      const std::uint64_t got = outputs_fnv(future.get());
+      tenant_fnv[static_cast<std::size_t>(t)] = got;
+      if (got != want) {
+        tenant_match[static_cast<std::size_t>(t)] = false;
+        all_match = false;
+      }
+    }
+  }
+  const svc::ServiceStats stats = service.stats();
+
+  char want_hex[32];
+  std::snprintf(want_hex, sizeof want_hex, "%016llx",
+                static_cast<unsigned long long>(want));
+  if (flag(args, "--json")) {
+    std::cout << "{\"instance\":\"" << spec << "\",\"engine\":\""
+              << local::engine_kind_name(*engine) << "\",\"tenants\":" << tenants
+              << ",\"jobs_per_tenant\":" << jobs_per_tenant
+              << ",\"inflight\":" << opts.inflight << ",\"quantum\":" << opts.quantum
+              << ",\"threads\":" << opts.threads << ",\"sessions\":" << stats.sessions
+              << ",\"pool_spawns\":" << stats.pool_spawns
+              << ",\"threads_spawned\":" << stats.threads_spawned
+              << ",\"fairness_ratio\":" << stats.fairness_ratio << ",\"standalone_fnv\":\""
+              << want_hex << "\",\"tenant\":[";
+    for (int t = 0; t < tenants; ++t) {
+      char fnv[32];
+      std::snprintf(fnv, sizeof fnv, "%016llx",
+                    static_cast<unsigned long long>(tenant_fnv[static_cast<std::size_t>(t)]));
+      if (t > 0) std::cout << ",";
+      std::cout << "{\"tenant\":\"tenant-" << t << "\",\"outputs_fnv\":\"" << fnv
+                << "\",\"match\":"
+                << (tenant_match[static_cast<std::size_t>(t)] ? "true" : "false") << "}";
+    }
+    std::cout << "],\"all_match\":" << (all_match ? "true" : "false") << "}\n";
+  } else {
+    std::cout << "instance: " << spec << " (n=" << g.node_count() << ", k=" << g.k()
+              << ")\n";
+    std::cout << "service: " << tenants << " tenant(s) x " << jobs_per_tenant
+              << " job(s), engine " << local::engine_kind_name(*engine) << ", inflight "
+              << opts.inflight << ", quantum " << opts.quantum << ", threads "
+              << opts.threads << "\n";
+    std::cout << "sessions: " << stats.sessions << " (pool spawns: " << stats.pool_spawns
+              << ", threads spawned: " << stats.threads_spawned << ")\n";
+    std::cout << "fairness ratio: " << stats.fairness_ratio << "\n";
+    for (const svc::TenantStats& t : stats.tenants) {
+      std::cout << "  " << t.tenant << ": completed " << t.completed << ", steps "
+                << t.steps << ", p50 " << t.p50_ms << " ms, p99 " << t.p99_ms << " ms\n";
+    }
+    std::cout << "standalone fnv: " << want_hex << "\n";
+    std::cout << "all tenants match standalone: " << (all_match ? "yes" : "NO") << "\n";
+  }
+  return all_match ? 0 : 1;
+}
+
 int cmd_adversary(const std::vector<std::string>& args) {
   const int k = std::stoi(option(args, "--k", "0"));
   const std::string algo_spec = option(args, "--algorithm");
@@ -472,7 +592,7 @@ int cmd_export_dot(const std::vector<std::string>& args) {
 }
 
 void usage() {
-  std::cout << "usage: dmm_cli <greedy|resume|adversary|views|lemma4|check|export-dot> "
+  std::cout << "usage: dmm_cli <greedy|resume|serve|adversary|views|lemma4|check|export-dot> "
                "[options]\n"
                "see the header of tools/dmm_cli.cpp for specs\n";
 }
@@ -489,6 +609,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "greedy") return cmd_greedy(args);
     if (command == "resume") return cmd_resume(args);
+    if (command == "serve") return cmd_serve(args);
     if (command == "adversary") return cmd_adversary(args);
     if (command == "views") return cmd_views(args);
     if (command == "lemma4") return cmd_lemma4(args);

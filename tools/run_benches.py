@@ -1,10 +1,10 @@
 #!/usr/bin/env python3
 """Run every bench binary and validate the BENCH_*.json trajectory files.
 
-The experiment set is enumerated explicitly (e10 and e12 are real
-numbering gaps — see docs/benchmarks.md), mirroring bench/bench_json.hpp;
-a new bench binary must be added to both lists, which this script
-cross-checks against the binaries it actually finds.
+The experiment set is enumerated explicitly (e12 is a real numbering gap
+— see docs/benchmarks.md), mirroring bench/bench_json.hpp; a new bench
+binary must be added to both lists, which this script cross-checks
+against the binaries it actually finds.
 
 Usage:
   tools/run_benches.py --bin-dir build [--out-dir build/bench-json] [--smoke]
@@ -18,13 +18,15 @@ google-benchmark loops); without it the full benchmark suites run too.
 BENCH_*.json of the same name in DIR, matching records by the
 (instance, engine, threads) triple — e14 records the same instance once
 per engine and per worker count, so the instance label alone is not a key.
-Counter fields (csp_nodes, reps_generated, and the e9 fault/recovery
-counters crashes, restarts, messages_dropped, checkpoint_bytes) must be
-exactly equal, orbit_reduction must agree to relative tolerance, and
-restore_ms is never gated (a wall measurement), while wall_ns may not
-exceed the baseline by more than --wall-factor (checked only when the
-baseline row is slow enough to measure reliably).  Any violation fails the
-run — this is the CI gate against silent orbit-layer regressions.
+Counter fields (csp_nodes, reps_generated, the e9 fault/recovery
+counters crashes, restarts, messages_dropped, checkpoint_bytes, and the
+e10 sessions count) must be exactly equal, orbit_reduction must agree to
+relative tolerance, and restore_ms / send_ms / receive_ms are never gated
+(wall measurements), while wall_ns and the e10 tenant latency fields
+(tenant_p50_ms, tenant_p99_ms, fairness_ratio) may not exceed the
+baseline by more than --wall-factor (checked only when the baseline row
+is slow enough to measure reliably).  Any violation fails the run — this
+is the CI gate against silent orbit-layer regressions.
 """
 
 import argparse
@@ -36,7 +38,7 @@ import sys
 # Keep in sync with kExperiments in bench/bench_json.hpp.
 EXPERIMENTS = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8",
-    "e9", "e11", "e13", "e14", "e15", "e16", "e17",
+    "e9", "e10", "e11", "e13", "e14", "e15", "e16", "e17",
 ]
 
 RECORD_FIELDS = {
@@ -68,6 +70,13 @@ RECORD_FIELDS = {
     "messages_dropped": int,
     "checkpoint_bytes": int,
     "restore_ms": (int, float),
+    # dmm-bench-7: session/front-end stats (e10; zero elsewhere).
+    "send_ms": (int, float),
+    "receive_ms": (int, float),
+    "sessions": int,
+    "tenant_p50_ms": (int, float),
+    "tenant_p99_ms": (int, float),
+    "fairness_ratio": (int, float),
 }
 
 # Fields the --baseline regression gate diffs, with their comparison mode.
@@ -96,6 +105,31 @@ def compare_records(name: str, current: dict, baseline: dict, wall_factor: float
                 f"{name}: {field} changed {baseline.get(field, 0)} -> "
                 f"{current.get(field, 0)}"
             )
+    # e10: the session count is an exact workload property (tenants x jobs),
+    # never a measurement; .get keeps pre-dmm-bench-7 baselines valid.
+    if current.get("sessions", 0) != baseline.get("sessions", 0):
+        errors.append(
+            f"{name}: sessions changed {baseline.get('sessions', 0)} -> "
+            f"{current.get('sessions', 0)}"
+        )
+    # e10 tenant latency fields are wall measurements: multiplicative band,
+    # and only when the baseline row is slow enough to measure reliably
+    # (same discipline as wall_ns).
+    for field in ("tenant_p50_ms", "tenant_p99_ms"):
+        base_ms = baseline.get(field, 0)
+        if base_ms * 1e6 >= WALL_MIN_BASELINE_NS and \
+                current.get(field, 0) > base_ms * wall_factor:
+            errors.append(
+                f"{name}: {field} regressed {base_ms:.1f} ms -> "
+                f"{current.get(field, 0):.1f} ms (> {wall_factor:g}x)"
+            )
+    base_fair = baseline.get("fairness_ratio", 0)
+    if base_fair > 0 and baseline.get("tenant_p50_ms", 0) * 1e6 >= WALL_MIN_BASELINE_NS \
+            and current.get("fairness_ratio", 0) > base_fair * wall_factor:
+        errors.append(
+            f"{name}: fairness_ratio regressed {base_fair:.2f} -> "
+            f"{current.get('fairness_ratio', 0):.2f} (> {wall_factor:g}x)"
+        )
     base_red = baseline["orbit_reduction"]
     if base_red > 0:
         drift = abs(current["orbit_reduction"] - base_red) / base_red
@@ -225,7 +259,7 @@ def validate_orderly_scale_row(path: pathlib.Path) -> None:
 def validate(path: pathlib.Path, experiment: str) -> int:
     with path.open() as fh:
         data = json.load(fh)
-    if data.get("schema") != "dmm-bench-6":
+    if data.get("schema") != "dmm-bench-7":
         raise SystemExit(f"error: {path}: bad schema {data.get('schema')!r}")
     if data.get("experiment") != experiment:
         raise SystemExit(f"error: {path}: experiment mismatch {data.get('experiment')!r}")
@@ -244,6 +278,12 @@ def validate(path: pathlib.Path, experiment: str) -> int:
             raise SystemExit(f"error: {path}: NaN orbit_reduction: {record}")
         if record["restore_ms"] != record["restore_ms"]:
             raise SystemExit(f"error: {path}: NaN restore_ms: {record}")
+        for field in ("send_ms", "receive_ms", "tenant_p50_ms", "tenant_p99_ms",
+                      "fairness_ratio"):
+            if record[field] != record[field]:
+                raise SystemExit(f"error: {path}: NaN {field}: {record}")
+        if record["sessions"] < 0:
+            raise SystemExit(f"error: {path}: negative sessions: {record}")
         if record["orbits"] > 0 and record["orbit_reduction"] < 1:
             raise SystemExit(
                 f"error: {path}: orbit record with a reduction below 1x: {record}"
