@@ -1,0 +1,184 @@
+// E12 — dynamic maximal matching under edge churn (docs/dynamic.md):
+// what incremental repair costs per batch, and how little of the graph it
+// touches compared to recomputing from scratch.
+//
+// Every row applies one seeded ChurnPlan to a DynamicMatcher and times
+// ONLY the incremental apply (plan validation and the seeding greedy run
+// sit outside the measured section; the seeding run's wall is recorded as
+// init_ms).  The same plan is then replayed untimed on a fresh matcher
+// with per-batch verification — incremental outputs AND a recompute-
+// from-scratch oracle run must both pass check_outputs after every batch,
+// and the replay's counters must equal the timed run's — the binary
+// aborts on any violation, so a green baseline row doubles as a repair
+// correctness smoke.  The churn counters (churn_ops / repairs /
+// touched_nodes / recompute_avoided) are pure functions of
+// (instance, seed): the same instance's sync and flat rows must agree on
+// them exactly (also aborted on), and the pinned BENCH_e12.json gates
+// them on equality; wall_ns is banded like every other experiment.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_json.hpp"
+#include "core/dmm.hpp"
+
+namespace {
+
+using namespace dmm;
+
+struct ChurnCase {
+  const char* label;
+  graph::EdgeColouredGraph (*make)();
+  dyn::ChurnSpec spec;
+};
+
+graph::EdgeColouredGraph random_workload() {
+  Rng rng(42);
+  return graph::random_coloured_graph(20000, 8, 0.7, rng);
+}
+
+graph::EdgeColouredGraph skewed_workload() {
+  return graph::hub_cluster_graph(1500, 48, 1);
+}
+
+graph::EdgeColouredGraph star_workload() { return graph::star_graph(192); }
+
+dyn::ChurnSpec spec_of(int batches, int ops, std::uint64_t seed) {
+  dyn::ChurnSpec spec;
+  spec.batches = batches;
+  spec.ops_per_batch = ops;
+  spec.insert_fraction = 0.5;
+  spec.seed = seed;
+  return spec;
+}
+
+/// One churn row: timed incremental apply, then the untimed verification
+/// replay (per-batch incremental + oracle maximality, counter equality).
+benchjson::Record record_churn_run(benchjson::Harness& harness, const std::string& label,
+                                   const graph::EdgeColouredGraph& g, local::EngineKind kind,
+                                   int threads, const dyn::ChurnSpec& spec) {
+  const dyn::ChurnPlan plan = dyn::ChurnPlan::random(g, spec);
+  plan.require_applies(g);
+
+  dyn::MatcherOptions mopts;
+  mopts.engine = kind;
+  mopts.threads = threads;
+
+  benchjson::Record record;
+  record.instance = label;
+  record.n = g.node_count();
+  record.m = g.edge_count();
+  record.k = g.k();
+  record.rounds = -1;
+  record.engine = local::engine_kind_name(kind);
+  record.threads = threads;
+
+  // Timed: the incremental repair path alone.
+  double init_ns = 0.0;
+  dyn::DynamicMatcher* matcher_ptr = nullptr;
+  init_ns = benchjson::Harness::time_ns(
+      [&] { matcher_ptr = new dyn::DynamicMatcher(g, mopts); });
+  dyn::DynamicMatcher& matcher = *matcher_ptr;
+  record.init_ms = init_ns / 1e6;
+  record.wall_ns = benchjson::Harness::time_ns([&] {
+    for (const dyn::ChurnBatch& batch : plan.batches()) matcher.apply(batch);
+  });
+
+  // Untimed replay: every batch must leave BOTH the incremental matching
+  // and a from-scratch recompute maximal, and the replayed counters must
+  // equal the timed run's.
+  dyn::DynamicMatcher checker(g, mopts);
+  for (std::size_t b = 0; b < plan.batches().size(); ++b) {
+    checker.apply(plan.batches()[b]);
+    const verify::MatchingReport incremental = checker.check();
+    const verify::MatchingReport oracle =
+        verify::check_outputs(checker.graph(), checker.recompute());
+    if (!incremental.ok() || !oracle.ok()) {
+      std::fprintf(stderr, "e12: %s batch %zu invalid (%s)\n", label.c_str(), b,
+                   incremental.ok() ? "oracle" : "incremental");
+      std::abort();
+    }
+  }
+  if (!(checker.stats() == matcher.stats())) {
+    std::fprintf(stderr, "e12: %s replay counters diverged from timed run\n", label.c_str());
+    std::abort();
+  }
+
+  record.churn_ops = static_cast<long long>(matcher.stats().inserts + matcher.stats().deletes);
+  record.repairs = static_cast<long long>(matcher.stats().repairs);
+  record.touched_nodes = static_cast<long long>(matcher.stats().touched_nodes);
+  record.recompute_avoided = static_cast<long long>(matcher.stats().recompute_avoided);
+  record.rss_bytes = benchjson::peak_rss_bytes();
+  delete matcher_ptr;
+  harness.add(record);
+  return record;
+}
+
+void print_rows(benchjson::Harness& harness) {
+  const ChurnCase cases[] = {
+      {"churn random n=20000 k=8", &random_workload, spec_of(48, 256, 1207)},
+      {"churn hub_cluster h=1500 d=48", &skewed_workload, spec_of(32, 128, 1207)},
+      {"churn star n=193", &star_workload, spec_of(16, 32, 1207)},
+  };
+  std::printf("## E12: dynamic maximal matching under churn, incremental repair vs oracle\n");
+  std::printf("%-32s %-6s %8s %12s %8s %8s %10s %14s\n", "instance", "engine", "threads",
+              "wall (ms)", "ops", "repairs", "touched", "avoided");
+  for (const ChurnCase& c : cases) {
+    const graph::EdgeColouredGraph g = c.make();
+    benchjson::Record sync_row;
+    struct EngineRow {
+      local::EngineKind kind;
+      int threads;
+    };
+    const EngineRow engines[] = {{local::EngineKind::kSync, 1}, {local::EngineKind::kFlat, 4}};
+    for (const EngineRow& e : engines) {
+      const benchjson::Record record =
+          record_churn_run(harness, c.label, g, e.kind, e.threads, c.spec);
+      if (e.kind == local::EngineKind::kSync) {
+        sync_row = record;
+      } else if (record.churn_ops != sync_row.churn_ops ||
+                 record.repairs != sync_row.repairs ||
+                 record.touched_nodes != sync_row.touched_nodes ||
+                 record.recompute_avoided != sync_row.recompute_avoided) {
+        // The counters are a pure function of (instance, seed); an engine
+        // that changes them has leaked into the repair path.
+        std::fprintf(stderr, "e12: %s counters differ between engines\n", c.label);
+        std::abort();
+      }
+      std::printf("%-32s %-6s %8d %12.2f %8lld %8lld %10lld %14lld\n", c.label,
+                  local::engine_kind_name(e.kind), e.threads, record.wall_ns / 1e6,
+                  record.churn_ops, record.repairs, record.touched_nodes,
+                  record.recompute_avoided);
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_ChurnApply(benchmark::State& state) {
+  const graph::EdgeColouredGraph g = random_workload();
+  const dyn::ChurnSpec spec = spec_of(48, 256, 1207);
+  const dyn::ChurnPlan plan = dyn::ChurnPlan::random(g, spec);
+  for (auto _ : state) {
+    state.PauseTiming();
+    dyn::DynamicMatcher matcher(g, {});
+    state.ResumeTiming();
+    for (const dyn::ChurnBatch& batch : plan.batches()) matcher.apply(batch);
+    benchmark::DoNotOptimize(matcher.stats().repairs);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long long>(plan.op_count()));
+}
+BENCHMARK(BM_ChurnApply);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dmm::benchjson::Harness harness("e12", argc, argv);
+  print_rows(harness);
+  if (!harness.smoke()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  return harness.write();
+}

@@ -177,7 +177,9 @@ std::string to_json(const Record& record) {
       << ",\"restore_ms\":" << restore << ",\"send_ms\":" << send
       << ",\"receive_ms\":" << receive << ",\"sessions\":" << record.sessions
       << ",\"tenant_p50_ms\":" << p50 << ",\"tenant_p99_ms\":" << p99
-      << ",\"fairness_ratio\":" << fairness << "}";
+      << ",\"fairness_ratio\":" << fairness << ",\"churn_ops\":" << record.churn_ops
+      << ",\"repairs\":" << record.repairs << ",\"touched_nodes\":" << record.touched_nodes
+      << ",\"recompute_avoided\":" << record.recompute_avoided << "}";
   return out.str();
 }
 
@@ -271,6 +273,18 @@ Record parse_record(const std::string& json) {
   in.expect(',');
   in.key("fairness_ratio");
   r.fairness_ratio = in.number_value();
+  in.expect(',');
+  in.key("churn_ops");
+  r.churn_ops = static_cast<long long>(in.number_value());
+  in.expect(',');
+  in.key("repairs");
+  r.repairs = static_cast<long long>(in.number_value());
+  in.expect(',');
+  in.key("touched_nodes");
+  r.touched_nodes = static_cast<long long>(in.number_value());
+  in.expect(',');
+  in.key("recompute_avoided");
+  r.recompute_avoided = static_cast<long long>(in.number_value());
   in.expect('}');
   return r;
 }
@@ -279,8 +293,7 @@ Harness::Harness(std::string experiment, int& argc, char** argv)
     : experiment_(std::move(experiment)) {
   if (!known_experiment(experiment_)) {
     throw std::invalid_argument("bench_json: unknown experiment '" + experiment_ +
-                                "' (the set is enumerated in bench_json.hpp; e12 "
-                                "does not exist)");
+                                "' (the set is enumerated in bench_json.hpp)");
   }
   if (const char* env = std::getenv("DMM_BENCH_JSON_DIR")) directory_ = env;
   // Strip harness flags so google-benchmark's own parser never sees them.
@@ -340,7 +353,7 @@ int Harness::write() const {
     std::fprintf(stderr, "bench_json: cannot write %s\n", path().c_str());
     return 2;
   }
-  out << "{\"schema\":\"dmm-bench-7\",\"experiment\":\"" << escape(experiment_)
+  out << "{\"schema\":\"dmm-bench-8\",\"experiment\":\"" << escape(experiment_)
       << "\",\"records\":[";
   for (std::size_t i = 0; i < records_.size(); ++i) {
     if (i) out << ",";

@@ -3,7 +3,7 @@
 //
 // File format (one JSON object per file):
 //
-//   {"schema":"dmm-bench-7","experiment":"e14","records":[
+//   {"schema":"dmm-bench-8","experiment":"e14","records":[
 //     {"instance":"random n=100000 k=4","n":100000,"m":159862,"k":4,
 //      "rounds":3,"wall_ns":12345678.0,"engine":"flat",
 //      "max_message_bytes":1,"views":0,"pairs":0,"csp_nodes":0,
@@ -11,7 +11,9 @@
 //      "orbits":0,"orbit_reduction":0,"reps_generated":0,"crashes":0,
 //      "restarts":0,"messages_dropped":0,"checkpoint_bytes":0,
 //      "restore_ms":0,"send_ms":4.5,"receive_ms":6.25,"sessions":0,
-//      "tenant_p50_ms":0,"tenant_p99_ms":0,"fairness_ratio":0}, ...]}
+//      "tenant_p50_ms":0,"tenant_p99_ms":0,"fairness_ratio":0,
+//      "churn_ops":0,"repairs":0,"touched_nodes":0,
+//      "recompute_avoided":0}, ...]}
 //
 // Schema history: dmm-bench-2 appended the lower-bound pipeline stats —
 // views, pairs, csp_nodes, memo_hits, threads — to every record (zero / 1
@@ -40,6 +42,14 @@
 // row; exact, gates on equality), tenant_p50_ms / tenant_p99_ms (sojourn
 // latency percentiles across tenants) and fairness_ratio (max/min tenant
 // mean sojourn; wall-banded).  All zero on rows without a service.
+// dmm-bench-8 (this PR) appends the dynamic-matching stats measured by the
+// new e12 experiment (docs/dynamic.md): churn_ops (insert/delete events
+// applied), repairs (matching edges created by incremental repair),
+// touched_nodes (Σ per batch of distinct nodes the repairs visited) and
+// recompute_avoided (Σ per batch of nodes a from-scratch rerun would have
+// revisited for nothing).  All four are pure functions of
+// (instance, seed) — engine- and thread-independent — so they gate on
+// exact equality; all zero on churn-free rows.
 //
 // The record field names are part of the schema and locked by
 // tests/test_bench_json.cpp; wall times must be finite (NaN is a
@@ -47,9 +57,10 @@
 // downstream parser).
 //
 // The experiment set is enumerated explicitly — the seed shipped no e9,
-// e10 or e12; e9 (bench_e9_faults.cpp) and e10 (bench_e10_frontend.cpp)
-// now exist, e12 remains a gap (docs/benchmarks.md), so nothing may
-// iterate "e1..e17".
+// e10 or e12; e9 (bench_e9_faults.cpp), e10 (bench_e10_frontend.cpp) and
+// e12 (bench_e12_churn.cpp) have since filled every gap, but the set
+// stays an explicit list so the next gap fails loudly instead of being
+// iterated over.
 #pragma once
 
 #include <cstddef>
@@ -61,8 +72,8 @@ namespace dmm::benchjson {
 
 /// Every experiment that exists in this repository, in bench/ file order.
 inline constexpr const char* kExperiments[] = {
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8",
-    "e9", "e10", "e11", "e13", "e14", "e15", "e16", "e17",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9",
+    "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17",
 };
 
 bool known_experiment(const std::string& experiment);
@@ -103,6 +114,12 @@ struct Record {
   double tenant_p50_ms = 0.0;        // median tenant sojourn latency (not gated)
   double tenant_p99_ms = 0.0;        // p99 tenant sojourn latency (not gated)
   double fairness_ratio = 0.0;       // max/min tenant mean sojourn (banded)
+  // Dynamic-matching stats (dmm-bench-8); zero on churn-free rows.  Pure
+  // functions of (instance, seed): all gate on exact equality.
+  long long churn_ops = 0;           // insert/delete events applied
+  long long repairs = 0;             // matching edges created by repair
+  long long touched_nodes = 0;       // Σ distinct nodes repairs visited, per batch
+  long long recompute_avoided = 0;   // Σ nodes a from-scratch rerun would redo
 
   bool operator==(const Record&) const = default;
 };

@@ -8,6 +8,7 @@
 //   dmm::graph   — finite properly edge-coloured instances + generators
 //   dmm::local   — the LOCAL model: views, message passing, §2.3 semantics
 //   dmm::algo    — greedy (Lemma 1) and the §1.1/§1.3 landscape
+//   dmm::dyn     — dynamic maximal matching under edge churn
 //   dmm::verify  — the (M1)(M2)(M3) output conditions (§2.4)
 //   dmm::lower   — templates, pickers, extensions, realisations, critical
 //                  pairs, and the executable adversary of Theorems 2/5
@@ -28,6 +29,8 @@
 #include "colsys/colour_system.hpp"
 #include "cover/multigraph.hpp"
 #include "cover/universal_cover.hpp"
+#include "dyn/churn.hpp"
+#include "dyn/dynamic_matcher.hpp"
 #include "gk/word.hpp"
 #include "io/dot.hpp"
 #include "io/serialize.hpp"

@@ -1,0 +1,131 @@
+#include "dyn/churn.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace dmm::dyn {
+
+namespace {
+
+/// Rejection-sampling budget per random draw.  Misses only matter on
+/// nearly colour-saturated instances, where the generator falls back to a
+/// delete anyway; 64 keeps generation deterministic-and-fast without ever
+/// spinning on an instance that has no proper insertion left.
+constexpr int kTries = 64;
+
+/// One proper, simple, not-yet-present edge of `g`, or nullopt when the
+/// budget runs out.
+std::optional<ChurnOp> find_insert(const graph::EdgeColouredGraph& g, Rng& rng) {
+  const int n = g.node_count();
+  const int k = g.k();
+  if (n < 2 || k < 1) return std::nullopt;
+  for (int attempt = 0; attempt < kTries; ++attempt) {
+    const auto u = static_cast<graph::NodeIndex>(rng.index(static_cast<std::size_t>(n)));
+    const auto c = static_cast<Colour>(1 + rng.uniform(0, k - 1));
+    if (g.neighbour(u, c)) continue;
+    const auto v = static_cast<graph::NodeIndex>(rng.index(static_cast<std::size_t>(n)));
+    if (v == u || g.neighbour(v, c) || g.has_edge(u, v)) continue;
+    return ChurnOp{ChurnOp::Kind::kInsert, u, v, c};
+  }
+  return std::nullopt;
+}
+
+/// A uniformly random live edge of `g`, or nullopt when it has none.
+std::optional<ChurnOp> find_delete(const graph::EdgeColouredGraph& g, Rng& rng) {
+  if (g.edge_count() == 0) return std::nullopt;
+  const graph::Edge& e = g.edges()[rng.index(static_cast<std::size_t>(g.edge_count()))];
+  return ChurnOp{ChurnOp::Kind::kDelete, e.u, e.v, e.colour};
+}
+
+[[noreturn]] void reject(std::size_t batch, std::size_t op, const ChurnOp& o,
+                         const std::string& why) {
+  throw std::invalid_argument("ChurnPlan: batch " + std::to_string(batch) + " op " +
+                              std::to_string(op) + " (" + op_kind_name(o.kind) + " {" +
+                              std::to_string(o.u) + "," + std::to_string(o.v) + "} colour " +
+                              std::to_string(static_cast<int>(o.colour)) + "): " + why);
+}
+
+}  // namespace
+
+const char* op_kind_name(ChurnOp::Kind kind) noexcept {
+  return kind == ChurnOp::Kind::kInsert ? "insert" : "delete";
+}
+
+ChurnPlan ChurnPlan::random(const graph::EdgeColouredGraph& g, const ChurnSpec& spec) {
+  if (spec.batches < 0 || spec.ops_per_batch < 0) {
+    throw std::invalid_argument("ChurnPlan: negative batch/op count");
+  }
+  if (spec.insert_fraction < 0.0 || spec.insert_fraction > 1.0) {
+    throw std::invalid_argument("ChurnPlan: insert_fraction outside [0, 1]");
+  }
+  Rng rng(spec.seed);
+  graph::EdgeColouredGraph scratch = g;  // the plan's view of the evolving instance
+  std::vector<ChurnBatch> batches;
+  batches.reserve(static_cast<std::size_t>(spec.batches));
+  for (int b = 0; b < spec.batches; ++b) {
+    ChurnBatch batch;
+    batch.ops.reserve(static_cast<std::size_t>(spec.ops_per_batch));
+    for (int i = 0; i < spec.ops_per_batch; ++i) {
+      const bool prefer_insert = rng.chance(spec.insert_fraction);
+      std::optional<ChurnOp> op =
+          prefer_insert ? find_insert(scratch, rng) : find_delete(scratch, rng);
+      if (!op) op = prefer_insert ? find_delete(scratch, rng) : find_insert(scratch, rng);
+      if (!op) continue;  // saturated AND empty: nothing this slot can do
+      if (op->kind == ChurnOp::Kind::kInsert) {
+        scratch.add_edge(op->u, op->v, op->colour);
+      } else {
+        scratch.remove_edge(op->u, op->v);
+      }
+      batch.ops.push_back(*op);
+    }
+    batches.push_back(std::move(batch));
+  }
+  return ChurnPlan(std::move(batches));
+}
+
+std::size_t ChurnPlan::op_count() const noexcept {
+  std::size_t count = 0;
+  for (const ChurnBatch& b : batches_) count += b.ops.size();
+  return count;
+}
+
+std::size_t ChurnPlan::insert_count() const noexcept {
+  std::size_t count = 0;
+  for (const ChurnBatch& b : batches_) {
+    for (const ChurnOp& o : b.ops) count += o.kind == ChurnOp::Kind::kInsert ? 1 : 0;
+  }
+  return count;
+}
+
+std::size_t ChurnPlan::delete_count() const noexcept { return op_count() - insert_count(); }
+
+void ChurnPlan::require_applies(const graph::EdgeColouredGraph& g) const {
+  graph::EdgeColouredGraph scratch = g;
+  for (std::size_t b = 0; b < batches_.size(); ++b) {
+    const ChurnBatch& batch = batches_[b];
+    for (std::size_t i = 0; i < batch.ops.size(); ++i) {
+      const ChurnOp& o = batch.ops[i];
+      if (o.kind == ChurnOp::Kind::kInsert) {
+        try {
+          scratch.add_edge(o.u, o.v, o.colour);
+        } catch (const std::exception& e) {
+          reject(b, i, o, e.what());
+        }
+      } else {
+        const auto live = (o.u >= 0 && o.u < scratch.node_count() && o.v >= 0 &&
+                           o.v < scratch.node_count())
+                              ? scratch.edge_colour(o.u, o.v)
+                              : std::nullopt;
+        if (!live) reject(b, i, o, "no such live edge");
+        if (o.colour != gk::kNoColour && o.colour != *live) {
+          reject(b, i, o, "live edge has colour " + std::to_string(static_cast<int>(*live)));
+        }
+        scratch.remove_edge(o.u, o.v);
+      }
+    }
+  }
+}
+
+}  // namespace dmm::dyn

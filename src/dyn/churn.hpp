@@ -1,0 +1,92 @@
+// Deterministic edge churn for dynamic maximal matching (ROADMAP
+// scenario (a), experiment e12).
+//
+// A ChurnPlan is a seeded schedule of batched edge insertions and
+// deletions against one EdgeColouredGraph, in the same pure-data style as
+// local::FaultPlan: built (or randomly generated) up front, validated
+// against the instance before anything mutates, and replayed as a pure
+// function of (instance, plan).  No RNG state survives into the apply
+// path, so everything downstream — the matcher's repair/locality counters
+// included — is exactly reproducible from (instance, seed), which is what
+// BENCH_e12.json gates exactly (docs/dynamic.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_coloured_graph.hpp"
+
+namespace dmm::dyn {
+
+using gk::Colour;
+
+/// One edge mutation.  An insert names the colour the new edge carries; a
+/// delete names the colour it expects the live edge to carry — redundant
+/// (the endpoints determine it in a simple graph) but it makes plans
+/// self-describing and lets validation reject a plan whose idea of the
+/// graph has drifted from the instance it is applied to.
+struct ChurnOp {
+  enum class Kind : std::uint8_t { kInsert, kDelete };
+  Kind kind = Kind::kInsert;
+  graph::NodeIndex u = 0;
+  graph::NodeIndex v = 0;
+  Colour colour = gk::kNoColour;
+};
+
+/// Ops applied together.  The matcher repairs after every op (repairs are
+/// per-edge local either way) but accounts locality per batch, and the
+/// oracle cross-check runs once per batch boundary.
+struct ChurnBatch {
+  std::vector<ChurnOp> ops;
+};
+
+/// Knobs for ChurnPlan::random.
+struct ChurnSpec {
+  int batches = 8;
+  int ops_per_batch = 16;
+  /// Target insert share of each batch; the generator falls back to the
+  /// other kind when the preferred one is unavailable (no deletable edge /
+  /// no proper insertion found), so the realised mix tracks this only as
+  /// far as the instance allows.
+  double insert_fraction = 0.5;
+  std::uint64_t seed = 0;
+};
+
+/// "insert" / "delete".
+const char* op_kind_name(ChurnOp::Kind kind) noexcept;
+
+class ChurnPlan {
+ public:
+  ChurnPlan() = default;
+  explicit ChurnPlan(std::vector<ChurnBatch> batches) : batches_(std::move(batches)) {}
+
+  /// Seeded random plan against `g`, valid by construction: generation
+  /// replays the graph's evolution on a scratch copy, so every insert is
+  /// proper and simple *at its point in the schedule* and every delete
+  /// names a then-live edge.  Inserts are found by bounded rejection
+  /// sampling; when the instance is colour-saturated (or empty, for
+  /// deletes) a batch may come out shorter than spec.ops_per_batch.
+  static ChurnPlan random(const graph::EdgeColouredGraph& g, const ChurnSpec& spec);
+
+  const std::vector<ChurnBatch>& batches() const noexcept { return batches_; }
+  bool empty() const noexcept { return batches_.empty(); }
+
+  std::size_t op_count() const noexcept;
+  std::size_t insert_count() const noexcept;
+  std::size_t delete_count() const noexcept;
+
+  /// Replays the plan against a scratch copy of `g` and throws
+  /// std::invalid_argument on the first invalid op: an insert that would
+  /// break properness or simplicity (self-loop, node out of range, colour
+  /// out of range or already used at an endpoint, parallel edge) or a
+  /// delete that names no live edge — or a live edge of a different
+  /// colour.  DynamicMatcher calls this before mutating anything, so an
+  /// invalid plan is rejected with the instance untouched.
+  void require_applies(const graph::EdgeColouredGraph& g) const;
+
+ private:
+  std::vector<ChurnBatch> batches_;
+};
+
+}  // namespace dmm::dyn

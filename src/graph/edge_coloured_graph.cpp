@@ -103,6 +103,44 @@ void EdgeColouredGraph::add_edge(NodeIndex u, NodeIndex v, Colour colour) {
   edges_.push_back({u, v, colour});
 }
 
+void EdgeColouredGraph::remove_edge(NodeIndex u, NodeIndex v) {
+  check_node(u);
+  check_node(v);
+  const auto drop_half = [this](NodeIndex at, NodeIndex to) {
+    auto& halves = adjacency_[static_cast<std::size_t>(at)];
+    for (std::size_t i = 0; i < halves.size(); ++i) {
+      if (halves[i].to == to) {
+        halves[i] = halves.back();
+        halves.pop_back();
+        return true;
+      }
+    }
+    return false;
+  };
+  if (!drop_half(u, v)) {
+    throw std::invalid_argument("EdgeColouredGraph: remove_edge on a non-edge");
+  }
+  drop_half(v, u);
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const Edge& e = edges_[i];
+    if ((e.u == u && e.v == v) || (e.u == v && e.v == u)) {
+      edges_[i] = edges_.back();
+      edges_.pop_back();
+      return;
+    }
+  }
+  throw std::logic_error("EdgeColouredGraph: adjacency/edge-list mismatch");
+}
+
+std::optional<Colour> EdgeColouredGraph::edge_colour(NodeIndex u, NodeIndex v) const {
+  check_node(u);
+  check_node(v);
+  for (const Half& h : adjacency_[static_cast<std::size_t>(u)]) {
+    if (h.to == v) return h.colour;
+  }
+  return std::nullopt;
+}
+
 bool EdgeColouredGraph::has_edge(NodeIndex u, NodeIndex v) const {
   check_node(u);
   check_node(v);

@@ -47,6 +47,18 @@ class EdgeColouredGraph {
   /// already exists.
   void add_edge(NodeIndex u, NodeIndex v, Colour colour);
 
+  /// Removes the edge {u, v} (given in either orientation; the colour is
+  /// whatever the live edge carries).  Throws std::invalid_argument when no
+  /// such edge exists.  The colouring stays proper by construction —
+  /// removing an edge can only free colours.  Cost: O(deg(u) + deg(v)) on
+  /// the adjacency lists plus an O(m) scan of the edge list; both sides
+  /// are swap-popped, so edges() order is NOT preserved across removals
+  /// (callers indexing into edges() must re-read after a removal).
+  void remove_edge(NodeIndex u, NodeIndex v);
+
+  /// Colour of the edge {u, v}, if present (either orientation).
+  std::optional<Colour> edge_colour(NodeIndex u, NodeIndex v) const;
+
   /// Neighbour of v along colour c, if any.
   std::optional<NodeIndex> neighbour(NodeIndex v, Colour c) const;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <deque>
 #include <map>
@@ -20,14 +21,17 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// Nearest-rank percentile over an ascending-sorted sample.
-double percentile(const std::vector<double>& sorted, double q) {
+}  // namespace
+
+double nearest_rank_percentile(const std::vector<double>& sorted, double q) {
   if (sorted.empty()) return 0.0;
-  const auto idx = static_cast<std::size_t>(q * static_cast<double>(sorted.size()));
+  // 1-based nearest rank ceil(q·N): the smallest element whose rank covers
+  // a q-fraction of the sample.  Monotone in q, so p50 ≤ p99 always, and
+  // never above the max (rank N at q = 1).
+  const double rank = std::ceil(q * static_cast<double>(sorted.size()));
+  const auto idx = rank < 1.0 ? std::size_t{0} : static_cast<std::size_t>(rank) - 1;
   return sorted[std::min(idx, sorted.size() - 1)];
 }
-
-}  // namespace
 
 struct MatchingService::Impl {
   /// A job that has been accepted but not yet completed.  Owns everything
@@ -314,8 +318,8 @@ ServiceStats MatchingService::stats() const {
     if (!t.latencies_ms.empty()) {
       std::vector<double> sorted = t.latencies_ms;
       std::sort(sorted.begin(), sorted.end());
-      out.p50_ms = percentile(sorted, 0.50);
-      out.p99_ms = percentile(sorted, 0.99);
+      out.p50_ms = nearest_rank_percentile(sorted, 0.50);
+      out.p99_ms = nearest_rank_percentile(sorted, 0.99);
       out.mean_ms = std::accumulate(sorted.begin(), sorted.end(), 0.0) /
                     static_cast<double>(sorted.size());
       if (measured == 0) {

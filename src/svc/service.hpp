@@ -83,6 +83,14 @@ struct ServiceOptions {
   std::function<void(const std::string& tenant)> step_observer;
 };
 
+/// Nearest-rank percentile over an ascending-sorted sample: the element of
+/// 1-based rank ceil(q·N), i.e. the smallest sample value that is ≥ at
+/// least a q-fraction of the sample.  q is clamped to the sample (empty →
+/// 0, q ≤ 0 → min, q ≥ 1 → max); p50 of a 2-sample is the LOWER element.
+/// This is the formula behind TenantStats::p50_ms/p99_ms; exposed so the
+/// regression suite can pin exact ranks (tests/test_service.cpp).
+double nearest_rank_percentile(const std::vector<double>& sorted, double q);
+
 struct TenantStats {
   std::string tenant;
   std::uint64_t submitted = 0;

@@ -53,6 +53,32 @@ MatchingReport check_outputs(const graph::EdgeColouredGraph& g,
   return report;
 }
 
+MatchingReport check_node(const graph::EdgeColouredGraph& g,
+                          const std::vector<Colour>& outputs, graph::NodeIndex v) {
+  MatchingReport report;
+  if (static_cast<int>(outputs.size()) != g.node_count()) {
+    report.violations.push_back({Violation::Kind::M1, -1, -1, gk::kNoColour});
+    return report;
+  }
+  const Colour out = outputs[static_cast<std::size_t>(v)];
+  if (out != local::kUnmatched) {
+    const auto partner = g.neighbour(v, out);
+    if (!partner) {
+      report.violations.push_back({Violation::Kind::M1, v, -1, out});
+    } else if (outputs[static_cast<std::size_t>(*partner)] != out) {
+      report.violations.push_back({Violation::Kind::M2, v, *partner, out});
+    }
+  } else {
+    for (const Colour c : g.incident_colours(v)) {
+      const auto w = g.neighbour(v, c);
+      if (w && outputs[static_cast<std::size_t>(*w)] == local::kUnmatched) {
+        report.violations.push_back({Violation::Kind::M3, v, *w, c});
+      }
+    }
+  }
+  return report;
+}
+
 std::vector<graph::Edge> matched_edges(const graph::EdgeColouredGraph& g,
                                        const std::vector<Colour>& outputs) {
   std::vector<graph::Edge> out;

@@ -37,6 +37,16 @@ struct MatchingReport {
 MatchingReport check_outputs(const graph::EdgeColouredGraph& g,
                              const std::vector<Colour>& outputs);
 
+/// Checks (M1)-(M3) restricted to node v: v's own output (M1/M2) plus
+/// every incident edge's two-sided-⊥ condition (M3, reported from v's
+/// side).  Work is bounded by v's neighbourhood — independent of n and
+/// m — which is what lets the dynamic-matching subsystem (src/dyn)
+/// spot-check exactly the nodes a churn batch touched instead of paying
+/// check_outputs' full sweep.  Clean at every node of N(v) ∪ {v} implies
+/// check_outputs clean at v.
+MatchingReport check_node(const graph::EdgeColouredGraph& g,
+                          const std::vector<Colour>& outputs, graph::NodeIndex v);
+
 /// The matched edges induced by a valid output assignment.
 std::vector<graph::Edge> matched_edges(const graph::EdgeColouredGraph& g,
                                        const std::vector<Colour>& outputs);

@@ -1,7 +1,8 @@
 // The BENCH_*.json trajectory files are consumed by scripts across PRs, so
 // the writer is under test: stable field names, exact round-trips, finite
-// wall times, and an explicitly enumerated experiment set (e12 is a real
-// numbering gap — nothing may assume "e1..e17").
+// wall times, and an explicitly enumerated experiment set (e12 closed the
+// last numbering gap, but the set stays an explicit list — nothing may
+// assume "e1..e17" holds forever).
 #include "bench_json.hpp"
 
 #include <gtest/gtest.h>
@@ -46,6 +47,10 @@ Record sample() {
   r.tenant_p50_ms = 12.5;
   r.tenant_p99_ms = 31.25;
   r.fairness_ratio = 1.125;
+  r.churn_ops = 416;
+  r.repairs = 38;
+  r.touched_nodes = 935;
+  r.recompute_avoided = 23065;
   return r;
 }
 
@@ -62,7 +67,8 @@ TEST(BenchJson, StableFieldNamesAndOrder) {
             "\"messages_dropped\":17,\"checkpoint_bytes\":2048,"
             "\"restore_ms\":0.75,\"send_ms\":4.5,\"receive_ms\":6.25,"
             "\"sessions\":1000,\"tenant_p50_ms\":12.5,\"tenant_p99_ms\":31.25,"
-            "\"fairness_ratio\":1.125}");
+            "\"fairness_ratio\":1.125,\"churn_ops\":416,\"repairs\":38,"
+            "\"touched_nodes\":935,\"recompute_avoided\":23065}");
 }
 
 TEST(BenchJson, PipelineStatsDefaultToInert) {
@@ -95,6 +101,11 @@ TEST(BenchJson, PipelineStatsDefaultToInert) {
   EXPECT_EQ(r.tenant_p50_ms, 0.0);
   EXPECT_EQ(r.tenant_p99_ms, 0.0);
   EXPECT_EQ(r.fairness_ratio, 0.0);
+  // dmm-bench-8 dynamic-matching stats too.
+  EXPECT_EQ(r.churn_ops, 0);
+  EXPECT_EQ(r.repairs, 0);
+  EXPECT_EQ(r.touched_nodes, 0);
+  EXPECT_EQ(r.recompute_avoided, 0);
 }
 
 TEST(BenchJson, PeakRssIsPositiveOnLinux) {
@@ -168,6 +179,10 @@ TEST(BenchJson, RejectsMalformedRecords) {
   const std::string::size_type cut7 = current.find(",\"send_ms\"");
   ASSERT_NE(cut7, std::string::npos);
   EXPECT_THROW(parse_record(current.substr(0, cut7) + "}"), std::invalid_argument);
+  // And a dmm-bench-7 record (dynamic-matching stats absent).
+  const std::string::size_type cut8 = current.find(",\"churn_ops\"");
+  ASSERT_NE(cut8, std::string::npos);
+  EXPECT_THROW(parse_record(current.substr(0, cut8) + "}"), std::invalid_argument);
   // A record whose orbits field is present but mis-ordered is rejected too.
   std::string swapped = current;
   swapped.replace(swapped.find("\"orbits\""), 8, "\"orbitz\"");
@@ -175,10 +190,11 @@ TEST(BenchJson, RejectsMalformedRecords) {
 }
 
 TEST(BenchJson, ExperimentSetIsExplicit) {
-  // 16 experiments exist (e9 arrived with the fault layer, e10 with the
-  // multi-tenant front-end); the remaining numbering gap is real.
-  EXPECT_EQ(std::end(kExperiments) - std::begin(kExperiments), 16);
-  EXPECT_FALSE(known_experiment("e12"));
+  // 17 experiments exist (e9 arrived with the fault layer, e10 with the
+  // multi-tenant front-end, e12 with the dynamic-matching churn bench —
+  // the numbering has no gaps left, but the set stays an explicit list).
+  EXPECT_EQ(std::end(kExperiments) - std::begin(kExperiments), 17);
+  EXPECT_TRUE(known_experiment("e12"));
   for (const char* e : kExperiments) {
     EXPECT_TRUE(known_experiment(e)) << e;
   }
@@ -190,7 +206,7 @@ TEST(BenchJson, HarnessRejectsUnknownExperiments) {
   int argc = 1;
   char binary[] = "bench";
   char* argv[] = {binary, nullptr};
-  EXPECT_THROW(Harness("e12", argc, argv), std::invalid_argument);
+  EXPECT_THROW(Harness("e18", argc, argv), std::invalid_argument);
   EXPECT_THROW(Harness("bogus", argc, argv), std::invalid_argument);
 }
 
@@ -222,7 +238,7 @@ TEST(BenchJson, HarnessStripsItsFlagsAndWrites) {
   std::stringstream content;
   content << in.rdbuf();
   const std::string text = content.str();
-  EXPECT_NE(text.find("\"schema\":\"dmm-bench-7\""), std::string::npos);
+  EXPECT_NE(text.find("\"schema\":\"dmm-bench-8\""), std::string::npos);
   EXPECT_NE(text.find("\"experiment\":\"e1\""), std::string::npos);
   // Each stored record is embedded verbatim, so the file parses record by
   // record with the same parser the round-trip test uses.

@@ -105,5 +105,49 @@ TEST(EdgeColouredGraph, BulkConstructorRejectsEverythingAddEdgeDoes) {
   EXPECT_NO_THROW(EdgeColouredGraph(3, 2, E{}));
 }
 
+TEST(EdgeColouredGraph, RemoveEdgeDropsBothSides) {
+  EdgeColouredGraph g(4, 3);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 2);
+  g.add_edge(2, 3, 1);
+
+  g.remove_edge(2, 1);  // either orientation works
+  EXPECT_EQ(g.edge_count(), 2);
+  EXPECT_FALSE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.neighbour(1, 2).has_value());
+  EXPECT_FALSE(g.neighbour(2, 2).has_value());
+  EXPECT_EQ(g.degree(1), 1);
+  EXPECT_EQ(g.degree(2), 1);
+  EXPECT_TRUE(g.is_properly_coloured());
+  // The surviving edges are intact (edges() order is NOT preserved — the
+  // removal swap-pops — so check membership, not position).
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 3));
+
+  // The freed colour slot is reusable: re-add {1,2} on a different colour.
+  g.add_edge(1, 2, 3);
+  EXPECT_EQ(*g.edge_colour(1, 2), 3);
+  EXPECT_TRUE(g.is_properly_coloured());
+}
+
+TEST(EdgeColouredGraph, RemoveEdgeRejectsNonEdges) {
+  EdgeColouredGraph g(3, 2);
+  g.add_edge(0, 1, 1);
+  EXPECT_THROW(g.remove_edge(0, 2), std::invalid_argument);  // never existed
+  EXPECT_THROW(g.remove_edge(0, 3), std::out_of_range);      // node range
+  g.remove_edge(0, 1);
+  EXPECT_THROW(g.remove_edge(0, 1), std::invalid_argument);  // already gone
+  EXPECT_EQ(g.edge_count(), 0);
+}
+
+TEST(EdgeColouredGraph, EdgeColourReadsEitherOrientation) {
+  EdgeColouredGraph g(3, 2);
+  g.add_edge(0, 1, 2);
+  EXPECT_EQ(*g.edge_colour(0, 1), 2);
+  EXPECT_EQ(*g.edge_colour(1, 0), 2);
+  EXPECT_FALSE(g.edge_colour(0, 2).has_value());
+  EXPECT_THROW(g.edge_colour(0, 9), std::out_of_range);
+}
+
 }  // namespace
 }  // namespace dmm::graph

@@ -412,5 +412,43 @@ TEST(Service, RejectsInvalidAndShutdownSubmissions) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// 6. Latency percentiles use the nearest rank (ISSUE 10 satellite): the old
+//    idx = q·N indexing overshot by one rank on exact multiples, so the p50
+//    of a 2-sample came back as the UPPER element.
+
+TEST(Service, PercentileUsesNearestRank) {
+  // Size 1: every quantile is the only element.
+  EXPECT_EQ(nearest_rank_percentile({42.0}, 0.50), 42.0);
+  EXPECT_EQ(nearest_rank_percentile({42.0}, 0.99), 42.0);
+
+  // Size 2: rank ceil(0.5·2) = 1 → the LOWER element (the bug returned 2).
+  EXPECT_EQ(nearest_rank_percentile({1.0, 2.0}, 0.50), 1.0);
+  EXPECT_EQ(nearest_rank_percentile({1.0, 2.0}, 0.99), 2.0);
+
+  // Size 4: ranks ceil(.25·4)=1, ceil(.5·4)=2, ceil(.75·4)=3, ceil(.99·4)=4.
+  const std::vector<double> four = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_EQ(nearest_rank_percentile(four, 0.25), 10.0);
+  EXPECT_EQ(nearest_rank_percentile(four, 0.50), 20.0);
+  EXPECT_EQ(nearest_rank_percentile(four, 0.75), 30.0);
+  EXPECT_EQ(nearest_rank_percentile(four, 0.99), 40.0);
+
+  // Size 100: p50 is the 50th order statistic, p99 the 99th — and q = 1
+  // (rank 100) stays in range instead of indexing one past the end.
+  std::vector<double> hundred(100);
+  for (std::size_t i = 0; i < hundred.size(); ++i) {
+    hundred[i] = static_cast<double>(i + 1);
+  }
+  EXPECT_EQ(nearest_rank_percentile(hundred, 0.50), 50.0);
+  EXPECT_EQ(nearest_rank_percentile(hundred, 0.99), 99.0);
+  EXPECT_EQ(nearest_rank_percentile(hundred, 1.0), 100.0);
+
+  // Monotone in q by construction, so p50 ≤ p99 on any sample; clamped
+  // below so q = 0 is the minimum, and empty samples read 0.
+  EXPECT_LE(nearest_rank_percentile(four, 0.50), nearest_rank_percentile(four, 0.99));
+  EXPECT_EQ(nearest_rank_percentile(four, 0.0), 10.0);
+  EXPECT_EQ(nearest_rank_percentile({}, 0.50), 0.0);
+}
+
 }  // namespace
 }  // namespace dmm::svc

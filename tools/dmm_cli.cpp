@@ -9,6 +9,9 @@
 //                      [--quantum <n>] [--threads <n>] [--engine <sync|flat>]
 //                      [--instance <spec>] [--faults <spec>] [--max-rounds <n>]
 //                      [--json]
+//   dmm_cli churn      --instance <spec> [--batches <n>] [--ops-per-batch <n>]
+//                      [--seed <s>] [--insert-fraction <pct>] [--engine <sync|flat>]
+//                      [--threads <n>] [--oracle] [--json]
 //   dmm_cli adversary  --k <k> --algorithm <spec> [--certificate-out <path>] [--no-memo]
 //                      [--optimistic] [--threads <n>] [--orbits]
 //   dmm_cli views      <k> <d> <rho> [--threads <n>] [--json] [--max-views <n>] [--orbits]
@@ -62,6 +65,9 @@
 // per tenant, interleaves all sessions on one shared Runtime, and diffs
 // every tenant's outputs_fnv against the same job run standalone — the CI
 // serve-smoke step asserts `all_match` and exits non-zero on divergence.
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -179,18 +185,48 @@ std::uint64_t outputs_fnv(const local::RunResult& run) {
   return h;
 }
 
-/// Atomic checkpoint write: a SIGKILL between any two instructions leaves
-/// either the previous complete file or the new one, never a torn frame.
+/// Atomic AND durable checkpoint write.  The tmp + rename pair covers a
+/// SIGKILL between any two instructions (the old complete file or the new
+/// one, never a torn frame); durability against power loss additionally
+/// needs the tmp file fsynced before the rename (or the rename can land
+/// pointing at not-yet-flushed data) and the parent directory fsynced
+/// after it (or the rename itself can be lost).  A frame that does slip
+/// through torn is still caught at load time by the checksum
+/// (io::CorruptFrameError) — that path detects the damage, this one
+/// prevents it.
 void write_checkpoint_file(const local::EngineCheckpoint& ck, const std::string& path) {
   const std::string tmp = path + ".tmp";
-  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-  if (!out) fail("cannot open checkpoint file " + tmp);
-  ck.write(out);
-  out.close();
-  if (!out) fail("cannot write checkpoint file " + tmp);
+  std::ostringstream buffer(std::ios::binary);
+  ck.write(buffer);
+  const std::string bytes = buffer.str();
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("cannot open checkpoint file " + tmp);
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      ::close(fd);
+      fail("cannot write checkpoint file " + tmp);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    fail("cannot fsync checkpoint file " + tmp);
+  }
+  if (::close(fd) != 0) fail("cannot close checkpoint file " + tmp);
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     fail("cannot move checkpoint into place at " + path);
   }
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dirfd < 0) fail("cannot open checkpoint directory " + dir);
+  if (::fsync(dirfd) != 0) {
+    ::close(dirfd);
+    fail("cannot fsync checkpoint directory " + dir);
+  }
+  ::close(dirfd);
 }
 
 /// Shared body of `greedy` and `resume <path>`: run greedy on the chosen
@@ -422,6 +458,91 @@ int cmd_serve(const std::vector<std::string>& args) {
   return all_match ? 0 : 1;
 }
 
+/// Dynamic maximal matching under churn (docs/dynamic.md): seeded batched
+/// insert/delete stream, incremental repair, per-batch verification —
+/// with --oracle also against a recompute-from-scratch greedy run.  Exits
+/// non-zero on ANY maximality violation, which is what makes it a CI
+/// smoke: a repair bug cannot hide behind the summary text.
+int cmd_churn(const std::vector<std::string>& args) {
+  const std::string spec = option(args, "--instance");
+  if (spec.empty()) fail("churn: --instance required");
+  const std::string engine_spec = option(args, "--engine", "sync");
+  const auto engine = local::parse_engine_kind(engine_spec);
+  if (!engine) fail("churn: unknown engine '" + engine_spec + "' (sync|flat)");
+  const int threads = std::stoi(option(args, "--threads", "1"));
+  if (threads > 1 && *engine != local::EngineKind::kFlat) {
+    fail("churn: --threads requires --engine flat");
+  }
+  dyn::ChurnSpec churn_spec;
+  churn_spec.batches = std::stoi(option(args, "--batches", "8"));
+  churn_spec.ops_per_batch = std::stoi(option(args, "--ops-per-batch", "16"));
+  churn_spec.seed = std::stoull(option(args, "--seed", "0"));
+  churn_spec.insert_fraction = std::stod(option(args, "--insert-fraction", "50")) / 100.0;
+  const bool oracle = flag(args, "--oracle");
+
+  const graph::EdgeColouredGraph g = parse_instance(spec);
+  const dyn::ChurnPlan plan = dyn::ChurnPlan::random(g, churn_spec);
+  dyn::MatcherOptions mopts;
+  mopts.engine = *engine;
+  mopts.threads = threads;
+  dyn::DynamicMatcher matcher(g, mopts);
+  plan.require_applies(g);
+
+  int bad_batches = 0;
+  for (std::size_t b = 0; b < plan.batches().size(); ++b) {
+    matcher.apply(plan.batches()[b]);
+    const verify::MatchingReport incremental = matcher.check();
+    bool batch_ok = incremental.ok();
+    if (oracle) {
+      const std::vector<local::Colour> recomputed = matcher.recompute();
+      const verify::MatchingReport oracle_report =
+          verify::check_outputs(matcher.graph(), recomputed);
+      batch_ok = batch_ok && oracle_report.ok();
+      if (!oracle_report.ok()) {
+        std::cerr << "churn: batch " << b << " ORACLE invalid:\n" << oracle_report.describe();
+      }
+    }
+    if (!incremental.ok()) {
+      std::cerr << "churn: batch " << b << " incremental matching invalid:\n"
+                << incremental.describe();
+    }
+    if (!batch_ok) ++bad_batches;
+  }
+  const dyn::RepairStats& stats = matcher.stats();
+  const std::size_t matched =
+      verify::matched_edges(matcher.graph(), matcher.outputs()).size();
+  if (flag(args, "--json")) {
+    std::cout << "{\"instance\":\"" << spec << "\",\"engine\":\""
+              << local::engine_kind_name(*engine) << "\",\"threads\":" << threads
+              << ",\"seed\":" << churn_spec.seed << ",\"batches\":" << stats.batches
+              << ",\"inserts\":" << stats.inserts << ",\"deletes\":" << stats.deletes
+              << ",\"repairs\":" << stats.repairs
+              << ",\"touched_nodes\":" << stats.touched_nodes
+              << ",\"recompute_avoided\":" << stats.recompute_avoided
+              << ",\"matched_edges\":" << matched << ",\"final_edges\":"
+              << matcher.graph().edge_count() << ",\"oracle\":" << (oracle ? "true" : "false")
+              << ",\"valid\":" << (bad_batches == 0 ? "true" : "false") << "}\n";
+  } else {
+    std::cout << "instance: " << spec << " (n=" << g.node_count() << ", k=" << g.k()
+              << ", edges " << g.edge_count() << " -> " << matcher.graph().edge_count()
+              << ")\n";
+    std::cout << "churn: " << stats.batches << " batch(es), " << stats.inserts
+              << " insert(s), " << stats.deletes << " delete(s), seed " << churn_spec.seed
+              << "\n";
+    std::cout << "repairs: " << stats.repairs << " (touched " << stats.touched_nodes
+              << " node(s), recompute avoided " << stats.recompute_avoided
+              << " node-visits)\n";
+    std::cout << "matched edges: " << matched << "\n";
+    if (bad_batches == 0) {
+      std::cout << "verification: valid maximal matching after every batch"
+                << (oracle ? " (oracle cross-checked)" : "") << "\n";
+    } else {
+      std::cout << "verification: " << bad_batches << " batch(es) INVALID\n";
+    }
+  }
+  return bad_batches == 0 ? 0 : 1;
+}
+
 int cmd_adversary(const std::vector<std::string>& args) {
   const int k = std::stoi(option(args, "--k", "0"));
   const std::string algo_spec = option(args, "--algorithm");
@@ -592,8 +713,8 @@ int cmd_export_dot(const std::vector<std::string>& args) {
 }
 
 void usage() {
-  std::cout << "usage: dmm_cli <greedy|resume|serve|adversary|views|lemma4|check|export-dot> "
-               "[options]\n"
+  std::cout << "usage: dmm_cli <greedy|resume|serve|churn|adversary|views|lemma4|check|"
+               "export-dot> [options]\n"
                "see the header of tools/dmm_cli.cpp for specs\n";
 }
 
@@ -610,6 +731,7 @@ int main(int argc, char** argv) {
     if (command == "greedy") return cmd_greedy(args);
     if (command == "resume") return cmd_resume(args);
     if (command == "serve") return cmd_serve(args);
+    if (command == "churn") return cmd_churn(args);
     if (command == "adversary") return cmd_adversary(args);
     if (command == "views") return cmd_views(args);
     if (command == "lemma4") return cmd_lemma4(args);

@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
 """Run every bench binary and validate the BENCH_*.json trajectory files.
 
-The experiment set is enumerated explicitly (e12 is a real numbering gap
-— see docs/benchmarks.md), mirroring bench/bench_json.hpp; a new bench
-binary must be added to both lists, which this script cross-checks
-against the binaries it actually finds.
+The experiment set is enumerated explicitly, mirroring
+bench/bench_json.hpp (e12, the churn experiment, closed the last
+numbering gap — see docs/benchmarks.md); a new bench binary must be
+added to both lists, which this script cross-checks against the binaries
+it actually finds.
 
 Usage:
   tools/run_benches.py --bin-dir build [--out-dir build/bench-json] [--smoke]
@@ -19,8 +20,9 @@ BENCH_*.json of the same name in DIR, matching records by the
 (instance, engine, threads) triple — e14 records the same instance once
 per engine and per worker count, so the instance label alone is not a key.
 Counter fields (csp_nodes, reps_generated, the e9 fault/recovery
-counters crashes, restarts, messages_dropped, checkpoint_bytes, and the
-e10 sessions count) must be exactly equal, orbit_reduction must agree to
+counters crashes, restarts, messages_dropped, checkpoint_bytes, the
+e10 sessions count, and the e12 churn counters churn_ops, repairs,
+touched_nodes, recompute_avoided) must be exactly equal, orbit_reduction must agree to
 relative tolerance, and restore_ms / send_ms / receive_ms are never gated
 (wall measurements), while wall_ns and the e10 tenant latency fields
 (tenant_p50_ms, tenant_p99_ms, fairness_ratio) may not exceed the
@@ -37,8 +39,8 @@ import sys
 
 # Keep in sync with kExperiments in bench/bench_json.hpp.
 EXPERIMENTS = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8",
-    "e9", "e10", "e11", "e13", "e14", "e15", "e16", "e17",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9",
+    "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17",
 ]
 
 RECORD_FIELDS = {
@@ -77,6 +79,11 @@ RECORD_FIELDS = {
     "tenant_p50_ms": (int, float),
     "tenant_p99_ms": (int, float),
     "fairness_ratio": (int, float),
+    # dmm-bench-8: dynamic-matching stats (e12; zero on churn-free rows).
+    "churn_ops": int,
+    "repairs": int,
+    "touched_nodes": int,
+    "recompute_avoided": int,
 }
 
 # Fields the --baseline regression gate diffs, with their comparison mode.
@@ -112,6 +119,15 @@ def compare_records(name: str, current: dict, baseline: dict, wall_factor: float
             f"{name}: sessions changed {baseline.get('sessions', 0)} -> "
             f"{current.get('sessions', 0)}"
         )
+    # e12: the churn counters are pure functions of (instance, seed) —
+    # engine- and thread-independent — so any drift is a repair-logic
+    # behaviour change; .get keeps pre-dmm-bench-8 baselines valid.
+    for field in ("churn_ops", "repairs", "touched_nodes", "recompute_avoided"):
+        if current.get(field, 0) != baseline.get(field, 0):
+            errors.append(
+                f"{name}: {field} changed {baseline.get(field, 0)} -> "
+                f"{current.get(field, 0)}"
+            )
     # e10 tenant latency fields are wall measurements: multiplicative band,
     # and only when the baseline row is slow enough to measure reliably
     # (same discipline as wall_ns).
@@ -259,7 +275,7 @@ def validate_orderly_scale_row(path: pathlib.Path) -> None:
 def validate(path: pathlib.Path, experiment: str) -> int:
     with path.open() as fh:
         data = json.load(fh)
-    if data.get("schema") != "dmm-bench-7":
+    if data.get("schema") != "dmm-bench-8":
         raise SystemExit(f"error: {path}: bad schema {data.get('schema')!r}")
     if data.get("experiment") != experiment:
         raise SystemExit(f"error: {path}: experiment mismatch {data.get('experiment')!r}")
@@ -284,6 +300,9 @@ def validate(path: pathlib.Path, experiment: str) -> int:
                 raise SystemExit(f"error: {path}: NaN {field}: {record}")
         if record["sessions"] < 0:
             raise SystemExit(f"error: {path}: negative sessions: {record}")
+        for field in ("churn_ops", "repairs", "touched_nodes", "recompute_avoided"):
+            if record[field] < 0:
+                raise SystemExit(f"error: {path}: negative {field}: {record}")
         if record["orbits"] > 0 and record["orbit_reduction"] < 1:
             raise SystemExit(
                 f"error: {path}: orbit record with a reduction below 1x: {record}"
